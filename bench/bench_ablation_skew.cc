@@ -1,0 +1,62 @@
+// Ablation (Sec. 4.3 "Dealing with Skewed Data Distribution"): histogram-
+// balanced iteration-space partitioning vs naive equal-width partitioning
+// on heavily skewed (Zipf) data.
+//
+// Equal-width splits put most of a power-law dataset's mass on one worker;
+// the histogram splits equalize iteration counts. The effect shows up
+// directly in the slowest worker's compute time (the pass critical path).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/sgd_mf.h"
+
+namespace orion {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kWarmup = 1;
+constexpr int kMeasured = 3;
+
+double Measure(const std::vector<RatingEntry>& data, i64 rows, i64 cols, bool equal_width) {
+  DriverConfig cfg;
+  cfg.num_workers = kWorkers;
+  Driver driver(cfg);
+  SgdMfConfig mf;
+  mf.rank = 8;
+  mf.loop_options.equal_width_partitions = equal_width;
+  SgdMfApp app(&driver, mf);
+  ORION_CHECK_OK(app.Init(data, rows, cols));
+  double total = 0.0;
+  for (int p = 0; p < kWarmup + kMeasured; ++p) {
+    ORION_CHECK_OK(app.RunPass());
+    if (p >= kWarmup) {
+      total += app.last_metrics().max_worker_compute_seconds;
+    }
+  }
+  return total / kMeasured;
+}
+
+int Main() {
+  PrintHeader("Ablation: skew-aware partitioning",
+              "SGD MF on heavily skewed (zipf 1.0) ratings: slowest-worker "
+              "compute per pass, histogram splits vs equal-width splits");
+  RatingsConfig dcfg = NetflixLike();
+  dcfg.zipf_alpha = 1.0;  // heavier skew than the default
+  const auto data = GenerateRatings(dcfg);
+
+  const double hist = Measure(data, dcfg.rows, dcfg.cols, /*equal_width=*/false);
+  const double width = Measure(data, dcfg.rows, dcfg.cols, /*equal_width=*/true);
+
+  std::printf("partitioning,critical_path_s\n");
+  std::printf("histogram,%.4f\n", hist);
+  std::printf("equal_width,%.4f\n", width);
+  std::printf("imbalance penalty: %.2fx\n", width / hist);
+  PrintShape("histogram-balanced partitioning beats equal-width on skewed data (>1.2x)",
+             width > 1.2 * hist);
+  return 0;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

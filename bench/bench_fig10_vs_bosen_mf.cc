@@ -1,0 +1,106 @@
+// Fig. 10a/10b: SGD MF (AdaRev) on the netflix-like dataset — Orion vs the
+// Bösen parameter server: loss over (modeled) time and over iterations.
+//
+// Curves: Bösen plain data parallelism, Bösen managed-communication +
+// AdaRev, Orion auto-parallelization, Orion + AdaRev.
+// Paper shape: Orion's dependence-aware schedules converge far faster than
+// plain data parallelism in both axes; managed communication narrows the
+// per-iteration gap but pays bandwidth/CPU for it.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/sgd_mf.h"
+#include "src/baselines/bosen_ps.h"
+
+namespace orion {
+namespace {
+
+constexpr int kPasses = 12;
+constexpr int kWorkers = 4;
+constexpr int kRank = 8;
+
+struct Curve {
+  std::vector<f64> loss;
+  std::vector<double> time;
+};
+
+Curve RunOrion(const std::vector<RatingEntry>& data, i64 rows, i64 cols, bool adarev) {
+  DriverConfig cfg;
+  cfg.num_workers = kWorkers;
+  Driver driver(cfg);
+  SgdMfConfig mf;
+  mf.rank = kRank;
+  mf.adarev = adarev;
+  mf.adarev_alpha = 0.5f;
+  SgdMfApp app(&driver, mf);
+  ORION_CHECK_OK(app.Init(data, rows, cols));
+  Curve c;
+  double t = 0.0;
+  for (int p = 0; p < kPasses; ++p) {
+    ORION_CHECK_OK(app.RunPass());
+    t += ModeledSeconds(app.last_metrics(), kWorkers);
+    c.time.push_back(t);
+    c.loss.push_back(*app.EvalLoss());
+  }
+  return c;
+}
+
+Curve RunBosen(const std::vector<RatingEntry>& data, i64 rows, i64 cols, bool managed,
+               bool adarev) {
+  BosenConfig bc;
+  bc.num_workers = kWorkers;
+  bc.step_size = 0.0002f;  // stability under summed colliding updates
+  bc.managed_comm = managed;
+  bc.adarev = adarev;
+  bc.adarev_alpha = 0.5f;
+  bc.comm_intervals_per_pass = 16;
+  BosenMf bosen(data, rows, cols, kRank, bc);
+  Curve c;
+  double t = 0.0;
+  for (int p = 0; p < kPasses; ++p) {
+    bosen.RunPass();
+    t += ModeledSeconds(bosen.last_pass_compute_max(), bosen.last_pass_bytes(), 0, kWorkers);
+    c.time.push_back(t);
+    c.loss.push_back(bosen.EvalLoss());
+  }
+  return c;
+}
+
+int Main() {
+  PrintHeader("Fig 10a/10b",
+              "SGD MF: Orion (w/ and w/o AdaRev) vs Bösen (plain DP, managed "
+              "comm + AdaRev); loss over modeled time and over iterations");
+  const auto dcfg = NetflixLike();
+  const auto data = GenerateRatings(dcfg);
+
+  const Curve bosen_plain = RunBosen(data, dcfg.rows, dcfg.cols, false, false);
+  const Curve bosen_cm = RunBosen(data, dcfg.rows, dcfg.cols, true, true);
+  const Curve orion = RunOrion(data, dcfg.rows, dcfg.cols, false);
+  const Curve orion_ar = RunOrion(data, dcfg.rows, dcfg.cols, true);
+
+  std::printf(
+      "iter,bosen_plain_t,bosen_plain_loss,bosen_cm_adarev_t,bosen_cm_adarev_loss,"
+      "orion_t,orion_loss,orion_adarev_t,orion_adarev_loss\n");
+  for (int p = 0; p < kPasses; ++p) {
+    const auto i = static_cast<size_t>(p);
+    std::printf("%d,%.4f,%.1f,%.4f,%.1f,%.4f,%.1f,%.4f,%.1f\n", p + 1, bosen_plain.time[i],
+                bosen_plain.loss[i], bosen_cm.time[i], bosen_cm.loss[i], orion.time[i],
+                orion.loss[i], orion_ar.time[i], orion_ar.loss[i]);
+  }
+
+  PrintShape("Orion converges far faster than plain data parallelism per iteration",
+             orion.loss.back() * 3.0 < bosen_plain.loss.back());
+  PrintShape("managed comm + AdaRev improves substantially on plain Bösen",
+             bosen_cm.loss.back() < 0.5 * bosen_plain.loss.back());
+  PrintShape("Orion AdaRev reaches the lowest (or near-lowest) loss",
+             orion_ar.loss.back() < 1.3 * orion.loss.back());
+  PrintShape("Orion also wins in loss-at-equal-modeled-time (final pass)",
+             orion.loss.back() < bosen_plain.loss.back());
+  return 0;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

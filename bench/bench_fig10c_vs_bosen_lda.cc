@@ -1,0 +1,93 @@
+// Fig. 10c: LDA on the clueweb-like corpus — log-likelihood over modeled
+// time: Bösen plain data parallelism, Bösen managed communication, Orion.
+//
+// Paper shape: managed communication lifts Bösen close to Orion per
+// iteration, but its aggressive communication costs CPU/bandwidth, so Orion
+// keeps the best overall (time-axis) convergence.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/lda.h"
+#include "src/baselines/bosen_ps.h"
+
+namespace orion {
+namespace {
+
+constexpr int kPasses = 12;
+constexpr int kWorkers = 4;
+constexpr int kTopics = 20;
+
+int Main() {
+  PrintHeader("Fig 10c",
+              "LDA (clueweb-like): log-likelihood over modeled time — Bösen "
+              "plain vs Bösen managed-comm vs Orion");
+  const auto ccfg = ClueWebLike();
+  const auto corpus = GenerateCorpus(ccfg);
+
+  BosenConfig plain_cfg;
+  plain_cfg.num_workers = kWorkers;
+  BosenLda plain(corpus, ccfg.num_docs, ccfg.vocab, kTopics, plain_cfg);
+  BosenConfig cm_cfg = plain_cfg;
+  cm_cfg.managed_comm = true;
+  cm_cfg.comm_intervals_per_pass = 16;
+  BosenLda cm(corpus, ccfg.num_docs, ccfg.vocab, kTopics, cm_cfg);
+
+  DriverConfig cfg;
+  cfg.num_workers = kWorkers;
+  Driver driver(cfg);
+  LdaConfig lda;
+  lda.num_topics = kTopics;
+  LdaApp orion_app(&driver, lda);
+  ORION_CHECK_OK(orion_app.Init(corpus, ccfg.num_docs, ccfg.vocab));
+
+  std::printf("iter,bosen_plain_t,bosen_plain_ll,bosen_cm_t,bosen_cm_ll,orion_t,orion_ll\n");
+  double tp = 0.0;
+  double tc = 0.0;
+  double to = 0.0;
+  f64 ll_plain = 0.0;
+  f64 ll_cm = 0.0;
+  f64 ll_orion = 0.0;
+  std::vector<std::pair<double, f64>> cm_curve;   // (time, ll)
+  for (int p = 0; p < kPasses; ++p) {
+    plain.RunPass();
+    tp += ModeledSeconds(plain.last_pass_compute_max(), plain.last_pass_bytes(), 0, kWorkers);
+    ll_plain = plain.EvalLogLikelihood();
+    cm.RunPass();
+    tc += ModeledSeconds(cm.last_pass_compute_max(), cm.last_pass_bytes(), 0, kWorkers);
+    ll_cm = cm.EvalLogLikelihood();
+    cm_curve.push_back({tc, ll_cm});
+    ORION_CHECK_OK(orion_app.RunPass());
+    to += ModeledSeconds(orion_app.last_metrics(), kWorkers);
+    ll_orion = *orion_app.EvalLogLikelihood();
+    std::printf("%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n", p + 1, tp, ll_plain, tc, ll_cm, to,
+                ll_orion);
+  }
+
+  // Where had CM gotten by the time Orion finished all its passes? (The
+  // paper's time-axis comparison: CM's aggressive communication costs
+  // CPU/bandwidth, so at equal time it trails.)
+  f64 cm_at_orion_time = cm_curve.front().second;
+  for (const auto& [t, ll] : cm_curve) {
+    if (t <= to) {
+      cm_at_orion_time = ll;
+    }
+  }
+
+  // Parallel Gibbs is racy; near convergence the two curves can cross by a
+  // few hundredths of a nat run-to-run.
+  PrintShape("managed comm converges at least as well per iteration as plain Bösen",
+             ll_cm >= ll_plain - 0.1);
+  PrintShape("managed comm moves more bytes than plain Bösen",
+             cm.bytes_communicated() > plain.bytes_communicated());
+  PrintShape("managed comm's per-iteration quality is similar to Orion's (within 0.12 nats)",
+             std::abs(ll_cm - ll_orion) < 0.12);
+  PrintShape("at equal modeled time Orion is ahead of managed comm",
+             ll_orion > cm_at_orion_time);
+  return 0;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

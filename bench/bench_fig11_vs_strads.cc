@@ -1,0 +1,116 @@
+// Fig. 11: Orion's automatic parallelization vs STRADS-style *manual* model
+// parallelism — (a) SGD MF AdaRev loss over modeled time, (b) LDA
+// log-likelihood over modeled time, (c) LDA log-likelihood over iterations.
+//
+// Paper shape: per-iteration convergence matches (both run the same
+// dependence-preserving schedule); STRADS's hand-tuned implementation has
+// somewhat higher raw throughput (for the paper, Julia overhead; here, the
+// kernel/runtime indirection of the generic system).
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/lda.h"
+#include "src/apps/sgd_mf.h"
+#include "src/baselines/strads_mp.h"
+
+namespace orion {
+namespace {
+
+constexpr int kPasses = 12;
+constexpr int kWorkers = 4;
+constexpr int kRank = 8;
+constexpr int kTopics = 20;
+
+int Main() {
+  PrintHeader("Fig 11",
+              "Orion auto-parallelization vs STRADS manual model parallelism "
+              "(MF AdaRev over time; LDA over time and iterations)");
+  const auto dcfg = NetflixLike();
+  const auto data = GenerateRatings(dcfg);
+  const auto ccfg = ClueWebLike();
+  const auto corpus = GenerateCorpus(ccfg);
+
+  // ---- (a) SGD MF AdaRev ----
+  StradsConfig sc;
+  sc.num_workers = kWorkers;
+  sc.adarev = true;
+  sc.adarev_alpha = 0.5f;
+  StradsMf strads_mf(data, dcfg.rows, dcfg.cols, kRank, sc);
+
+  DriverConfig cfg;
+  cfg.num_workers = kWorkers;
+  Driver mf_driver(cfg);
+  SgdMfConfig mf;
+  mf.rank = kRank;
+  mf.adarev = true;
+  mf.adarev_alpha = 0.5f;
+  SgdMfApp orion_mf(&mf_driver, mf);
+  ORION_CHECK_OK(orion_mf.Init(data, dcfg.rows, dcfg.cols));
+
+  std::printf("mf_adarev: iter,strads_t,strads_loss,orion_t,orion_loss\n");
+  double ts = 0.0;
+  double to = 0.0;
+  f64 strads_mf_loss = 0.0;
+  f64 orion_mf_loss = 0.0;
+  double strads_mf_iter_s = 0.0;
+  double orion_mf_iter_s = 0.0;
+  for (int p = 0; p < kPasses; ++p) {
+    strads_mf.RunPass();
+    strads_mf_iter_s = ModeledSeconds(strads_mf.last_pass_compute_max(), 0, 0, kWorkers);
+    ts += strads_mf_iter_s;
+    strads_mf_loss = strads_mf.EvalLoss();
+    ORION_CHECK_OK(orion_mf.RunPass());
+    orion_mf_iter_s = ModeledSeconds(orion_mf.last_metrics(), kWorkers);
+    to += orion_mf_iter_s;
+    orion_mf_loss = *orion_mf.EvalLoss();
+    std::printf("%d,%.4f,%.1f,%.4f,%.1f\n", p + 1, ts, strads_mf_loss, to, orion_mf_loss);
+  }
+
+  // ---- (b, c) LDA ----
+  StradsConfig slc;
+  slc.num_workers = kWorkers;
+  StradsLda strads_lda(corpus, ccfg.num_docs, ccfg.vocab, kTopics, slc);
+
+  Driver lda_driver(cfg);
+  LdaConfig lda;
+  lda.num_topics = kTopics;
+  LdaApp orion_lda(&lda_driver, lda);
+  ORION_CHECK_OK(orion_lda.Init(corpus, ccfg.num_docs, ccfg.vocab));
+
+  std::printf("lda: iter,strads_t,strads_ll,orion_t,orion_ll\n");
+  double tls = 0.0;
+  double tlo = 0.0;
+  f64 strads_ll = 0.0;
+  f64 orion_ll = 0.0;
+  double strads_lda_iter_s = 0.0;
+  double orion_lda_iter_s = 0.0;
+  for (int p = 0; p < kPasses; ++p) {
+    strads_lda.RunPass();
+    strads_lda_iter_s = ModeledSeconds(strads_lda.last_pass_compute_max(), 0, 0, kWorkers);
+    tls += strads_lda_iter_s;
+    strads_ll = strads_lda.EvalLogLikelihood();
+    ORION_CHECK_OK(orion_lda.RunPass());
+    orion_lda_iter_s = ModeledSeconds(orion_lda.last_metrics(), kWorkers);
+    tlo += orion_lda_iter_s;
+    orion_ll = *orion_lda.EvalLogLikelihood();
+    std::printf("%d,%.4f,%.4f,%.4f,%.4f\n", p + 1, tls, strads_ll, tlo, orion_ll);
+  }
+
+  PrintShape("MF AdaRev: Orion matches manual model parallelism per iteration (within 1.5x)",
+             orion_mf_loss < 1.5 * strads_mf_loss && strads_mf_loss < 1.5 * orion_mf_loss);
+  // Orion's replicated topic totals are slightly staler than STRADS's
+  // per-stratum merge, so it can trail by a small margin.
+  PrintShape("LDA: Orion matches manual model parallelism per iteration (within 0.2 nats)",
+             orion_ll > strads_ll - 0.2);
+  PrintShape("manual STRADS has equal-or-higher throughput (<= Orion time/iter, LDA)",
+             strads_lda_iter_s <= orion_lda_iter_s * 1.05);
+  PrintShape("Orion LDA time/iter is within ~4x of manual STRADS (paper: 1.8x-4x)",
+             orion_lda_iter_s <= 4.5 * strads_lda_iter_s);
+  return 0;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

@@ -1,0 +1,131 @@
+// Fig. 9a: time per iteration of serial Julia programs vs Orion-parallelized
+// programs as worker count grows (SGD MF and LDA).
+//
+// Reproduced as modeled cluster time per pass (see bench_util.h). The
+// paper's shape: Orion beats the serial program from 2 workers on and keeps
+// speeding up with more workers.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/lda.h"
+#include "src/apps/sgd_mf.h"
+#include "src/common/timer.h"
+
+namespace orion {
+namespace {
+
+constexpr int kWarmup = 1;
+constexpr int kMeasured = 3;
+
+double OrionMfSecondsPerIter(const std::vector<RatingEntry>& data, i64 rows, i64 cols,
+                             int workers) {
+  DriverConfig cfg;
+  cfg.num_workers = workers;
+  Driver driver(cfg);
+  SgdMfConfig mf;
+  mf.rank = 8;
+  SgdMfApp app(&driver, mf);
+  ORION_CHECK_OK(app.Init(data, rows, cols));
+  double total = 0.0;
+  for (int p = 0; p < kWarmup + kMeasured; ++p) {
+    ORION_CHECK_OK(app.RunPass());
+    if (p >= kWarmup) {
+      total += ModeledSeconds(app.last_metrics(), workers);
+    }
+  }
+  return total / kMeasured;
+}
+
+double OrionLdaSecondsPerIter(const std::vector<TokenEntry>& corpus, i64 docs, i64 vocab,
+                              int workers) {
+  DriverConfig cfg;
+  cfg.num_workers = workers;
+  Driver driver(cfg);
+  LdaConfig lda;
+  lda.num_topics = 20;
+  LdaApp app(&driver, lda);
+  ORION_CHECK_OK(app.Init(corpus, docs, vocab));
+  double total = 0.0;
+  for (int p = 0; p < kWarmup + kMeasured; ++p) {
+    ORION_CHECK_OK(app.RunPass());
+    if (p >= kWarmup) {
+      total += ModeledSeconds(app.last_metrics(), workers);
+    }
+  }
+  return total / kMeasured;
+}
+
+int Main() {
+  PrintHeader("Fig 9a",
+              "Modeled seconds/iteration: serial vs Orion with 1..16 workers "
+              "(SGD MF on netflix-like, LDA on nytimes-like)");
+
+  const auto ratings_cfg = NetflixLike();
+  const auto data = GenerateRatings(ratings_cfg);
+  const auto corpus_cfg = NyTimesLike();
+  const auto corpus = GenerateCorpus(corpus_cfg);
+
+  // Serial baselines (real wall time of one pass).
+  SgdMfConfig mf;
+  mf.rank = 8;
+  SerialSgdMf serial_mf(data, ratings_cfg.rows, ratings_cfg.cols, mf);
+  double serial_mf_s = 0.0;
+  {
+    serial_mf.RunPass();  // warmup
+    Stopwatch sw;
+    for (int p = 0; p < kMeasured; ++p) {
+      serial_mf.RunPass();
+    }
+    serial_mf_s = sw.ElapsedSeconds() / kMeasured;
+  }
+  LdaConfig lda;
+  lda.num_topics = 20;
+  SerialLda serial_lda(corpus, corpus_cfg.num_docs, corpus_cfg.vocab, lda);
+  double serial_lda_s = 0.0;
+  {
+    serial_lda.RunPass();
+    Stopwatch sw;
+    for (int p = 0; p < kMeasured; ++p) {
+      serial_lda.RunPass();
+    }
+    serial_lda_s = sw.ElapsedSeconds() / kMeasured;
+  }
+
+  std::printf("app,workers,sec_per_iter,speedup_vs_serial\n");
+  std::printf("sgd_mf,serial,%.4f,1.00\n", serial_mf_s);
+  std::printf("lda,serial,%.4f,1.00\n", serial_lda_s);
+
+  double mf_4w = 0.0;
+  double mf_max_speedup = 0.0;
+  double lda_4w = 0.0;
+  for (int workers : {1, 2, 4, 8, 16}) {
+    const double mf_s = OrionMfSecondsPerIter(data, ratings_cfg.rows, ratings_cfg.cols, workers);
+    std::printf("sgd_mf,%d,%.4f,%.2f\n", workers, mf_s, serial_mf_s / mf_s);
+    if (workers == 4) {
+      mf_4w = mf_s;
+    }
+    mf_max_speedup = std::max(mf_max_speedup, serial_mf_s / mf_s);
+    const double lda_s =
+        OrionLdaSecondsPerIter(corpus, corpus_cfg.num_docs, corpus_cfg.vocab, workers);
+    std::printf("lda,%d,%.4f,%.2f\n", workers, lda_s, serial_lda_s / lda_s);
+    if (workers == 4) {
+      lda_4w = lda_s;
+    }
+  }
+
+  // Substitution note: the paper's serial baseline is the serial *Julia*
+  // program, which carries the same abstraction overhead Orion does; our
+  // serial baseline is a tight C++ loop, so the crossover shifts from 2
+  // workers to a few workers.
+  PrintShape("Orion overtakes the (tight C++) serial baseline by 4 workers (MF and LDA)",
+             mf_4w < serial_mf_s && lda_4w < serial_lda_s);
+  PrintShape("speedup keeps growing with workers (MF reaches >= 2.5x by 16 workers)",
+             mf_max_speedup >= 2.5);
+  return 0;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

@@ -1,0 +1,90 @@
+// Fig. 9b: SGD MF on the netflix-like dataset — training loss per iteration
+// for serial execution, data parallelism (Bösen-style), and Orion's
+// dependence-aware parallelization with ordered and unordered 2D schedules.
+//
+// Paper shape: both dependence-aware variants track the serial curve;
+// data parallelism needs many more passes for the same loss; ordering makes
+// a negligible difference to convergence.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/sgd_mf.h"
+#include "src/baselines/bosen_ps.h"
+
+namespace orion {
+namespace {
+
+constexpr int kPasses = 12;
+constexpr int kWorkers = 4;
+constexpr int kRank = 8;
+
+std::vector<f64> RunOrion(const std::vector<RatingEntry>& data, i64 rows, i64 cols,
+                          bool ordered) {
+  DriverConfig cfg;
+  cfg.num_workers = kWorkers;
+  Driver driver(cfg);
+  SgdMfConfig mf;
+  mf.rank = kRank;
+  mf.loop_options.ordered = ordered;
+  SgdMfApp app(&driver, mf);
+  ORION_CHECK_OK(app.Init(data, rows, cols));
+  std::vector<f64> losses;
+  for (int p = 0; p < kPasses; ++p) {
+    ORION_CHECK_OK(app.RunPass());
+    losses.push_back(*app.EvalLoss());
+  }
+  return losses;
+}
+
+int Main() {
+  PrintHeader("Fig 9b",
+              "SGD MF convergence per iteration (netflix-like): serial vs data "
+              "parallelism vs dependence-aware (ordered & unordered)");
+  const auto dcfg = NetflixLike();
+  const auto data = GenerateRatings(dcfg);
+
+  SgdMfConfig mf;
+  mf.rank = kRank;
+  SerialSgdMf serial(data, dcfg.rows, dcfg.cols, mf);
+  BosenConfig bc;
+  bc.num_workers = kWorkers;
+  // Data parallelism needs a small step to stay stable when colliding
+  // updates sum at each BSP sync (high-degree power-law rows).
+  bc.step_size = 0.0002f;
+  BosenMf bosen(data, dcfg.rows, dcfg.cols, kRank, bc);
+
+  std::vector<f64> serial_losses;
+  std::vector<f64> bosen_losses;
+  for (int p = 0; p < kPasses; ++p) {
+    serial.RunPass();
+    serial_losses.push_back(serial.EvalLoss());
+    bosen.RunPass();
+    bosen_losses.push_back(bosen.EvalLoss());
+  }
+  const auto unordered = RunOrion(data, dcfg.rows, dcfg.cols, /*ordered=*/false);
+  const auto ordered = RunOrion(data, dcfg.rows, dcfg.cols, /*ordered=*/true);
+
+  std::printf("iter,serial,data_parallel,orion_unordered,orion_ordered\n");
+  for (int p = 0; p < kPasses; ++p) {
+    std::printf("%d,%.1f,%.1f,%.1f,%.1f\n", p + 1, serial_losses[static_cast<size_t>(p)],
+                bosen_losses[static_cast<size_t>(p)], unordered[static_cast<size_t>(p)],
+                ordered[static_cast<size_t>(p)]);
+  }
+
+  const f64 s = serial_losses.back();
+  PrintShape("dep-aware (unordered) matches serial convergence (within 2x of final loss)",
+             unordered.back() < 2.0 * s);
+  PrintShape("dep-aware (ordered) matches serial convergence (within 2x of final loss)",
+             ordered.back() < 2.0 * s);
+  PrintShape("data parallelism converges substantially slower than dep-aware",
+             bosen_losses.back() > 2.0 * unordered.back());
+  PrintShape("loop ordering makes little convergence difference (within 1.5x of each other)",
+             ordered.back() < 1.5 * unordered.back() && unordered.back() < 1.5 * ordered.back());
+  return 0;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

@@ -1,0 +1,84 @@
+// Fig. 9c: LDA on the nytimes-like corpus — per-token log-likelihood per
+// iteration for serial Gibbs, data-parallel Gibbs (Bösen-style), and Orion's
+// 2D parallelization (ordered & unordered).
+//
+// Paper shape: dependence-aware parallel Gibbs tracks serial; data
+// parallelism lags; ordering is immaterial.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/lda.h"
+#include "src/baselines/bosen_ps.h"
+
+namespace orion {
+namespace {
+
+constexpr int kPasses = 15;
+constexpr int kWorkers = 4;
+constexpr int kTopics = 20;
+
+std::vector<f64> RunOrion(const std::vector<TokenEntry>& corpus, i64 docs, i64 vocab,
+                          bool ordered) {
+  DriverConfig cfg;
+  cfg.num_workers = kWorkers;
+  Driver driver(cfg);
+  LdaConfig lda;
+  lda.num_topics = kTopics;
+  lda.loop_options.ordered = ordered;
+  LdaApp app(&driver, lda);
+  ORION_CHECK_OK(app.Init(corpus, docs, vocab));
+  std::vector<f64> lls;
+  for (int p = 0; p < kPasses; ++p) {
+    ORION_CHECK_OK(app.RunPass());
+    lls.push_back(*app.EvalLogLikelihood());
+  }
+  return lls;
+}
+
+int Main() {
+  PrintHeader("Fig 9c",
+              "LDA convergence per iteration (nytimes-like): serial vs data "
+              "parallelism vs dependence-aware (ordered & unordered)");
+  const auto ccfg = NyTimesLike();
+  const auto corpus = GenerateCorpus(ccfg);
+
+  LdaConfig lda;
+  lda.num_topics = kTopics;
+  SerialLda serial(corpus, ccfg.num_docs, ccfg.vocab, lda);
+  BosenConfig bc;
+  bc.num_workers = kWorkers;
+  BosenLda bosen(corpus, ccfg.num_docs, ccfg.vocab, kTopics, bc);
+
+  std::vector<f64> serial_lls;
+  std::vector<f64> bosen_lls;
+  for (int p = 0; p < kPasses; ++p) {
+    serial.RunPass();
+    serial_lls.push_back(serial.EvalLogLikelihood());
+    bosen.RunPass();
+    bosen_lls.push_back(bosen.EvalLogLikelihood());
+  }
+  const auto unordered = RunOrion(corpus, ccfg.num_docs, ccfg.vocab, /*ordered=*/false);
+  const auto ordered = RunOrion(corpus, ccfg.num_docs, ccfg.vocab, /*ordered=*/true);
+
+  std::printf("iter,serial,data_parallel,orion_unordered,orion_ordered\n");
+  for (int p = 0; p < kPasses; ++p) {
+    std::printf("%d,%.4f,%.4f,%.4f,%.4f\n", p + 1, serial_lls[static_cast<size_t>(p)],
+                bosen_lls[static_cast<size_t>(p)], unordered[static_cast<size_t>(p)],
+                ordered[static_cast<size_t>(p)]);
+  }
+
+  const f64 s = serial_lls.back();
+  PrintShape("dep-aware (unordered) ends within 0.2 nats of serial", unordered.back() > s - 0.2);
+  PrintShape("dep-aware (ordered) ends within 0.2 nats of serial", ordered.back() > s - 0.2);
+  PrintShape("dep-aware beats data-parallel Gibbs per iteration",
+             unordered.back() >= bosen_lls.back() - 0.02);
+  PrintShape("loop ordering makes little convergence difference (within 0.15 nats)",
+             ordered.back() > unordered.back() - 0.15 && unordered.back() > ordered.back() - 0.15);
+  return 0;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

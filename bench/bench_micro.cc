@@ -1,0 +1,123 @@
+// Library micro-benchmarks (google-benchmark): the static-analysis path
+// (subscript classification, dependence vectors, planning), storage
+// primitives, and schedule math. These quantify the "compilation" cost the
+// paper amortizes by compiling each loop once (Sec. 4.1).
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/dependence.h"
+#include "src/analysis/plan.h"
+#include "src/analysis/unimodular.h"
+#include "src/common/rng.h"
+#include "src/dsm/cell_store.h"
+#include "src/ir/expr.h"
+#include "src/sched/schedule.h"
+
+namespace orion {
+namespace {
+
+LoopSpec MfSpec() {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {10000, 8000};
+  spec.AddAccess(1, "W", {Expr::LoopIndex(0)}, false);
+  spec.AddAccess(2, "H", {Expr::LoopIndex(1)}, false);
+  spec.AddAccess(1, "W", {Expr::LoopIndex(0)}, true);
+  spec.AddAccess(2, "H", {Expr::LoopIndex(1)}, true);
+  return spec;
+}
+
+void BM_ClassifySubscript(benchmark::State& state) {
+  auto e = Expr::Add(Expr::LoopIndex(1), Expr::Const(3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClassifySubscript(e));
+  }
+}
+BENCHMARK(BM_ClassifySubscript);
+
+void BM_ComputeDependenceVectors(benchmark::State& state) {
+  const LoopSpec spec = MfSpec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeDependenceVectors(spec));
+  }
+}
+BENCHMARK(BM_ComputeDependenceVectors);
+
+void BM_PlanLoop(benchmark::State& state) {
+  const LoopSpec spec = MfSpec();
+  std::map<DistArrayId, ArrayStats> stats;
+  stats[1] = ArrayStats{10000, 8};
+  stats[2] = ArrayStats{8000, 8};
+  PlannerOptions options;
+  options.num_workers = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlanLoop(spec, stats, options));
+  }
+}
+BENCHMARK(BM_PlanLoop);
+
+void BM_UnimodularSearch(benchmark::State& state) {
+  std::vector<DepVec> deps;
+  DepVec d1(2);
+  d1[0] = DepEntry::Value(0);
+  d1[1] = DepEntry::Value(1);
+  DepVec d2(2);
+  d2[0] = DepEntry::Value(1);
+  d2[1] = DepEntry::Value(0);
+  deps.push_back(d1);
+  deps.push_back(d2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FindOuterCarryingTransform(deps));
+  }
+}
+BENCHMARK(BM_UnimodularSearch);
+
+void BM_CellStoreHashedGet(benchmark::State& state) {
+  CellStore store(8, CellStore::Layout::kHashed, 0);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    store.GetOrCreate(static_cast<i64>(rng.NextBounded(1 << 20)));
+  }
+  Rng probe(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get(static_cast<i64>(probe.NextBounded(1 << 20))));
+  }
+}
+BENCHMARK(BM_CellStoreHashedGet);
+
+void BM_CellStoreDenseRangeGet(benchmark::State& state) {
+  CellStore store = CellStore::DenseRange(8, 1000, 101000);
+  Rng probe(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get(1000 + static_cast<i64>(probe.NextBounded(100000))));
+  }
+}
+BENCHMARK(BM_CellStoreDenseRangeGet);
+
+void BM_CellStoreSerializeRoundtrip(benchmark::State& state) {
+  CellStore store = CellStore::DenseRange(8, 0, 9999);
+  for (auto _ : state) {
+    ByteWriter w;
+    store.Serialize(&w);
+    auto bytes = w.Take();
+    ByteReader r(bytes);
+    benchmark::DoNotOptimize(CellStore::Deserialize(&r));
+  }
+}
+BENCHMARK(BM_CellStoreSerializeRoundtrip);
+
+void BM_RotationScheduleMath(benchmark::State& state) {
+  RotationSchedule sched{16, 2};
+  int step = 0;
+  for (auto _ : state) {
+    step = (step + 1) % sched.num_steps();
+    for (int w = 0; w < sched.num_workers; ++w) {
+      benchmark::DoNotOptimize(sched.TimePartAt(w, step));
+    }
+  }
+}
+BENCHMARK(BM_RotationScheduleMath);
+
+}  // namespace
+}  // namespace orion
+
+BENCHMARK_MAIN();

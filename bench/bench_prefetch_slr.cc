@@ -1,0 +1,68 @@
+// Sec. 6.3 "Bulk Prefetching": SLR on kdd-like sparse features.
+//
+// Three ways to serve server-hosted weight reads:
+//   per-key  — one request/reply round trip per weight (naive remote random
+//              access; the paper's 7682 s/pass data point),
+//   bulk     — Orion's synthesized access-recording pass batches all keys
+//              into one request per array per sync round (9.2 s),
+//   cached   — the recorded key lists are reused across passes (6.3 s).
+//
+// Paper shape: per-key is orders of magnitude slower; caching the prefetch
+// indices shaves the recording pass off bulk prefetching.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/slr.h"
+
+namespace orion {
+namespace {
+
+constexpr int kWorkers = 4;
+
+double MeasurePass(const std::vector<SparseSample>& data, i64 features, PrefetchMode mode,
+                   int passes) {
+  DriverConfig cfg;
+  cfg.num_workers = kWorkers;
+  Driver driver(cfg);
+  SlrConfig slr;
+  slr.loop_options.prefetch = mode;
+  SlrApp app(&driver, slr);
+  ORION_CHECK_OK(app.Init(data, features));
+  double total = 0.0;
+  for (int p = 0; p < passes; ++p) {
+    ORION_CHECK_OK(app.RunPass());
+    if (p > 0 || passes == 1) {  // cached mode: skip the recording pass
+      total += ModeledSeconds(app.last_metrics(), kWorkers);
+    }
+  }
+  return passes == 1 ? total : total / (passes - 1);
+}
+
+int Main() {
+  PrintHeader("Sec 6.3 bulk prefetching",
+              "SLR (kdd-like): modeled seconds/pass — per-key requests vs "
+              "synthesized bulk prefetch vs cached prefetch indices");
+  const auto dcfg = KddLike();
+  const auto data = GenerateSparseLr(dcfg);
+
+  const double per_key = MeasurePass(data, dcfg.num_features, PrefetchMode::kPerKey, 1);
+  const double bulk = MeasurePass(data, dcfg.num_features, PrefetchMode::kBulk, 3);
+  const double cached = MeasurePass(data, dcfg.num_features, PrefetchMode::kCached, 3);
+
+  std::printf("mode,sec_per_pass\n");
+  std::printf("per_key,%.3f\n", per_key);
+  std::printf("bulk_prefetch,%.3f\n", bulk);
+  std::printf("cached_prefetch,%.3f\n", cached);
+  std::printf("speedup per_key->bulk: %.0fx, bulk->cached: %.2fx\n", per_key / bulk,
+              bulk / cached);
+
+  PrintShape("per-key remote access is orders of magnitude slower than bulk (>50x)",
+             per_key > 50.0 * bulk);
+  PrintShape("caching prefetch indices further reduces the pass time", cached < bulk);
+  return 0;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

@@ -1,0 +1,104 @@
+// Shared helpers for the experiment-reproduction benchmarks.
+//
+// Methodology note (single-host simulation): logical workers are threads
+// that timeshare this machine's cores, so raw wall-clock does not show
+// scaling. Throughput numbers therefore report the *modeled cluster time*
+// of a pass: the slowest worker's compute time (the critical path; each
+// worker's compute is measured directly) plus a network term derived from
+// the actual bytes/messages the pass moved through the fabric, using the
+// paper's 40Gbps-Ethernet-class link model. Convergence-per-iteration
+// results are exact (they do not depend on timing at all).
+#ifndef ORION_BENCH_BENCH_UTIL_H_
+#define ORION_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/apps/datagen.h"
+#include "src/runtime/metrics.h"
+
+namespace orion {
+
+struct LinkModel {
+  double bandwidth_bps = 40e9;   // 40Gbps Ethernet (paper cluster)
+  double latency_s = 20e-6;      // per-message
+  double cpu_per_byte = 1.5e-9;  // marshalling cost on the critical path
+};
+
+// Communication is pipelined across workers: each worker's link carries
+// roughly bytes/num_workers and sends msgs/num_workers messages, overlapped
+// with other workers' compute, so the critical path charges the per-worker
+// share.
+inline double ModeledSeconds(double compute_max, u64 bytes, u64 msgs, int num_workers,
+                             const LinkModel& m = LinkModel()) {
+  const double per_worker_bytes = static_cast<double>(bytes) / num_workers;
+  const double per_worker_msgs = static_cast<double>(msgs) / num_workers;
+  return compute_max + per_worker_bytes * 8.0 / m.bandwidth_bps +
+         per_worker_msgs * m.latency_s + per_worker_bytes * m.cpu_per_byte;
+}
+
+inline double ModeledSeconds(const LoopMetrics& metrics, int num_workers,
+                             const LinkModel& m = LinkModel()) {
+  return ModeledSeconds(metrics.max_worker_compute_seconds, metrics.bytes_sent,
+                        metrics.messages_sent, num_workers, m);
+}
+
+// ---- Standard synthetic datasets (scaled-down stand-ins for the paper's) --
+
+// Netflix-like: power-law sparse ratings with planted low-rank structure.
+inline RatingsConfig NetflixLike() {
+  RatingsConfig d;
+  d.rows = 3000;
+  d.cols = 2000;
+  d.nnz = 300000;
+  d.true_rank = 8;
+  d.zipf_alpha = 0.6;
+  d.seed = 42;
+  return d;
+}
+
+// NYTimes-like: medium corpus with planted topics.
+inline CorpusConfig NyTimesLike() {
+  CorpusConfig c;
+  c.num_docs = 2000;
+  c.vocab = 2500;
+  c.true_topics = 20;
+  c.doc_length = 60;
+  c.seed = 43;
+  return c;
+}
+
+// ClueWeb-like: larger corpus (scaled).
+inline CorpusConfig ClueWebLike() {
+  CorpusConfig c;
+  c.num_docs = 6000;
+  c.vocab = 4000;
+  c.true_topics = 20;
+  c.doc_length = 60;
+  c.seed = 46;
+  return c;
+}
+
+// KDD-like sparse LR features.
+inline SparseLrConfig KddLike() {
+  SparseLrConfig d;
+  d.num_samples = 20000;
+  d.num_features = 50000;
+  d.nnz_per_sample = 30;
+  d.seed = 44;
+  return d;
+}
+
+// ---- Output helpers ----
+
+inline void PrintHeader(const std::string& experiment, const std::string& description) {
+  std::printf("==== %s ====\n%s\n", experiment.c_str(), description.c_str());
+}
+
+inline void PrintShape(const std::string& expected, bool holds) {
+  std::printf("PAPER-SHAPE [%s]: %s\n", holds ? "OK" : "MISS", expected.c_str());
+}
+
+}  // namespace orion
+
+#endif  // ORION_BENCH_BENCH_UTIL_H_

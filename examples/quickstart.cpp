@@ -1,0 +1,93 @@
+// Quickstart: parallelize a serial SGD matrix-factorization loop with Orion.
+//
+// The serial algorithm (paper Alg. 1) is:
+//
+//   for each rating Z[i][j]:
+//     W[i] -= step * dL/dW;  H[j] -= step * dL/dH
+//
+// With Orion you (1) put the data and parameters in DistArrays, (2) declare
+// the loop body's accesses — W[i] and H[j] — and (3) hand the runtime a
+// kernel. Static dependence analysis discovers that iterations touching
+// different rows AND different columns are independent and derives the
+// stratified 2D "rotation" schedule automatically.
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "src/runtime/driver.h"
+
+using namespace orion;  // examples only; library code spells orion:: out
+
+int main() {
+  const i64 kRows = 200;
+  const i64 kCols = 160;
+  const int kRank = 8;
+
+  Driver driver({.num_workers = 4});
+
+  // -- 1. DistArrays: sparse ratings, dense factor matrices. --------------
+  auto ratings = driver.CreateDistArray("ratings", {kRows, kCols}, 1, Density::kSparse);
+  auto w = driver.CreateDistArray("W", {kRows}, kRank, Density::kDense);
+  auto h = driver.CreateDistArray("H", {kCols}, kRank, Density::kDense);
+
+  {
+    // A little planted low-rank dataset.
+    Rng rng(7);
+    CellStore& cells = driver.MutableCells(ratings);
+    for (int n = 0; n < 4000; ++n) {
+      const i64 i = rng.NextIndex(kRows);
+      const i64 j = rng.NextIndex(kCols);
+      *cells.GetOrCreate(i * kCols + j) =
+          3.0f + static_cast<f32>(rng.NextGaussian()) * 0.5f;
+    }
+  }
+  driver.FillRandomNormal(w, 0.1f, 1);
+  driver.FillRandomNormal(h, 0.1f, 2);
+
+  // -- 2. Declare the loop: iteration space + accesses. --------------------
+  LoopSpec spec;
+  spec.iter_space = ratings;
+  spec.iter_extents = {kRows, kCols};
+  spec.AddAccess(w, "W", {Expr::LoopIndex(0)}, /*is_write=*/false);
+  spec.AddAccess(h, "H", {Expr::LoopIndex(1)}, /*is_write=*/false);
+  spec.AddAccess(w, "W", {Expr::LoopIndex(0)}, /*is_write=*/true);
+  spec.AddAccess(h, "H", {Expr::LoopIndex(1)}, /*is_write=*/true);
+
+  // -- 3. The kernel: the loop body, written against LoopContext. ----------
+  int loss_acc = driver.CreateAccumulator();
+  const f32 step = 0.03f;
+  LoopKernel kernel = [&](LoopContext& ctx, IdxSpan idx, const f32* value) {
+    const i64 ki[1] = {idx[0]};
+    const i64 kj[1] = {idx[1]};
+    f32* wr = ctx.Mutate(w, ki);
+    f32* hr = ctx.Mutate(h, kj);
+    f32 pred = 0.0f;
+    for (int k = 0; k < kRank; ++k) {
+      pred += wr[k] * hr[k];
+    }
+    const f32 diff = value[0] - pred;
+    ctx.AccumulatorAdd(loss_acc, static_cast<f64>(diff) * diff);
+    for (int k = 0; k < kRank; ++k) {
+      const f32 wk = wr[k];
+      wr[k] += step * 2.0f * diff * hr[k];
+      hr[k] += step * 2.0f * diff * wk;
+    }
+  };
+
+  // -- Compile once (dependence analysis + plan + scatter), run many. ------
+  auto loop = driver.Compile(spec, kernel);
+  if (!loop.ok()) {
+    std::printf("cannot parallelize: %s\n", loop.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan: %s\n\n", driver.PlanOf(*loop).ToString().c_str());
+
+  for (int pass = 1; pass <= 10; ++pass) {
+    driver.ResetAccumulator(loss_acc);
+    ORION_CHECK_OK(driver.Execute(*loop));
+    std::printf("pass %2d  training loss (pre-update) = %10.2f\n", pass,
+                driver.AccumulatorValue(loss_acc));
+  }
+  std::printf("\ndone: the loss should have dropped by well over 10x.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Sparse logistic regression: data-dependent weight accesses force data
+// parallelism — reads come from server-hosted weights via Orion's
+// synthesized bulk prefetching, writes go through a DistArray Buffer.
+// The example trains with each prefetch mode and reports the (modeled)
+// communication cost difference (paper Sec. 6.3).
+//
+// Run: ./sparse_logreg
+#include <cstdio>
+
+#include "src/apps/slr.h"
+
+using namespace orion;
+
+int main() {
+  SparseLrConfig data_cfg;
+  data_cfg.num_samples = 5000;
+  data_cfg.num_features = 20000;
+  data_cfg.nnz_per_sample = 20;
+  const auto data = GenerateSparseLr(data_cfg);
+  std::printf("dataset: %lld samples, %lld features, %d nnz/sample\n\n",
+              static_cast<long long>(data_cfg.num_samples),
+              static_cast<long long>(data_cfg.num_features), data_cfg.nnz_per_sample);
+
+  struct ModeInfo {
+    PrefetchMode mode;
+    const char* name;
+  };
+  for (const auto& [mode, name] : {ModeInfo{PrefetchMode::kBulk, "bulk prefetch"},
+                                   ModeInfo{PrefetchMode::kCached, "cached prefetch"}}) {
+    Driver driver({.num_workers = 4});
+    SlrConfig slr;
+    slr.loop_options.prefetch = mode;
+    SlrApp app(&driver, slr);
+    ORION_CHECK_OK(app.Init(data, data_cfg.num_features));
+    std::printf("[%s] plan: %s\n", name, app.train_plan().ToString().c_str());
+    for (int pass = 1; pass <= 6; ++pass) {
+      ORION_CHECK_OK(app.RunPass());
+      std::printf("[%s] pass %d  log-loss = %.4f  (%.1f KB moved, %llu msgs)\n", name, pass,
+                  app.LastPassLogLoss(),
+                  static_cast<double>(app.last_metrics().bytes_sent) / 1024.0,
+                  static_cast<unsigned long long>(app.last_metrics().messages_sent));
+    }
+    std::printf("\n");
+  }
+  std::printf("note: cached mode skips the synthesized recording pass after the first\n"
+              "pass, so its compute per pass is lower; per-key mode (see\n"
+              "bench_prefetch_slr) is orders of magnitude slower.\n");
+  return 0;
+}

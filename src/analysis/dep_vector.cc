@@ -1,0 +1,111 @@
+#include "src/analysis/dep_vector.h"
+
+#include <algorithm>
+
+#include <sstream>
+
+namespace orion {
+
+std::string DepEntry::ToString() const {
+  switch (kind) {
+    case Kind::kValue:
+      return std::to_string(value);
+    case Kind::kAny:
+      return "inf";
+    case Kind::kPosInf:
+      return "+inf";
+    case Kind::kNegInf:
+      return "-inf";
+  }
+  return "?";
+}
+
+bool DepVec::CorrectLexPositive() {
+  for (auto& e : entries_) {
+    switch (e.kind) {
+      case DepEntry::Kind::kValue:
+        if (e.value == 0) {
+          continue;  // keep scanning
+        }
+        if (e.value < 0) {
+          *this = Negated();
+        }
+        return true;
+      case DepEntry::Kind::kAny:
+        e = DepEntry::PosInf();
+        return true;
+      case DepEntry::Kind::kPosInf:
+        return true;
+      case DepEntry::Kind::kNegInf:
+        *this = Negated();
+        return true;
+    }
+  }
+  return false;  // all zero
+}
+
+std::vector<DepVec> CanonicalRepresentatives(const DepVec& raw) {
+  std::vector<DepVec> out;
+  // Scan for the first significant entry.
+  for (int i = 0; i < raw.size(); ++i) {
+    const DepEntry& e = raw[i];
+    if (e.IsZero()) {
+      continue;
+    }
+    switch (e.kind) {
+      case DepEntry::Kind::kValue: {
+        DepVec v = raw;
+        if (e.value < 0) {
+          v = v.Negated();
+        }
+        out.push_back(std::move(v));
+        return out;
+      }
+      case DepEntry::Kind::kPosInf: {
+        out.push_back(raw);
+        return out;
+      }
+      case DepEntry::Kind::kNegInf: {
+        out.push_back(raw.Negated());
+        return out;
+      }
+      case DepEntry::Kind::kAny: {
+        // Positive-leading representative...
+        DepVec pos = raw;
+        pos[i] = DepEntry::PosInf();
+        out.push_back(pos);
+        // ...its mirror (the raw negative-leading direction)...
+        DepVec neg = raw.Negated();
+        neg[i] = DepEntry::PosInf();
+        if (!(neg == pos)) {
+          out.push_back(std::move(neg));
+        }
+        // ...and the zero-leading case, recursively.
+        DepVec zero = raw;
+        zero[i] = DepEntry::Value(0);
+        for (auto& rep : CanonicalRepresentatives(zero)) {
+          if (std::find(out.begin(), out.end(), rep) == out.end()) {
+            out.push_back(std::move(rep));
+          }
+        }
+        return out;
+      }
+    }
+  }
+  return out;  // all-zero: not loop-carried
+}
+
+std::string DepVec::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << entries_[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace orion

@@ -1,0 +1,109 @@
+// Dependence vectors (paper Sec. 4.2).
+//
+// A dependence vector d for an n-deep loop nest states that iteration
+// p' = p + d depends on iteration p. Entries are either a concrete integer
+// distance or an infinity: kAny (any integer), kPosInf (any positive),
+// kNegInf (any negative). Vectors in a dependence set are kept
+// lexicographically positive; CorrectLexPositive() canonicalizes.
+#ifndef ORION_SRC_ANALYSIS_DEP_VECTOR_H_
+#define ORION_SRC_ANALYSIS_DEP_VECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+struct DepEntry {
+  enum class Kind : u8 { kValue, kAny, kPosInf, kNegInf };
+
+  Kind kind = Kind::kAny;
+  i64 value = 0;  // meaningful when kind == kValue
+
+  static DepEntry Value(i64 v) { return {Kind::kValue, v}; }
+  static DepEntry Any() { return {Kind::kAny, 0}; }
+  static DepEntry PosInf() { return {Kind::kPosInf, 0}; }
+  static DepEntry NegInf() { return {Kind::kNegInf, 0}; }
+
+  bool IsZero() const { return kind == Kind::kValue && value == 0; }
+  bool IsFiniteOrPosInf() const { return kind == Kind::kValue || kind == Kind::kPosInf; }
+
+  DepEntry Negated() const {
+    switch (kind) {
+      case Kind::kValue:
+        return Value(-value);
+      case Kind::kAny:
+        return Any();
+      case Kind::kPosInf:
+        return NegInf();
+      case Kind::kNegInf:
+        return PosInf();
+    }
+    return Any();
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const DepEntry& a, const DepEntry& b) {
+    return a.kind == b.kind && (a.kind != Kind::kValue || a.value == b.value);
+  }
+};
+
+class DepVec {
+ public:
+  DepVec() = default;
+  explicit DepVec(int n) : entries_(static_cast<size_t>(n), DepEntry::Any()) {}
+  explicit DepVec(std::vector<DepEntry> entries) : entries_(std::move(entries)) {}
+
+  int size() const { return static_cast<int>(entries_.size()); }
+  const DepEntry& operator[](int i) const { return entries_[static_cast<size_t>(i)]; }
+  DepEntry& operator[](int i) { return entries_[static_cast<size_t>(i)]; }
+  const std::vector<DepEntry>& entries() const { return entries_; }
+
+  bool AllZero() const {
+    for (const auto& e : entries_) {
+      if (!e.IsZero()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  DepVec Negated() const {
+    std::vector<DepEntry> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_) {
+      out.push_back(e.Negated());
+    }
+    return DepVec(std::move(out));
+  }
+
+  // Canonicalizes to a lexicographically positive representative:
+  //  - leading zeros are kept,
+  //  - a negative first-significant entry flips the whole vector,
+  //  - a kAny first-significant entry becomes kPosInf (both directions of
+  //    the raw dependence collapse onto the positive representative).
+  // Returns false if the vector is all-zero (not loop-carried; drop it).
+  bool CorrectLexPositive();
+
+  std::string ToString() const;
+
+  friend bool operator==(const DepVec& a, const DepVec& b) { return a.entries_ == b.entries_; }
+
+ private:
+  std::vector<DepEntry> entries_;
+};
+
+// Decomposes a *raw* dependence vector (entries are values or kAny, both
+// directions implied) into the complete set of lexicographically positive
+// representatives. A leading kAny covers three cases — positive, zero, and
+// negative leading distance — so it expands to (kPosInf, rest...),
+// (kPosInf, -rest...) and, recursively, the representatives of
+// (0, rest...). All-zero (intra-iteration) vectors produce nothing.
+std::vector<DepVec> CanonicalRepresentatives(const DepVec& raw);
+
+}  // namespace orion
+
+#endif  // ORION_SRC_ANALYSIS_DEP_VECTOR_H_

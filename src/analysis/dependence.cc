@@ -1,0 +1,100 @@
+#include "src/analysis/dependence.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/status.h"
+
+namespace orion {
+
+bool DependenceForPair(const ArrayAccess& ref_a, const ArrayAccess& ref_b, int iter_dims,
+                       bool unordered_loop, DepVec* out) {
+  ORION_CHECK(ref_a.array == ref_b.array);
+  ORION_CHECK(ref_a.subscripts.size() == ref_b.subscripts.size())
+      << "mismatched arity on array" << ref_a.array_name;
+
+  // Buffered writes are exempt from dependence analysis.
+  const bool a_writes = ref_a.is_write && !ref_a.buffered;
+  const bool b_writes = ref_b.is_write && !ref_b.buffered;
+
+  // Skip if both references are reads...
+  if (!a_writes && !b_writes) {
+    return false;
+  }
+  // ...or if the loop is unordered and both references are writes.
+  if (unordered_loop && a_writes && b_writes) {
+    return false;
+  }
+
+  DepVec dvec(iter_dims);  // initialized to all-infinity (kAny)
+  for (size_t dim = 0; dim < ref_a.subscripts.size(); ++dim) {
+    const Subscript& sub_a = ref_a.subscripts[dim];
+    const Subscript& sub_b = ref_b.subscripts[dim];
+
+    if (sub_a.kind == SubscriptKind::kLoopIndex && sub_b.kind == SubscriptKind::kLoopIndex) {
+      if (sub_a.loop_dim == sub_b.loop_dim) {
+        const i64 dist = sub_a.constant - sub_b.constant;
+        DepEntry& slot = dvec[sub_a.loop_dim];
+        if (slot.kind == DepEntry::Kind::kValue && slot.value != dist) {
+          // Two positions demand contradictory distances on the same loop
+          // index: the references can never touch the same cell.
+          return false;
+        }
+        slot = DepEntry::Value(dist);
+      }
+      // Different loop index variables at the same position: any pair of
+      // coordinate values could coincide; no refinement possible.
+      continue;
+    }
+
+    if (sub_a.kind == SubscriptKind::kConstant && sub_b.kind == SubscriptKind::kConstant) {
+      if (sub_a.constant != sub_b.constant) {
+        // The subscripts will never match: independent.
+        return false;
+      }
+      continue;
+    }
+
+    // Constant vs loop-index: the loop index is pinned to one coordinate
+    // value when they match; this constrains which iterations conflict but
+    // not their distance, so no refinement. Range / runtime subscripts may
+    // take any value: no refinement either.
+  }
+
+  // Drop intra-iteration-only (all-zero) vectors here; directional
+  // canonicalization happens in ComputeDependenceVectors.
+  if (dvec.AllZero()) {
+    return false;
+  }
+  *out = std::move(dvec);
+  return true;
+}
+
+std::vector<DepVec> ComputeDependenceVectors(const LoopSpec& spec) {
+  // Group references by DistArray.
+  std::map<DistArrayId, std::vector<const ArrayAccess*>> by_array;
+  for (const auto& a : spec.accesses) {
+    by_array[a.array].push_back(&a);
+  }
+
+  const bool unordered = !spec.ordered;
+  std::vector<DepVec> dvecs;
+  for (const auto& [array, refs] : by_array) {
+    for (size_t i = 0; i < refs.size(); ++i) {
+      for (size_t j = i; j < refs.size(); ++j) {
+        DepVec raw;
+        if (!DependenceForPair(*refs[i], *refs[j], spec.num_dims(), unordered, &raw)) {
+          continue;
+        }
+        for (auto& d : CanonicalRepresentatives(raw)) {
+          if (std::find(dvecs.begin(), dvecs.end(), d) == dvecs.end()) {
+            dvecs.push_back(std::move(d));
+          }
+        }
+      }
+    }
+  }
+  return dvecs;
+}
+
+}  // namespace orion

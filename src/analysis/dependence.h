@@ -1,0 +1,37 @@
+// Dependence-vector computation: the paper's Algorithm 2.
+//
+// For each DistArray referenced by the loop, every unique pair of references
+// (including a reference paired with itself, since the same static reference
+// executes in many iterations) is tested:
+//   - read/read pairs carry no dependence;
+//   - write/write pairs are skipped when the loop is unordered (different
+//     write orders yield different but equally serializable results);
+//   - buffered writes are exempt (paper Sec. 3.3);
+// and surviving pairs produce at most one dependence vector, refined
+// per-subscript-position from the all-infinity vector, or proven
+// independent when two constant subscripts can never match.
+#ifndef ORION_SRC_ANALYSIS_DEPENDENCE_H_
+#define ORION_SRC_ANALYSIS_DEPENDENCE_H_
+
+#include <vector>
+
+#include "src/analysis/dep_vector.h"
+#include "src/ir/loop_spec.h"
+
+namespace orion {
+
+// Computes the deduplicated set of loop-carried dependence vectors for
+// `spec`. Vectors are lexicographically positive; an all-zero (intra-
+// iteration) dependence is dropped.
+std::vector<DepVec> ComputeDependenceVectors(const LoopSpec& spec);
+
+// Computes the *raw* vector contributed by one pair of references (exposed
+// for unit-testing Alg. 2's inner loop); directions are canonicalized later
+// by CanonicalRepresentatives. Returns true and fills `out` if the pair
+// yields a (possibly loop-carried) dependence.
+bool DependenceForPair(const ArrayAccess& ref_a, const ArrayAccess& ref_b, int iter_dims,
+                       bool unordered_loop, DepVec* out);
+
+}  // namespace orion
+
+#endif  // ORION_SRC_ANALYSIS_DEPENDENCE_H_

@@ -1,0 +1,328 @@
+#include "src/analysis/plan.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "src/analysis/dependence.h"
+#include "src/common/status.h"
+
+namespace orion {
+
+const char* ParallelFormName(ParallelForm f) {
+  switch (f) {
+    case ParallelForm::k1D:
+      return "1D";
+    case ParallelForm::k2D:
+      return "2D";
+    case ParallelForm::k2DUnimodular:
+      return "2D-unimodular";
+    case ParallelForm::kSerial:
+      return "serial";
+  }
+  return "?";
+}
+
+std::vector<int> Find1DCandidates(const std::vector<DepVec>& deps, int num_dims) {
+  std::vector<int> out;
+  for (int d = 0; d < num_dims; ++d) {
+    bool all_zero = true;
+    for (const auto& v : deps) {
+      if (!v[d].IsZero()) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<int, int>> Find2DCandidates(const std::vector<DepVec>& deps, int num_dims) {
+  std::vector<std::pair<int, int>> out;
+  for (int i = 0; i < num_dims; ++i) {
+    for (int j = i + 1; j < num_dims; ++j) {
+      bool ok = true;
+      for (const auto& v : deps) {
+        // Iterations differing in both dims must be independent: every
+        // dependence must be killed by dim i or dim j.
+        if (!v[i].IsZero() && !v[j].IsZero()) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        out.push_back({i, j});
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Set of arrays with at least one unbuffered write.
+std::set<DistArrayId> UnbufferedWriteArrays(const LoopSpec& spec) {
+  std::set<DistArrayId> out;
+  for (const auto& a : spec.accesses) {
+    if (a.is_write && !a.buffered) {
+      out.insert(a.array);
+    }
+  }
+  return out;
+}
+
+std::set<DistArrayId> AccessedArrays(const LoopSpec& spec) {
+  std::set<DistArrayId> out;
+  for (const auto& a : spec.accesses) {
+    out.insert(a.array);
+  }
+  return out;
+}
+
+// Returns the array dimension position q such that *every* access to
+// `array` subscripts position q with exactly loop index `loop_dim`
+// (offset 0, so partition boundaries coincide); -1 if none.
+int AlignedArrayDim(const LoopSpec& spec, DistArrayId array, int loop_dim) {
+  int arity = -1;
+  for (const auto& a : spec.accesses) {
+    if (a.array == array) {
+      arity = static_cast<int>(a.subscripts.size());
+      break;
+    }
+  }
+  for (int q = 0; q < arity; ++q) {
+    bool all = true;
+    for (const auto& a : spec.accesses) {
+      if (a.array != array) {
+        continue;
+      }
+      const Subscript& s = a.subscripts[static_cast<size_t>(q)];
+      if (!(s.kind == SubscriptKind::kLoopIndex && s.loop_dim == loop_dim && s.constant == 0)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return q;
+    }
+  }
+  return -1;
+}
+
+struct Candidate {
+  ParallelForm form;
+  int space_dim;
+  int time_dim;  // -1 for 1D
+  double cost;
+  std::map<DistArrayId, ArrayPlacement> placements;
+  bool legal;
+};
+
+// Arrays with buffered writes (writes routed through a DistArray Buffer).
+std::set<DistArrayId> BufferedWriteArrays(const LoopSpec& spec) {
+  std::set<DistArrayId> out;
+  for (const auto& a : spec.accesses) {
+    if (a.is_write && a.buffered) {
+      out.insert(a.array);
+    }
+  }
+  return out;
+}
+
+Candidate Evaluate(const LoopSpec& spec, const std::map<DistArrayId, ArrayStats>& stats,
+                   int space_dim, int time_dim, const PlannerOptions& options) {
+  Candidate c;
+  c.form = time_dim < 0 ? ParallelForm::k1D : ParallelForm::k2D;
+  c.space_dim = space_dim;
+  c.time_dim = time_dim;
+  c.cost = 0.0;
+  c.legal = true;
+
+  const double n = static_cast<double>(options.num_workers);
+  const auto writers = UnbufferedWriteArrays(spec);
+  const auto buffered = BufferedWriteArrays(spec);
+  for (DistArrayId array : AccessedArrays(spec)) {
+    if (array == spec.iter_space) {
+      continue;  // the iteration space is partitioned by definition
+    }
+    auto it = stats.find(array);
+    ORION_CHECK(it != stats.end()) << "missing ArrayStats for array" << array;
+    const double size = static_cast<double>(it->second.SizeFloats());
+    const bool buf_written = buffered.count(array) > 0;
+
+    ArrayPlacement placement;
+    const int space_q = AlignedArrayDim(spec, array, space_dim);
+    const int time_q = time_dim >= 0 ? AlignedArrayDim(spec, array, time_dim) : -1;
+    if (space_q >= 0) {
+      placement.scheme = PartitionScheme::kRange;
+      placement.array_dim = space_q;
+      // Served locally: no communication.
+    } else if (time_q >= 0) {
+      placement.scheme = PartitionScheme::kSpaceTime;
+      placement.array_dim = time_q;
+      // Every partition visits every worker once per pass.
+      c.cost += size * n;
+    } else if (writers.count(array) == 0 &&
+               it->second.SizeFloats() <= options.replicate_threshold_floats) {
+      // Read-only or buffered-write and small: replicate on every worker.
+      placement.scheme = PartitionScheme::kReplicated;
+      placement.array_dim = -1;
+      // Read-only replicas ship once; buffered-write replicas additionally
+      // flush deltas and receive refreshed snapshots.
+      c.cost += buf_written ? 2.0 * size * n : size;
+    } else {
+      placement.scheme = PartitionScheme::kServer;
+      placement.array_dim = -1;
+      c.cost += buf_written ? 3.0 * size * n : 2.0 * size * n;
+      if (writers.count(array) > 0) {
+        // An unbuffered (dependence-carrying) write must stay local.
+        c.legal = false;
+      }
+    }
+    c.placements[array] = placement;
+  }
+  return c;
+}
+
+}  // namespace
+
+ParallelizationPlan PlanLoop(const LoopSpec& spec,
+                             const std::map<DistArrayId, ArrayStats>& stats,
+                             const PlannerOptions& options) {
+  ParallelizationPlan plan;
+  plan.ordered = spec.ordered;
+  plan.deps = ComputeDependenceVectors(spec);
+  const int n = spec.num_dims();
+
+  std::ostringstream why;
+  why << "deps={";
+  for (size_t i = 0; i < plan.deps.size(); ++i) {
+    why << (i > 0 ? ", " : "") << plan.deps[i].ToString();
+  }
+  why << "}; ";
+
+  auto dim_allowed = [&](int space, int time) {
+    if (options.force_space_dim >= 0 && space != options.force_space_dim) {
+      return false;
+    }
+    if (options.force_time_dim >= 0 && time != options.force_time_dim) {
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<Candidate> candidates;
+  for (int d : Find1DCandidates(plan.deps, n)) {
+    if (dim_allowed(d, -1)) {
+      Candidate c = Evaluate(spec, stats, d, -1, options);
+      if (c.legal) {
+        candidates.push_back(std::move(c));
+      }
+    }
+  }
+  std::vector<Candidate> candidates_2d;
+  for (auto [i, j] : Find2DCandidates(plan.deps, n)) {
+    for (auto [s, t] : {std::pair<int, int>{i, j}, std::pair<int, int>{j, i}}) {
+      if (dim_allowed(s, t)) {
+        Candidate c = Evaluate(spec, stats, s, t, options);
+        if (c.legal) {
+          candidates_2d.push_back(std::move(c));
+        }
+      }
+    }
+  }
+
+  // Candidate choice: minimize estimated communication; a tie goes to 1D
+  // (a 1D schedule needs no cross-worker synchronization during the pass).
+  // `prefer_2d` restricts the pool to 2D candidates (application override).
+  std::vector<Candidate> pool;
+  if (options.prefer_2d && !candidates_2d.empty()) {
+    pool = std::move(candidates_2d);
+  } else {
+    pool = std::move(candidates);
+    pool.insert(pool.end(), candidates_2d.begin(), candidates_2d.end());
+  }
+
+  if (!pool.empty()) {
+    auto best = std::min_element(pool.begin(), pool.end(),
+                                 [](const Candidate& a, const Candidate& b) {
+                                   if (a.cost != b.cost) {
+                                     return a.cost < b.cost;
+                                   }
+                                   const bool a_1d = a.form == ParallelForm::k1D;
+                                   const bool b_1d = b.form == ParallelForm::k1D;
+                                   if (a_1d != b_1d) {
+                                     return a_1d;
+                                   }
+                                   if (a.space_dim != b.space_dim) {
+                                     return a.space_dim < b.space_dim;
+                                   }
+                                   return a.time_dim < b.time_dim;
+                                 });
+    plan.form = best->form;
+    plan.space_dim = best->space_dim;
+    plan.time_dim = best->time_dim;
+    plan.placements = best->placements;
+    plan.est_comm_floats = best->cost;
+    why << ParallelFormName(plan.form) << " over space dim " << plan.space_dim;
+    if (plan.time_dim >= 0) {
+      why << ", time dim " << plan.time_dim;
+    }
+    why << " (est comm " << plan.est_comm_floats << " floats)";
+    plan.explanation = why.str();
+    return plan;
+  }
+
+  // Neither 1D nor 2D: try a unimodular transformation (2-deep nests).
+  if (options.allow_unimodular && n == 2) {
+    auto t = FindOuterCarryingTransform(plan.deps);
+    if (t.has_value()) {
+      plan.form = ParallelForm::k2DUnimodular;
+      plan.transform = *t;
+      plan.time_dim = 0;   // outer transformed dim carries all dependences
+      plan.space_dim = 1;  // inner transformed dim is parallel within a step
+      // Under a transformed schedule, range locality is generally lost:
+      // arrays are server-hosted (reads prefetched, writes flushed per
+      // wavefront step).
+      for (DistArrayId array : AccessedArrays(spec)) {
+        if (array != spec.iter_space) {
+          plan.placements[array] = ArrayPlacement{PartitionScheme::kServer, -1};
+        }
+      }
+      why << "unimodular transform " << t->ToString()
+          << " carries all deps on the outer loop; wavefront over transformed dims";
+      plan.explanation = why.str();
+      return plan;
+    }
+  }
+
+  plan.form = ParallelForm::kSerial;
+  why << "no dependence-preserving parallelization found";
+  if (!UnbufferedWriteArrays(spec).empty()) {
+    why << "; consider routing writes through a DistArray Buffer (data parallelism)";
+  }
+  plan.explanation = why.str();
+  return plan;
+}
+
+std::string ParallelizationPlan::ToString() const {
+  std::ostringstream os;
+  os << ParallelFormName(form) << (ordered ? " ordered" : " unordered");
+  if (space_dim >= 0) {
+    os << " space=" << space_dim;
+  }
+  if (time_dim >= 0) {
+    os << " time=" << time_dim;
+  }
+  if (form == ParallelForm::k2DUnimodular) {
+    os << " T=" << transform.ToString();
+  }
+  os << " | " << explanation;
+  return os.str();
+}
+
+}  // namespace orion

@@ -1,0 +1,96 @@
+// Parallelization planning (paper Sec. 4.3): choose 1D / 2D / unimodular-2D
+// parallelization from the dependence vectors, pick the partitioning
+// dimensions that minimize communication, and assign each referenced
+// DistArray a placement (range-partitioned, rotated, or server-hosted).
+#ifndef ORION_SRC_ANALYSIS_PLAN_H_
+#define ORION_SRC_ANALYSIS_PLAN_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/analysis/dep_vector.h"
+#include "src/analysis/unimodular.h"
+#include "src/dsm/dist_array_meta.h"
+#include "src/ir/loop_spec.h"
+
+namespace orion {
+
+enum class ParallelForm {
+  k1D,            // partition one dimension; no cross-worker deps
+  k2D,            // space x time partitioning
+  k2DUnimodular,  // 2D after a unimodular transformation
+  kSerial,        // not statically parallelizable (suggest buffering)
+};
+
+const char* ParallelFormName(ParallelForm f);
+
+// Where a referenced DistArray lives during the loop.
+struct ArrayPlacement {
+  PartitionScheme scheme = PartitionScheme::kServer;
+  // For kRange / kSpaceTime: the array dimension aligned with the loop's
+  // space / time dimension respectively.
+  int array_dim = -1;
+};
+
+// Size information the cost heuristic needs, supplied by the runtime.
+struct ArrayStats {
+  i64 cells = 0;      // materialized cells
+  i32 value_dim = 1;  // floats per cell
+
+  i64 SizeFloats() const { return cells * value_dim; }
+};
+
+struct ParallelizationPlan {
+  ParallelForm form = ParallelForm::kSerial;
+  bool ordered = false;
+
+  // Iteration-space dimensions (in *transformed* coordinates for
+  // k2DUnimodular; transform is the identity otherwise).
+  int space_dim = -1;
+  int time_dim = -1;
+  Unimodular2x2 transform;
+
+  std::vector<DepVec> deps;
+  std::map<DistArrayId, ArrayPlacement> placements;
+  double est_comm_floats = 0.0;  // heuristic cost of the chosen candidate
+  std::string explanation;
+
+  std::string ToString() const;
+};
+
+struct PlannerOptions {
+  // Prefer a 2D candidate even when a 1D candidate exists (more partitions,
+  // finer synchronization; what the paper uses for LDA).
+  bool prefer_2d = false;
+  // Force partitioning dimensions (application override of the heuristic);
+  // -1 means "let the planner choose".
+  int force_space_dim = -1;
+  int force_time_dim = -1;
+  // Disable the unimodular search.
+  bool allow_unimodular = true;
+  // Number of workers (set by the runtime); scales communication estimates.
+  int num_workers = 1;
+  // Arrays no larger than this (in floats) that are read-only or written
+  // only through buffers may be replicated on every worker instead of
+  // server-hosted (cheaper reads; bounded-staleness buffered writes).
+  i64 replicate_threshold_floats = 1 << 20;
+};
+
+// Plans the loop. `stats` must contain an entry for every accessed array.
+ParallelizationPlan PlanLoop(const LoopSpec& spec,
+                             const std::map<DistArrayId, ArrayStats>& stats,
+                             const PlannerOptions& options = {});
+
+// ---- Exposed for unit tests ----
+
+// Dimensions d where every dependence vector has a zero entry.
+std::vector<int> Find1DCandidates(const std::vector<DepVec>& deps, int num_dims);
+
+// Pairs (i, j), i < j, where every vector has a zero at i or at j.
+std::vector<std::pair<int, int>> Find2DCandidates(const std::vector<DepVec>& deps, int num_dims);
+
+}  // namespace orion
+
+#endif  // ORION_SRC_ANALYSIS_PLAN_H_

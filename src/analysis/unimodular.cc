@@ -1,0 +1,139 @@
+#include "src/analysis/unimodular.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/status.h"
+
+namespace orion {
+
+namespace {
+
+// coeff * entry with infinity-aware semantics.
+DepEntry ScaleEntry(i64 coeff, const DepEntry& e) {
+  if (coeff == 0) {
+    return DepEntry::Value(0);
+  }
+  switch (e.kind) {
+    case DepEntry::Kind::kValue:
+      return DepEntry::Value(coeff * e.value);
+    case DepEntry::Kind::kAny:
+      return DepEntry::Any();
+    case DepEntry::Kind::kPosInf:
+      return coeff > 0 ? DepEntry::PosInf() : DepEntry::NegInf();
+    case DepEntry::Kind::kNegInf:
+      return coeff > 0 ? DepEntry::NegInf() : DepEntry::PosInf();
+  }
+  return DepEntry::Any();
+}
+
+DepEntry AddEntries(const DepEntry& x, const DepEntry& y) {
+  if (x.kind == DepEntry::Kind::kAny || y.kind == DepEntry::Kind::kAny) {
+    return DepEntry::Any();
+  }
+  if (x.kind == DepEntry::Kind::kValue && y.kind == DepEntry::Kind::kValue) {
+    return DepEntry::Value(x.value + y.value);
+  }
+  // At least one infinite, none kAny. kPosInf means "any integer >= 1"
+  // (kNegInf: <= -1), so adding a finite value can cross zero: the sum is
+  // only sign-definite when the finite part does not oppose the sign.
+  const bool has_pos =
+      x.kind == DepEntry::Kind::kPosInf || y.kind == DepEntry::Kind::kPosInf;
+  const bool has_neg =
+      x.kind == DepEntry::Kind::kNegInf || y.kind == DepEntry::Kind::kNegInf;
+  if (has_pos && has_neg) {
+    return DepEntry::Any();
+  }
+  const DepEntry& finite = x.kind == DepEntry::Kind::kValue ? x : y;
+  if (finite.kind == DepEntry::Kind::kValue) {
+    if (has_pos && finite.value < 0) {
+      return DepEntry::Any();  // >= 1 + negative: sign unknown
+    }
+    if (has_neg && finite.value > 0) {
+      return DepEntry::Any();
+    }
+  }
+  return has_pos ? DepEntry::PosInf() : DepEntry::NegInf();
+}
+
+}  // namespace
+
+std::string Unimodular2x2::ToString() const {
+  std::ostringstream os;
+  os << "[[" << a << ", " << b << "], [" << c << ", " << d << "]]";
+  return os.str();
+}
+
+DepVec TransformDepVec(const Unimodular2x2& t, const DepVec& v) {
+  ORION_CHECK(v.size() == 2) << "unimodular transform requires 2-deep loop nests";
+  DepVec out(2);
+  out[0] = AddEntries(ScaleEntry(t.a, v[0]), ScaleEntry(t.b, v[1]));
+  out[1] = AddEntries(ScaleEntry(t.c, v[0]), ScaleEntry(t.d, v[1]));
+  return out;
+}
+
+bool FirstComponentPositive(const DepVec& d) {
+  const DepEntry& e = d[0];
+  return (e.kind == DepEntry::Kind::kValue && e.value > 0) ||
+         e.kind == DepEntry::Kind::kPosInf;
+}
+
+std::optional<Unimodular2x2> FindOuterCarryingTransform(const std::vector<DepVec>& deps) {
+  for (const auto& d : deps) {
+    if (d.size() != 2) {
+      return std::nullopt;
+    }
+    for (const auto& e : d.entries()) {
+      if (!e.IsFiniteOrPosInf()) {
+        return std::nullopt;  // paper: only numbers or positive infinity
+      }
+    }
+  }
+
+  // Enumerate candidates by increasing coefficient magnitude so skewing is
+  // only chosen when interchange/reversal cannot do the job.
+  constexpr i64 kMaxCoeff = 3;
+  std::optional<Unimodular2x2> best;
+  i64 best_weight = 0;
+  for (i64 a = -kMaxCoeff; a <= kMaxCoeff; ++a) {
+    for (i64 b = -kMaxCoeff; b <= kMaxCoeff; ++b) {
+      for (i64 c = -kMaxCoeff; c <= kMaxCoeff; ++c) {
+        for (i64 d = -kMaxCoeff; d <= kMaxCoeff; ++d) {
+          const Unimodular2x2 t{a, b, c, d};
+          const i64 det = t.Det();
+          if (det != 1 && det != -1) {
+            continue;
+          }
+          bool ok = true;
+          for (const auto& dep : deps) {
+            if (!FirstComponentPositive(TransformDepVec(t, dep))) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) {
+            continue;
+          }
+          const i64 weight = std::llabs(a) + std::llabs(b) + std::llabs(c) + std::llabs(d);
+          if (t.IsIdentity()) {
+            return t;  // can't beat the identity
+          }
+          if (!best.has_value() || weight < best_weight) {
+            best = t;
+            best_weight = weight;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Unimodular2x2 InverseOf(const Unimodular2x2& t) {
+  const i64 det = t.Det();
+  ORION_CHECK(det == 1 || det == -1);
+  // inv(T) = adj(T) / det; with det = ±1 this stays integral.
+  return Unimodular2x2{t.d * det, -t.b * det, -t.c * det, t.a * det};
+}
+
+}  // namespace orion

@@ -1,0 +1,61 @@
+// Unimodular loop transformations (paper Sec. 4.3, after Wolf & Lam).
+//
+// When neither 1D nor 2D parallelization applies directly, and every
+// dependence-vector entry is a number or +inf, Orion searches for a
+// unimodular transformation T (|det T| == 1, combining interchange,
+// reversal and skewing) such that every transformed dependence vector has
+// its first component > 0 — i.e. all dependences are carried by the
+// outermost transformed loop. The inner transformed dimension is then fully
+// parallel within one outer step, enabling 2D (wavefront) execution.
+//
+// Only 2-deep loop nests are transformed (Orion's iteration spaces are
+// DistArrays; 2D spaces are the common case). Deeper nests fall back.
+#ifndef ORION_SRC_ANALYSIS_UNIMODULAR_H_
+#define ORION_SRC_ANALYSIS_UNIMODULAR_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/analysis/dep_vector.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+struct Unimodular2x2 {
+  // Row-major: T = [[a, b], [c, d]].
+  i64 a = 1, b = 0, c = 0, d = 1;
+
+  i64 Det() const { return a * d - b * c; }
+  bool IsIdentity() const { return a == 1 && b == 0 && c == 0 && d == 1; }
+
+  // Applies T to an index pair.
+  std::pair<i64, i64> Apply(i64 p1, i64 p2) const { return {a * p1 + b * p2, c * p1 + d * p2}; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Unimodular2x2& x, const Unimodular2x2& y) {
+    return x.a == y.a && x.b == y.b && x.c == y.c && x.d == y.d;
+  }
+};
+
+// Computes T * d with infinity-aware arithmetic.
+DepVec TransformDepVec(const Unimodular2x2& t, const DepVec& d);
+
+// True if the vector's first component is strictly positive
+// (kValue > 0 or kPosInf).
+bool FirstComponentPositive(const DepVec& d);
+
+// Searches small-coefficient unimodular matrices for one that carries all
+// dependences on the outer loop. Requires every entry of every vector to be
+// a number or +inf (else returns nullopt). Prefers the identity, then
+// minimal coefficient magnitude.
+std::optional<Unimodular2x2> FindOuterCarryingTransform(const std::vector<DepVec>& deps);
+
+// Exact integer inverse of a unimodular matrix.
+Unimodular2x2 InverseOf(const Unimodular2x2& t);
+
+}  // namespace orion
+
+#endif  // ORION_SRC_ANALYSIS_UNIMODULAR_H_

@@ -1,0 +1,142 @@
+#include "src/apps/datagen.h"
+
+#include <algorithm>
+#include <map>
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "src/common/status.h"
+
+namespace orion {
+
+std::vector<RatingEntry> GenerateRatings(const RatingsConfig& config) {
+  Rng rng(config.seed);
+  const int r = config.true_rank;
+  const f32 scale = 1.0f / std::sqrt(static_cast<f32>(r));
+
+  std::vector<f32> u(static_cast<size_t>(config.rows * r));
+  std::vector<f32> v(static_cast<size_t>(config.cols * r));
+  for (auto& x : u) {
+    x = static_cast<f32>(rng.NextGaussian());
+  }
+  for (auto& x : v) {
+    x = static_cast<f32>(rng.NextGaussian());
+  }
+
+  std::vector<RatingEntry> entries;
+  entries.reserve(static_cast<size_t>(config.nnz));
+  std::unordered_set<i64> seen;
+  seen.reserve(static_cast<size_t>(config.nnz) * 2);
+  i64 attempts = 0;
+  const i64 max_attempts = config.nnz * 20;
+  while (static_cast<i64>(entries.size()) < config.nnz && attempts < max_attempts) {
+    ++attempts;
+    const i64 i = rng.NextZipf(config.rows, config.zipf_alpha);
+    const i64 j = rng.NextZipf(config.cols, config.zipf_alpha);
+    const i64 key = i * config.cols + j;
+    if (!seen.insert(key).second) {
+      continue;
+    }
+    f32 dot = 0.0f;
+    for (int k = 0; k < r; ++k) {
+      dot += u[static_cast<size_t>(i * r + k)] * v[static_cast<size_t>(j * r + k)];
+    }
+    const f32 value =
+        dot * scale + config.noise * static_cast<f32>(rng.NextGaussian()) + 3.0f;
+    entries.push_back({i, j, value});
+  }
+  return entries;
+}
+
+std::vector<TokenEntry> GenerateCorpus(const CorpusConfig& config) {
+  Rng rng(config.seed);
+  const int k = config.true_topics;
+
+  // Each planted topic owns a Zipf-skewed distribution over a slice of the
+  // vocabulary (with 20% mass spread over the full vocabulary).
+  const i64 slice = std::max<i64>(1, config.vocab / k);
+
+  std::vector<TokenEntry> entries;
+  std::map<std::pair<i64, i64>, i32> counts;
+  for (i64 d = 0; d < config.num_docs; ++d) {
+    // Sparse topic mixture: 1-3 dominant topics per document.
+    const int num_active = 1 + static_cast<int>(rng.NextBounded(3));
+    std::vector<int> active(static_cast<size_t>(num_active));
+    for (auto& t : active) {
+      t = static_cast<int>(rng.NextBounded(static_cast<u64>(k)));
+    }
+    const int len = config.doc_length / 2 +
+                    static_cast<int>(rng.NextBounded(static_cast<u64>(config.doc_length)));
+    for (int t = 0; t < len; ++t) {
+      const int topic = active[rng.NextBounded(static_cast<u64>(num_active))];
+      i64 word;
+      if (rng.NextDouble() < 0.8) {
+        // Topic-specific word from this topic's slice.
+        const i64 offset = rng.NextZipf(slice, config.zipf_alpha);
+        word = (topic * slice + offset) % config.vocab;
+      } else {
+        word = rng.NextZipf(config.vocab, config.zipf_alpha);
+      }
+      counts[{d, word}] += 1;
+    }
+  }
+  entries.reserve(counts.size());
+  for (const auto& [dw, c] : counts) {
+    entries.push_back({dw.first, dw.second, c});
+  }
+  return entries;
+}
+
+std::vector<SparseSample> GenerateSparseLr(const SparseLrConfig& config) {
+  Rng rng(config.seed);
+  // Planted weights: dense gaussian, scaled down.
+  std::vector<f32> w(static_cast<size_t>(config.num_features));
+  for (auto& x : w) {
+    x = 0.5f * static_cast<f32>(rng.NextGaussian());
+  }
+
+  std::vector<SparseSample> samples;
+  samples.reserve(static_cast<size_t>(config.num_samples));
+  for (i64 s = 0; s < config.num_samples; ++s) {
+    SparseSample sample;
+    std::set<i64> ids;
+    while (static_cast<int>(ids.size()) < config.nnz_per_sample) {
+      ids.insert(rng.NextZipf(config.num_features, config.zipf_alpha));
+    }
+    f32 margin = 0.0f;
+    for (i64 id : ids) {
+      const f32 value = 0.5f + 0.5f * static_cast<f32>(rng.NextDouble());
+      sample.features.push_back({id, value});
+      margin += w[static_cast<size_t>(id)] * value;
+    }
+    const f64 p = 1.0 / (1.0 + std::exp(-static_cast<f64>(margin)));
+    sample.label = rng.NextDouble() < p ? 1.0f : 0.0f;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::vector<RegressionSample> GenerateRegression(const RegressionConfig& config) {
+  Rng rng(config.seed);
+  std::vector<RegressionSample> samples;
+  samples.reserve(static_cast<size_t>(config.num_samples));
+  for (i64 s = 0; s < config.num_samples; ++s) {
+    RegressionSample sample;
+    sample.features.resize(static_cast<size_t>(config.num_features));
+    for (auto& x : sample.features) {
+      x = static_cast<f32>(rng.NextDouble());
+    }
+    // Piecewise response over the first few features: exactly the structure
+    // trees capture.
+    f32 y = 0.0f;
+    y += sample.features[0] > 0.5f ? 2.0f : -1.0f;
+    y += sample.features[1] > 0.3f ? (sample.features[2] > 0.6f ? 1.5f : 0.5f) : 0.0f;
+    y += 0.8f * sample.features[3];
+    sample.target = y + config.noise * static_cast<f32>(rng.NextGaussian());
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace orion

@@ -1,0 +1,99 @@
+// Synthetic dataset generators.
+//
+// The paper evaluates on Netflix (100M ratings), NYTimes / ClueWeb corpora
+// and KDD2010 sparse features; none of those ship with this repo, so each
+// generator reproduces the *properties* the experiments exercise:
+//   - ratings: planted low-rank structure + noise, power-law row/column
+//     popularity (so partitions skew without histogram balancing);
+//   - corpus: documents drawn from planted topic mixtures with Zipfian
+//     word frequencies (so LDA has real topic structure to recover);
+//   - sparse LR: sparse features with planted ground-truth weights (so the
+//     loss curve separates good and bad parallelizations);
+//   - regression: dense tabular features with a planted piecewise response
+//     for gradient-boosted trees.
+#ifndef ORION_SRC_APPS_DATAGEN_H_
+#define ORION_SRC_APPS_DATAGEN_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+// ---- Ratings (matrix factorization) ----
+
+struct RatingsConfig {
+  i64 rows = 2000;       // users
+  i64 cols = 1500;       // items
+  i64 nnz = 100000;      // rating count (distinct cells; duplicates dropped)
+  int true_rank = 8;     // planted factor rank
+  f32 noise = 0.1f;      // observation noise stddev
+  f64 zipf_alpha = 0.6;  // popularity skew for rows/cols (0 = uniform)
+  u64 seed = 42;
+};
+
+struct RatingEntry {
+  i64 row;
+  i64 col;
+  f32 value;
+};
+
+std::vector<RatingEntry> GenerateRatings(const RatingsConfig& config);
+
+// ---- Corpus (LDA) ----
+
+struct CorpusConfig {
+  i64 num_docs = 2000;
+  i64 vocab = 4000;
+  int true_topics = 20;
+  int doc_length = 80;    // tokens per document (mean)
+  f64 zipf_alpha = 0.8;   // word skew inside a topic
+  u64 seed = 43;
+};
+
+// One (doc, word) cell: the token count.
+struct TokenEntry {
+  i64 doc;
+  i64 word;
+  i32 count;
+};
+
+std::vector<TokenEntry> GenerateCorpus(const CorpusConfig& config);
+
+// ---- Sparse logistic regression ----
+
+struct SparseLrConfig {
+  i64 num_samples = 20000;
+  i64 num_features = 50000;
+  int nnz_per_sample = 30;
+  f64 zipf_alpha = 0.7;  // feature popularity skew
+  u64 seed = 44;
+};
+
+struct SparseSample {
+  f32 label;  // 0 or 1
+  std::vector<std::pair<i64, f32>> features;
+};
+
+std::vector<SparseSample> GenerateSparseLr(const SparseLrConfig& config);
+
+// ---- Dense regression (gradient boosted trees) ----
+
+struct RegressionConfig {
+  i64 num_samples = 8000;
+  int num_features = 16;
+  f32 noise = 0.1f;
+  u64 seed = 45;
+};
+
+struct RegressionSample {
+  f32 target;
+  std::vector<f32> features;
+};
+
+std::vector<RegressionSample> GenerateRegression(const RegressionConfig& config);
+
+}  // namespace orion
+
+#endif  // ORION_SRC_APPS_DATAGEN_H_

@@ -1,0 +1,86 @@
+// Gradient Boosted Trees (paper Table 2: "1D").
+//
+// Regression trees are grown level by level; the expensive step — finding
+// the best split per feature per active node — is a parallel for-loop over
+// the *features* (model parallelism, as in STRADS). Access pattern:
+//   - columns[f]      : the f-th feature's binned column, aligned with the
+//                       feature dimension -> range-partitioned, local;
+//   - node_sample[s]  : per-sample (node id, gradient), read-only in the
+//                       split loop -> replicated;
+//   - best_splits[f]  : per-feature best split per node, write aligned ->
+//                       local.
+// The driver aggregates per-feature candidates into the global best split
+// per node, grows the tree, and recomputes sample assignments/gradients.
+#ifndef ORION_SRC_APPS_GBT_H_
+#define ORION_SRC_APPS_GBT_H_
+
+#include <vector>
+
+#include "src/apps/datagen.h"
+#include "src/runtime/driver.h"
+
+namespace orion {
+
+struct GbtConfig {
+  int num_trees = 20;
+  int max_depth = 3;
+  int num_bins = 32;
+  f32 learning_rate = 0.3f;
+  f32 min_gain = 1e-6f;
+  ParallelForOptions loop_options;
+};
+
+struct TreeNode {
+  int feature = -1;    // -1: leaf
+  int bin = -1;        // split: go left if bin_value <= bin
+  f32 value = 0.0f;    // leaf prediction
+  int left = -1;
+  int right = -1;
+};
+
+struct Tree {
+  std::vector<TreeNode> nodes;  // node 0 is the root
+};
+
+class GbtApp {
+ public:
+  GbtApp(Driver* driver, const GbtConfig& config);
+
+  Status Init(const std::vector<RegressionSample>& samples);
+
+  // Fits one boosting round (one tree); returns the training MSE after it.
+  StatusOr<f64> FitOneTree();
+
+  f64 TrainMse() const;
+  const std::vector<Tree>& trees() const { return trees_; }
+  const ParallelizationPlan& split_plan() const { return driver_->PlanOf(split_loop_); }
+  DistArrayId columns() const { return columns_; }
+
+ private:
+  void ComputeGradients();
+
+  Driver* driver_;
+  GbtConfig config_;
+  i64 num_samples_ = 0;
+  int num_features_ = 0;
+
+  // Driver-resident copies used for tree growth and prediction.
+  std::vector<RegressionSample> data_;
+  std::vector<std::vector<u8>> bins_;        // [feature][sample] bin ids
+  std::vector<std::vector<f32>> bin_edges_;  // [feature][bin] upper edges
+  std::vector<f32> predictions_;             // running boosted prediction
+  std::vector<f32> gradients_;               // residuals for the next tree
+  std::vector<i32> node_of_sample_;
+  std::vector<Tree> trees_;
+
+  DistArrayId features_ = kInvalidDistArrayId;     // iteration space
+  DistArrayId columns_ = kInvalidDistArrayId;      // binned feature columns
+  DistArrayId node_sample_ = kInvalidDistArrayId;  // [node_id, gradient]
+  DistArrayId best_splits_ = kInvalidDistArrayId;  // per-feature candidates
+  i32 split_loop_ = -1;
+  int max_active_nodes_ = 8;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_APPS_GBT_H_

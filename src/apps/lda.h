@@ -1,0 +1,98 @@
+// Latent Dirichlet Allocation by collapsed Gibbs sampling (paper Table 2:
+// "2D Unordered, 1D").
+//
+// The iteration space is the sparse (doc, word) token-count matrix; each
+// cell also stores the current topic assignment of its token occurrences
+// (mutated in place across passes). Access pattern:
+//   - doc_topic[d]  : read + write, aligned with the doc dimension;
+//   - word_topic[w] : read + write, aligned with the word dimension;
+//   - topic_sum[0]  : read + buffered write (constant subscript).
+// The planner derives the 2D unordered schedule; the topic totals are the
+// "non-critical dependence" the paper deliberately violates: they are
+// replicated with bounded-staleness buffered updates.
+#ifndef ORION_SRC_APPS_LDA_H_
+#define ORION_SRC_APPS_LDA_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/apps/datagen.h"
+#include "src/runtime/driver.h"
+
+namespace orion {
+
+struct LdaConfig {
+  int num_topics = 20;
+  f32 alpha = 0.5f;  // doc-topic smoothing
+  f32 beta = 0.1f;   // topic-word smoothing
+  // Maximum stored occurrences per (doc, word) cell; heavier cells are
+  // clamped at generation time.
+  int max_occurrences = 7;
+  ParallelForOptions loop_options;
+};
+
+class LdaApp {
+ public:
+  LdaApp(Driver* driver, const LdaConfig& config);
+
+  Status Init(const std::vector<TokenEntry>& tokens, i64 num_docs, i64 vocab);
+
+  // One Gibbs sweep over every token.
+  Status RunPass();
+
+  // Mean per-token predictive log-likelihood (higher is better).
+  StatusOr<f64> EvalLogLikelihood();
+
+  const ParallelizationPlan& train_plan() const { return driver_->PlanOf(train_loop_); }
+  DistArrayId doc_topic() const { return doc_topic_; }
+  DistArrayId word_topic() const { return word_topic_; }
+  DistArrayId topic_sum() const { return topic_sum_; }
+  const LoopMetrics& last_metrics() const { return driver_->last_metrics(); }
+
+ private:
+  Driver* driver_;
+  LdaConfig config_;
+  i64 num_docs_ = 0;
+  i64 vocab_ = 0;
+  i64 total_tokens_ = 0;
+
+  DistArrayId tokens_ = kInvalidDistArrayId;
+  DistArrayId doc_topic_ = kInvalidDistArrayId;
+  DistArrayId word_topic_ = kInvalidDistArrayId;
+  DistArrayId topic_sum_ = kInvalidDistArrayId;
+  i32 train_loop_ = -1;
+  i32 eval_loop_ = -1;
+  int loglik_acc_ = -1;
+  std::shared_ptr<std::atomic<i32>> pass_;  // seeds per-iteration Gibbs RNG
+};
+
+// Serial collapsed Gibbs reference (gold-standard convergence).
+class SerialLda {
+ public:
+  SerialLda(const std::vector<TokenEntry>& tokens, i64 num_docs, i64 vocab,
+            const LdaConfig& config);
+
+  void RunPass();
+  f64 EvalLogLikelihood() const;
+
+ private:
+  struct Token {
+    i64 doc;
+    i64 word;
+    int topic;
+  };
+
+  LdaConfig config_;
+  i64 num_docs_;
+  i64 vocab_;
+  std::vector<Token> tokens_;
+  std::vector<i32> doc_topic_;   // num_docs x K
+  std::vector<i32> word_topic_;  // vocab x K
+  std::vector<i32> topic_sum_;   // K
+  int pass_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_APPS_LDA_H_

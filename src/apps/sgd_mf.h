@@ -1,0 +1,99 @@
+// SGD Matrix Factorization on Orion (paper Sec. 2, Fig. 5, Table 2).
+//
+// The serial algorithm is Alg. 1: for each rating Z_ij, update row W_i and
+// column H_j by a gradient step on the nonzero squared loss. Orion's planner
+// discovers the 2D (space = rows, time = cols) unordered parallelization —
+// the stratified-SGD schedule of Gemulla et al. — automatically from the
+// access declarations W[i] and H[j].
+//
+// Two training variants:
+//   - plain SGD: W and H cells hold the factor row (value_dim = rank) and
+//     are updated in place (dependence-preserving Mutate);
+//   - SGD with Adaptive Revision (AdaRev): cells hold [w, z, g_sum]
+//     (value_dim = 3*rank); updates carry [gradient, g_sum_seen] and are
+//     routed through DistArray Buffers whose apply UDF implements a
+//     delay-compensated AdaGrad step (paper Sec. 3.3).
+#ifndef ORION_SRC_APPS_SGD_MF_H_
+#define ORION_SRC_APPS_SGD_MF_H_
+
+#include <atomic>
+#include <vector>
+
+#include "src/apps/datagen.h"
+#include "src/runtime/driver.h"
+
+namespace orion {
+
+struct SgdMfConfig {
+  int rank = 16;
+  f32 step_size = 0.02f;
+  f32 step_decay = 0.99f;   // multiplicative per-pass decay
+  bool adarev = false;
+  f32 adarev_alpha = 0.08f;  // AdaRev base learning rate
+  ParallelForOptions loop_options;
+};
+
+// The AdaRev apply UDF, exposed for unit tests: cell = [w(r), z(r), gsum(r)],
+// update = [g(r), gsum_seen(r)].
+BufferApplyFn MakeAdaRevApplyFn(f32 alpha);
+
+class SgdMfApp {
+ public:
+  SgdMfApp(Driver* driver, const SgdMfConfig& config);
+
+  // Creates DistArrays from the entries and compiles both loops.
+  Status Init(const std::vector<RatingEntry>& entries, i64 rows, i64 cols);
+
+  // One pass of SGD over all ratings (decays the step size afterwards).
+  Status RunPass();
+
+  // Training loss: sum of squared errors over the nonzero entries.
+  StatusOr<f64> EvalLoss();
+
+  const ParallelizationPlan& train_plan() const { return driver_->PlanOf(train_loop_); }
+  DistArrayId ratings() const { return ratings_; }
+  DistArrayId w() const { return w_; }
+  DistArrayId h() const { return h_; }
+  const LoopMetrics& last_metrics() const { return driver_->last_metrics(); }
+
+ private:
+  Driver* driver_;
+  SgdMfConfig config_;
+  i64 rows_ = 0;
+  i64 cols_ = 0;
+
+  DistArrayId ratings_ = kInvalidDistArrayId;
+  DistArrayId w_ = kInvalidDistArrayId;
+  DistArrayId h_ = kInvalidDistArrayId;
+  i32 train_loop_ = -1;
+  i32 eval_loop_ = -1;
+  int loss_acc_ = -1;
+  std::shared_ptr<std::atomic<f32>> step_;  // read by worker threads
+};
+
+// Serial reference implementation (the "gold standard" convergence curve and
+// the single-core baseline of Fig. 9a). Operates on plain vectors.
+class SerialSgdMf {
+ public:
+  SerialSgdMf(const std::vector<RatingEntry>& entries, i64 rows, i64 cols,
+              const SgdMfConfig& config);
+
+  void RunPass();
+  f64 EvalLoss() const;
+
+  const std::vector<f32>& w() const { return w_; }
+  const std::vector<f32>& h() const { return h_; }
+
+ private:
+  std::vector<RatingEntry> entries_;
+  SgdMfConfig config_;
+  i64 rows_;
+  i64 cols_;
+  f32 step_;
+  std::vector<f32> w_;  // rows x rank
+  std::vector<f32> h_;  // cols x rank
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_APPS_SGD_MF_H_

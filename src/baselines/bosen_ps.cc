@@ -1,0 +1,421 @@
+#include "src/baselines/bosen_ps.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/status.h"
+#include "src/common/timer.h"
+
+namespace orion {
+
+namespace {
+constexpr size_t kLockStripes = 256;
+constexpr size_t kBytesPerUpdate = 12;  // key + value on the wire
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BosenMf
+
+struct BosenMf::Shard {
+  std::vector<RatingEntry> data;      // this worker's random partition
+  std::vector<f32> w_snap;            // parameter snapshots
+  std::vector<f32> h_snap;
+  std::vector<f32> w_gsum_snap;       // gsum seen (AdaRev)
+  std::vector<f32> h_gsum_snap;
+  // Pending updates: accumulated gradient (times -step for plain SGD).
+  std::unordered_map<i64, std::vector<f32>> w_pending;
+  std::unordered_map<i64, std::vector<f32>> h_pending;
+  std::atomic<u64> bytes{0};
+  double seconds = 0.0;
+};
+
+BosenMf::BosenMf(const std::vector<RatingEntry>& entries, i64 rows, i64 cols, int rank,
+                 const BosenConfig& config)
+    : entries_(entries),
+      rows_(rows),
+      cols_(cols),
+      rank_(rank),
+      config_(config),
+      step_(config.step_size),
+      locks_(kLockStripes) {
+  w_ = InitFactorMatrix(rows, rank, 101);
+  h_ = InitFactorMatrix(cols, rank, 202);
+  if (config.adarev) {
+    w_z_.assign(w_.size(), 0.0f);
+    w_gsum_.assign(w_.size(), 0.0f);
+    h_z_.assign(h_.size(), 0.0f);
+    h_gsum_.assign(h_.size(), 0.0f);
+  }
+
+  // Random data partitioning (data parallelism).
+  Rng rng(config.seed);
+  shards_.reserve(static_cast<size_t>(config.num_workers));
+  for (int wkr = 0; wkr < config.num_workers; ++wkr) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (const auto& e : entries_) {
+    shards_[rng.NextBounded(static_cast<u64>(config.num_workers))]->data.push_back(e);
+  }
+  pool_ = std::make_unique<ThreadPool>(config.num_workers);
+}
+
+BosenMf::~BosenMf() = default;
+
+void BosenMf::FlushAndRefresh(Shard* shard, size_t budget_entries) {
+  // Rank pending rows by update magnitude; flush the largest first until the
+  // budget runs out (Bösen's magnitude-prioritized communication).
+  struct Cand {
+    bool is_w;
+    i64 key;
+    f32 mag;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(shard->w_pending.size() + shard->h_pending.size());
+  for (const auto& [key, upd] : shard->w_pending) {
+    f32 mag = 0.0f;
+    for (int x = 0; x < rank_; ++x) {
+      mag += std::fabs(upd[static_cast<size_t>(x)]);
+    }
+    cands.push_back({true, key, mag});
+  }
+  for (const auto& [key, upd] : shard->h_pending) {
+    f32 mag = 0.0f;
+    for (int x = 0; x < rank_; ++x) {
+      mag += std::fabs(upd[static_cast<size_t>(x)]);
+    }
+    cands.push_back({false, key, mag});
+  }
+  if (budget_entries < cands.size()) {
+    std::nth_element(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(budget_entries),
+                     cands.end(), [](const Cand& a, const Cand& b) { return a.mag > b.mag; });
+    cands.resize(budget_entries);
+  }
+
+  for (const auto& c : cands) {
+    auto& pending = c.is_w ? shard->w_pending : shard->h_pending;
+    auto it = pending.find(c.key);
+    auto& table = c.is_w ? w_ : h_;
+    auto& table_z = c.is_w ? w_z_ : h_z_;
+    auto& table_gsum = c.is_w ? w_gsum_ : h_gsum_;
+    auto& snap = c.is_w ? shard->w_snap : shard->h_snap;
+    auto& gsum_snap = c.is_w ? shard->w_gsum_snap : shard->h_gsum_snap;
+    const size_t base = static_cast<size_t>(c.key) * static_cast<size_t>(rank_);
+    {
+      std::lock_guard<std::mutex> lock(locks_[static_cast<size_t>(c.key) % kLockStripes]);
+      for (int x = 0; x < rank_; ++x) {
+        const f32 u = it->second[static_cast<size_t>(x)];
+        if (!config_.adarev) {
+          table[base + static_cast<size_t>(x)] += u;  // u already includes -step
+        } else {
+          const f32 g = u;
+          const f32 g_bwd = table_gsum[base + static_cast<size_t>(x)] -
+                            gsum_snap[base + static_cast<size_t>(x)];
+          const f32 extra = g * g_bwd;
+          const f32 z_new = table_z[base + static_cast<size_t>(x)] + g * g +
+                            2.0f * (extra > 0.0f ? extra : 0.0f);
+          table[base + static_cast<size_t>(x)] -=
+              config_.adarev_alpha / std::sqrt(1.0f + z_new) * g;
+          table_z[base + static_cast<size_t>(x)] = z_new;
+          table_gsum[base + static_cast<size_t>(x)] += g;
+        }
+      }
+      // Refresh the snapshot for this row (CM sends fresh values back).
+      for (int x = 0; x < rank_; ++x) {
+        snap[base + static_cast<size_t>(x)] = table[base + static_cast<size_t>(x)];
+        if (config_.adarev) {
+          gsum_snap[base + static_cast<size_t>(x)] = table_gsum[base + static_cast<size_t>(x)];
+        }
+      }
+    }
+    shard->bytes += 2 * kBytesPerUpdate * static_cast<u64>(rank_);  // flush + refresh
+    pending.erase(it);
+  }
+}
+
+void BosenMf::RunPass() {
+  const u64 bytes_before = bytes_communicated_;
+  // Snapshot parameters (BSP sync point).
+  for (auto& shard : shards_) {
+    shard->w_snap = w_;
+    shard->h_snap = h_;
+    if (config_.adarev) {
+      shard->w_gsum_snap = w_gsum_;
+      shard->h_gsum_snap = h_gsum_;
+    }
+    shard->bytes = 0;
+  }
+
+  // CM budget: bytes per worker per interval.
+  size_t budget_entries = std::numeric_limits<size_t>::max();
+  if (config_.managed_comm) {
+    const double bytes_per_pass =
+        config_.bandwidth_budget_mbps * 1e6 / 8.0 * config_.assumed_pass_seconds;
+    budget_entries = static_cast<size_t>(
+        bytes_per_pass / static_cast<double>(config_.comm_intervals_per_pass) /
+        static_cast<double>(2 * kBytesPerUpdate * static_cast<u64>(rank_)));
+  }
+
+  const f32 eps = step_;
+  for (size_t wkr = 0; wkr < shards_.size(); ++wkr) {
+    Shard* shard = shards_[wkr].get();
+    pool_->Submit([this, shard, eps, budget_entries] {
+      CpuStopwatch sw;
+      const size_t n = shard->data.size();
+      const size_t interval =
+          config_.managed_comm
+              ? std::max<size_t>(1, n / static_cast<size_t>(config_.comm_intervals_per_pass))
+              : n + 1;
+      for (size_t i = 0; i < n; ++i) {
+        const auto& e = shard->data[i];
+        f32* w = &shard->w_snap[static_cast<size_t>(e.row * rank_)];
+        f32* h = &shard->h_snap[static_cast<size_t>(e.col * rank_)];
+        f32 pred = 0.0f;
+        for (int x = 0; x < rank_; ++x) {
+          pred += w[x] * h[x];
+        }
+        const f32 diff = e.value - pred;
+        auto& wu = shard->w_pending[e.row];
+        auto& hu = shard->h_pending[e.col];
+        if (wu.empty()) {
+          wu.assign(static_cast<size_t>(rank_), 0.0f);
+        }
+        if (hu.empty()) {
+          hu.assign(static_cast<size_t>(rank_), 0.0f);
+        }
+        for (int x = 0; x < rank_; ++x) {
+          const f32 gw = -2.0f * diff * h[x];
+          const f32 gh = -2.0f * diff * w[x];
+          if (!config_.adarev) {
+            // Plain SGD: pending carries the ready-to-add delta. The worker
+            // also applies it to its own snapshot (it sees its own writes).
+            wu[static_cast<size_t>(x)] += -eps * gw;
+            hu[static_cast<size_t>(x)] += -eps * gh;
+            w[x] += -eps * gw;
+            h[x] += -eps * gh;
+          } else {
+            wu[static_cast<size_t>(x)] += gw;
+            hu[static_cast<size_t>(x)] += gh;
+          }
+        }
+        if (config_.managed_comm && (i + 1) % interval == 0) {
+          FlushAndRefresh(shard, budget_entries);
+        }
+      }
+      // BSP sync: flush everything that remains.
+      FlushAndRefresh(shard, std::numeric_limits<size_t>::max());
+      shard->seconds = sw.ElapsedSeconds();
+    });
+  }
+  pool_->Wait();
+  last_pass_compute_max_ = 0.0;
+  for (auto& shard : shards_) {
+    bytes_communicated_ += shard->bytes;
+    last_pass_compute_max_ = std::max(last_pass_compute_max_, shard->seconds);
+  }
+  last_pass_bytes_ = bytes_communicated_ - bytes_before;
+  step_ *= config_.step_decay;
+}
+
+f64 BosenMf::EvalLoss() const { return MfLoss(entries_, w_, h_, rank_); }
+
+// ---------------------------------------------------------------------------
+// BosenLda
+
+struct BosenLda::WorkerState {
+  std::vector<Token> tokens;
+  std::vector<i32> word_topic_snap;
+  std::vector<i32> topic_sum_snap;
+  std::unordered_map<i64, std::vector<i32>> wt_pending;
+  std::vector<i32> ts_pending;
+  std::vector<i32> doc_topic;  // owned exclusively (docs partitioned)
+  std::atomic<u64> bytes{0};
+  double seconds = 0.0;
+};
+
+BosenLda::BosenLda(const std::vector<TokenEntry>& tokens, i64 num_docs, i64 vocab,
+                   int num_topics, const BosenConfig& config)
+    : num_docs_(num_docs), vocab_(vocab), k_(num_topics), config_(config) {
+  word_topic_.assign(static_cast<size_t>(vocab * k_), 0);
+  topic_sum_.assign(static_cast<size_t>(k_), 0);
+
+  workers_.reserve(static_cast<size_t>(config.num_workers));
+  for (int w = 0; w < config.num_workers; ++w) {
+    workers_.push_back(std::make_unique<WorkerState>());
+    workers_.back()->doc_topic.assign(static_cast<size_t>(num_docs * k_), 0);
+    workers_.back()->ts_pending.assign(static_cast<size_t>(k_), 0);
+  }
+
+  // Partition documents round-robin; initialize assignments like the apps.
+  Rng rng(4242);
+  for (const auto& t : tokens) {
+    const int count = std::min<i32>(t.count, 7);
+    for (int o = 0; o < count; ++o) {
+      const int topic = static_cast<int>(rng.NextBounded(static_cast<u64>(k_)));
+      WorkerState* ws =
+          workers_[static_cast<size_t>(t.doc) % workers_.size()].get();
+      ws->tokens.push_back({t.doc, t.word, topic});
+      ws->doc_topic[static_cast<size_t>(t.doc * k_ + topic)] += 1;
+      word_topic_[static_cast<size_t>(t.word * k_ + topic)] += 1;
+      topic_sum_[static_cast<size_t>(topic)] += 1;
+      ++total_tokens_;
+    }
+  }
+  pool_ = std::make_unique<ThreadPool>(config.num_workers);
+}
+
+BosenLda::~BosenLda() = default;
+
+void BosenLda::RunPass() {
+  const u64 bytes_before = bytes_communicated_;
+  ++pass_;
+  for (auto& ws : workers_) {
+    ws->word_topic_snap = word_topic_;
+    ws->topic_sum_snap = topic_sum_;
+    ws->bytes = 0;
+  }
+
+  size_t interval_tokens = std::numeric_limits<size_t>::max();
+  if (config_.managed_comm) {
+    interval_tokens = 0;  // computed per worker below
+  }
+
+  std::mutex table_mutex;
+  const f64 alpha = alpha_;
+  const f64 beta = beta_;
+  const f64 vbeta = static_cast<f64>(vocab_) * beta;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState* ws = workers_[w].get();
+    const u64 seed = static_cast<u64>(pass_) * 131 + w;
+    pool_->Submit([this, ws, seed, alpha, beta, vbeta, &table_mutex] {
+      CpuStopwatch sw;
+      Rng rng(seed);
+      std::vector<f64> weights(static_cast<size_t>(k_));
+      const size_t n = ws->tokens.size();
+      const size_t interval =
+          config_.managed_comm
+              ? std::max<size_t>(1, n / static_cast<size_t>(config_.comm_intervals_per_pass))
+              : n + 1;
+      auto flush = [&] {
+        std::lock_guard<std::mutex> lock(table_mutex);
+        for (auto& [word, delta] : ws->wt_pending) {
+          for (int x = 0; x < k_; ++x) {
+            word_topic_[static_cast<size_t>(word * k_ + x)] += delta[static_cast<size_t>(x)];
+            // Refresh snapshot.
+            ws->word_topic_snap[static_cast<size_t>(word * k_ + x)] =
+                word_topic_[static_cast<size_t>(word * k_ + x)];
+          }
+          ws->bytes += 2 * kBytesPerUpdate * static_cast<u64>(k_);
+        }
+        ws->wt_pending.clear();
+        for (int x = 0; x < k_; ++x) {
+          topic_sum_[static_cast<size_t>(x)] += ws->ts_pending[static_cast<size_t>(x)];
+          ws->topic_sum_snap[static_cast<size_t>(x)] = topic_sum_[static_cast<size_t>(x)];
+          ws->ts_pending[static_cast<size_t>(x)] = 0;
+        }
+        ws->bytes += 2 * kBytesPerUpdate * static_cast<u64>(k_);
+      };
+      for (size_t i = 0; i < n; ++i) {
+        auto& t = ws->tokens[i];
+        i32* dt = &ws->doc_topic[static_cast<size_t>(t.doc * k_)];
+        i32* wt = &ws->word_topic_snap[static_cast<size_t>(t.word * k_)];
+        dt[t.topic] -= 1;
+        wt[t.topic] -= 1;
+        ws->topic_sum_snap[static_cast<size_t>(t.topic)] -= 1;
+        auto& wt_delta = ws->wt_pending[t.word];
+        if (wt_delta.empty()) {
+          wt_delta.assign(static_cast<size_t>(k_), 0);
+        }
+        wt_delta[static_cast<size_t>(t.topic)] -= 1;
+        ws->ts_pending[static_cast<size_t>(t.topic)] -= 1;
+
+        f64 total = 0.0;
+        for (int x = 0; x < k_; ++x) {
+          const f64 p =
+              (static_cast<f64>(dt[x]) + alpha) * (static_cast<f64>(wt[x]) + beta) /
+              (static_cast<f64>(ws->topic_sum_snap[static_cast<size_t>(x)]) + vbeta);
+          weights[static_cast<size_t>(x)] = p > 0.0 ? p : 0.0;
+          total += weights[static_cast<size_t>(x)];
+        }
+        int fresh = t.topic;
+        if (total > 0.0) {
+          f64 u = rng.NextDouble() * total;
+          for (int x = 0; x < k_; ++x) {
+            u -= weights[static_cast<size_t>(x)];
+            if (u <= 0.0) {
+              fresh = x;
+              break;
+            }
+          }
+        }
+        dt[fresh] += 1;
+        wt[fresh] += 1;
+        ws->topic_sum_snap[static_cast<size_t>(fresh)] += 1;
+        wt_delta[static_cast<size_t>(fresh)] += 1;
+        ws->ts_pending[static_cast<size_t>(fresh)] += 1;
+        t.topic = fresh;
+        if (config_.managed_comm && (i + 1) % interval == 0) {
+          flush();
+        }
+      }
+      flush();
+      ws->seconds = sw.ElapsedSeconds();
+    });
+  }
+  pool_->Wait();
+  last_pass_compute_max_ = 0.0;
+  for (auto& ws : workers_) {
+    bytes_communicated_ += ws->bytes;
+    last_pass_compute_max_ = std::max(last_pass_compute_max_, ws->seconds);
+  }
+  last_pass_bytes_ = bytes_communicated_ - bytes_before;
+  (void)interval_tokens;
+}
+
+f64 BosenLda::EvalLogLikelihood() const {
+  const f64 alpha = alpha_;
+  const f64 beta = beta_;
+  const f64 vbeta = static_cast<f64>(vocab_) * beta;
+  const f64 kalpha = static_cast<f64>(k_) * alpha;
+
+  // Merge doc-topic counts (each worker owns disjoint docs).
+  std::vector<i64> doc_len(static_cast<size_t>(num_docs_), 0);
+  std::vector<const WorkerState*> owner(static_cast<size_t>(num_docs_), nullptr);
+  for (const auto& ws : workers_) {
+    for (const auto& t : ws->tokens) {
+      owner[static_cast<size_t>(t.doc)] = ws.get();
+    }
+  }
+  for (i64 d = 0; d < num_docs_; ++d) {
+    if (owner[static_cast<size_t>(d)] == nullptr) {
+      continue;
+    }
+    for (int x = 0; x < k_; ++x) {
+      doc_len[static_cast<size_t>(d)] +=
+          owner[static_cast<size_t>(d)]->doc_topic[static_cast<size_t>(d * k_ + x)];
+    }
+  }
+
+  f64 ll = 0.0;
+  for (const auto& ws : workers_) {
+    for (const auto& t : ws->tokens) {
+      f64 p = 0.0;
+      for (int x = 0; x < k_; ++x) {
+        const f64 theta =
+            (static_cast<f64>(ws->doc_topic[static_cast<size_t>(t.doc * k_ + x)]) + alpha) /
+            (static_cast<f64>(doc_len[static_cast<size_t>(t.doc)]) + kalpha);
+        const f64 phi =
+            (static_cast<f64>(word_topic_[static_cast<size_t>(t.word * k_ + x)]) + beta) /
+            (static_cast<f64>(topic_sum_[static_cast<size_t>(x)]) + vbeta);
+        p += theta * phi;
+      }
+      if (p > 0.0) {
+        ll += std::log(p);
+      }
+    }
+  }
+  return ll / static_cast<f64>(total_tokens_);
+}
+
+}  // namespace orion

@@ -1,0 +1,133 @@
+// Bösen-style data-parallel parameter server baseline (paper Sec. 6.4).
+//
+// Workers hold random partitions of the training data and a *snapshot* of
+// the parameters taken at synchronization points. Under plain BSP, updates
+// accumulate locally and are applied to the server table once per pass —
+// high throughput, heavily violated dependences, slow per-pass convergence.
+//
+// Managed communication (CM) spends a configurable bandwidth budget during
+// the pass: at fixed intervals each worker flushes its largest-magnitude
+// pending updates (up to the per-interval byte budget) and refreshes the
+// corresponding parameter values — trading network traffic for freshness,
+// exactly the Bösen mechanism the paper compares against (Figs. 10 and 12).
+#ifndef ORION_SRC_BASELINES_BOSEN_PS_H_
+#define ORION_SRC_BASELINES_BOSEN_PS_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/apps/datagen.h"
+#include "src/baselines/mf_common.h"
+#include "src/common/thread_pool.h"
+
+namespace orion {
+
+struct BosenConfig {
+  int num_workers = 4;
+  // Data parallelism sums concurrent workers' colliding updates at each
+  // sync, so it needs a much smaller step than serial/model-parallel SGD
+  // at the same scale (part of the paper's data-parallelism critique).
+  f32 step_size = 0.002f;
+  f32 step_decay = 0.99f;
+  bool adarev = false;
+  f32 adarev_alpha = 0.08f;
+
+  // Managed communication.
+  bool managed_comm = false;
+  int comm_intervals_per_pass = 8;        // how often CM flushes
+  double bandwidth_budget_mbps = 1600.0;  // per-worker budget (paper setup)
+  double assumed_pass_seconds = 1.0;      // converts budget into bytes/pass
+
+  u64 seed = 77;
+};
+
+class BosenMf {
+ public:
+  BosenMf(const std::vector<RatingEntry>& entries, i64 rows, i64 cols, int rank,
+          const BosenConfig& config);
+  ~BosenMf();
+
+  void RunPass();
+  f64 EvalLoss() const;
+
+  // Bytes "sent over the network" (updates flushed + values refreshed) since
+  // construction.
+  u64 bytes_communicated() const { return bytes_communicated_; }
+  u64 last_pass_bytes() const { return last_pass_bytes_; }
+  // Longest single-worker compute time of the last pass (the critical path
+  // on a real cluster; workers here timeshare the host).
+  double last_pass_compute_max() const { return last_pass_compute_max_; }
+
+ private:
+  struct Shard;  // per-worker state
+
+  void FlushAndRefresh(Shard* shard, size_t budget_entries);
+
+  std::vector<RatingEntry> entries_;
+  i64 rows_;
+  i64 cols_;
+  int rank_;
+  BosenConfig config_;
+  f32 step_;
+
+  // Server table (authoritative). AdaRev keeps z and gsum alongside w.
+  std::vector<f32> w_;
+  std::vector<f32> w_z_;
+  std::vector<f32> w_gsum_;
+  std::vector<f32> h_;
+  std::vector<f32> h_z_;
+  std::vector<f32> h_gsum_;
+  std::vector<std::mutex> locks_;  // striped
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+  u64 bytes_communicated_ = 0;
+  u64 last_pass_bytes_ = 0;
+  double last_pass_compute_max_ = 0.0;
+};
+
+// Data-parallel collapsed-Gibbs LDA on the same parameter-server skeleton.
+class BosenLda {
+ public:
+  BosenLda(const std::vector<TokenEntry>& tokens, i64 num_docs, i64 vocab, int num_topics,
+           const BosenConfig& config);
+  ~BosenLda();
+
+  void RunPass();
+  f64 EvalLogLikelihood() const;
+  u64 bytes_communicated() const { return bytes_communicated_; }
+  u64 last_pass_bytes() const { return last_pass_bytes_; }
+  double last_pass_compute_max() const { return last_pass_compute_max_; }
+
+ private:
+  struct Token {
+    i64 doc;
+    i64 word;
+    int topic;
+  };
+  struct WorkerState;
+
+  i64 num_docs_;
+  i64 vocab_;
+  int k_;
+  BosenConfig config_;
+  f32 alpha_ = 0.5f;
+  f32 beta_ = 0.1f;
+  int pass_ = 0;
+
+  // Server table.
+  std::vector<i32> word_topic_;
+  std::vector<i32> topic_sum_;
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::unique_ptr<ThreadPool> pool_;
+  u64 bytes_communicated_ = 0;
+  u64 last_pass_bytes_ = 0;
+  double last_pass_compute_max_ = 0.0;
+  i64 total_tokens_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_BASELINES_BOSEN_PS_H_

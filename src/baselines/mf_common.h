@@ -1,0 +1,43 @@
+// Shared helpers for the matrix-factorization baselines.
+#ifndef ORION_SRC_BASELINES_MF_COMMON_H_
+#define ORION_SRC_BASELINES_MF_COMMON_H_
+
+#include <vector>
+
+#include "src/apps/datagen.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+// Initializes a factor matrix (rows x rank) exactly like the Orion app and
+// the serial reference do, so convergence curves start from the same point.
+inline std::vector<f32> InitFactorMatrix(i64 rows, int rank, u64 seed) {
+  std::vector<f32> m(static_cast<size_t>(rows * rank));
+  Rng rng(seed);
+  for (auto& x : m) {
+    x = 0.5f * static_cast<f32>(rng.NextDouble());
+  }
+  return m;
+}
+
+// Nonzero squared loss over the training entries.
+inline f64 MfLoss(const std::vector<RatingEntry>& entries, const std::vector<f32>& w,
+                  const std::vector<f32>& h, int rank) {
+  f64 loss = 0.0;
+  for (const auto& e : entries) {
+    const f32* wr = &w[static_cast<size_t>(e.row * rank)];
+    const f32* hr = &h[static_cast<size_t>(e.col * rank)];
+    f32 pred = 0.0f;
+    for (int k = 0; k < rank; ++k) {
+      pred += wr[k] * hr[k];
+    }
+    const f64 d = static_cast<f64>(e.value) - static_cast<f64>(pred);
+    loss += d * d;
+  }
+  return loss;
+}
+
+}  // namespace orion
+
+#endif  // ORION_SRC_BASELINES_MF_COMMON_H_

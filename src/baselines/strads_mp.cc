@@ -1,0 +1,236 @@
+#include "src/baselines/strads_mp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/timer.h"
+
+namespace orion {
+
+// ---------------------------------------------------------------------------
+// StradsMf
+
+StradsMf::StradsMf(const std::vector<RatingEntry>& entries, i64 rows, i64 cols, int rank,
+                   const StradsConfig& config)
+    : entries_(entries),
+      rows_(rows),
+      cols_(cols),
+      rank_(rank),
+      config_(config),
+      step_(config.step_size) {
+  w_ = InitFactorMatrix(rows, rank, 101);
+  h_ = InitFactorMatrix(cols, rank, 202);
+  if (config.adarev) {
+    w_state_.assign(w_.size() * 2, 0.0f);
+    h_state_.assign(h_.size() * 2, 0.0f);
+  }
+
+  const int p = config.num_workers;
+  blocks_.assign(static_cast<size_t>(p), {});
+  for (auto& row : blocks_) {
+    row.assign(static_cast<size_t>(p), {});
+  }
+  for (const auto& e : entries_) {
+    const int wr = static_cast<int>(e.row * p / rows);
+    const int st = static_cast<int>(e.col * p / cols);
+    blocks_[static_cast<size_t>(std::min(wr, p - 1))][static_cast<size_t>(std::min(st, p - 1))]
+        .push_back(e);
+  }
+  pool_ = std::make_unique<ThreadPool>(p);
+}
+
+StradsMf::~StradsMf() = default;
+
+void StradsMf::RunPass() {
+  const int p = config_.num_workers;
+  const f32 eps = step_;
+  last_pass_compute_max_ = 0.0;
+  std::vector<double> block_seconds(static_cast<size_t>(p));
+  // Strata rotate: at sub-epoch t, worker j processes block (j, (j+t)%p).
+  for (int t = 0; t < p; ++t) {
+    for (int j = 0; j < p; ++j) {
+      const int stratum = (j + t) % p;
+      auto& block = blocks_[static_cast<size_t>(j)][static_cast<size_t>(stratum)];
+      double* seconds = &block_seconds[static_cast<size_t>(j)];
+      pool_->Submit([this, &block, eps, seconds] {
+        CpuStopwatch sw;
+        for (const auto& e : block) {
+          f32* w = &w_[static_cast<size_t>(e.row * rank_)];
+          f32* h = &h_[static_cast<size_t>(e.col * rank_)];
+          f32 pred = 0.0f;
+          for (int x = 0; x < rank_; ++x) {
+            pred += w[x] * h[x];
+          }
+          const f32 diff = e.value - pred;
+          for (int x = 0; x < rank_; ++x) {
+            const f32 gw = -2.0f * diff * h[x];
+            const f32 gh = -2.0f * diff * w[x];
+            if (!config_.adarev) {
+              w[x] -= eps * gw;
+              h[x] -= eps * gh;
+            } else {
+              // Serial-equivalent AdaRev (no delay inside a block schedule).
+              f32* wz = &w_state_[static_cast<size_t>((e.row * rank_ + x) * 2)];
+              f32* hz = &h_state_[static_cast<size_t>((e.col * rank_ + x) * 2)];
+              wz[0] += gw * gw;
+              hz[0] += gh * gh;
+              w[x] -= config_.adarev_alpha / std::sqrt(1.0f + wz[0]) * gw;
+              h[x] -= config_.adarev_alpha / std::sqrt(1.0f + hz[0]) * gh;
+            }
+          }
+        }
+        *seconds = sw.ElapsedSeconds();
+      });
+    }
+    pool_->Wait();  // stratum barrier
+    last_pass_compute_max_ += *std::max_element(block_seconds.begin(), block_seconds.end());
+  }
+  step_ *= config_.step_decay;
+}
+
+f64 StradsMf::EvalLoss() const { return MfLoss(entries_, w_, h_, rank_); }
+
+// ---------------------------------------------------------------------------
+// StradsLda
+
+StradsLda::StradsLda(const std::vector<TokenEntry>& tokens, i64 num_docs, i64 vocab,
+                     int num_topics, const StradsConfig& config)
+    : num_docs_(num_docs), vocab_(vocab), k_(num_topics), config_(config) {
+  const int p = config.num_workers;
+  tokens_.assign(static_cast<size_t>(p), {});
+  for (auto& row : tokens_) {
+    row.assign(static_cast<size_t>(p), {});
+  }
+  doc_topic_.assign(static_cast<size_t>(num_docs * k_), 0);
+  word_topic_.assign(static_cast<size_t>(vocab * k_), 0);
+  topic_sum_.assign(static_cast<size_t>(k_), 0);
+
+  Rng rng(4242);
+  for (const auto& t : tokens) {
+    const int count = std::min<i32>(t.count, 7);
+    const int wr = static_cast<int>(t.doc * p / num_docs);
+    const int st = static_cast<int>(t.word * p / vocab);
+    for (int o = 0; o < count; ++o) {
+      const int topic = static_cast<int>(rng.NextBounded(static_cast<u64>(k_)));
+      tokens_[static_cast<size_t>(std::min(wr, p - 1))][static_cast<size_t>(std::min(st, p - 1))]
+          .push_back({t.doc, t.word, topic});
+      doc_topic_[static_cast<size_t>(t.doc * k_ + topic)] += 1;
+      word_topic_[static_cast<size_t>(t.word * k_ + topic)] += 1;
+      topic_sum_[static_cast<size_t>(topic)] += 1;
+      ++total_tokens_;
+    }
+  }
+  pool_ = std::make_unique<ThreadPool>(p);
+}
+
+StradsLda::~StradsLda() = default;
+
+void StradsLda::RunPass() {
+  const int p = config_.num_workers;
+  ++pass_;
+  const f64 alpha = alpha_;
+  const f64 beta = beta_;
+  const f64 vbeta = static_cast<f64>(vocab_) * beta;
+  last_pass_compute_max_ = 0.0;
+  std::vector<double> block_seconds(static_cast<size_t>(p));
+
+  for (int t = 0; t < p; ++t) {
+    // Each worker samples with a private copy of the topic totals (the
+    // non-critical dependence); deltas merge at the stratum barrier.
+    std::vector<std::vector<i32>> ts_local(static_cast<size_t>(p));
+    for (int j = 0; j < p; ++j) {
+      ts_local[static_cast<size_t>(j)] = topic_sum_;
+      const int stratum = (j + t) % p;
+      auto& block = tokens_[static_cast<size_t>(j)][static_cast<size_t>(stratum)];
+      auto* ts = &ts_local[static_cast<size_t>(j)];
+      const u64 seed = static_cast<u64>(pass_) * 997 + static_cast<u64>(t * p + j);
+      double* seconds = &block_seconds[static_cast<size_t>(j)];
+      pool_->Submit([this, &block, ts, seed, alpha, beta, vbeta, seconds] {
+        CpuStopwatch sw;
+        Rng rng(seed);
+        std::vector<f64> weights(static_cast<size_t>(k_));
+        for (auto& tok : block) {
+          i32* dt = &doc_topic_[static_cast<size_t>(tok.doc * k_)];
+          i32* wt = &word_topic_[static_cast<size_t>(tok.word * k_)];
+          dt[tok.topic] -= 1;
+          wt[tok.topic] -= 1;
+          (*ts)[static_cast<size_t>(tok.topic)] -= 1;
+          f64 total = 0.0;
+          for (int x = 0; x < k_; ++x) {
+            const f64 pr = (static_cast<f64>(dt[x]) + alpha) *
+                           (static_cast<f64>(wt[x]) + beta) /
+                           (static_cast<f64>((*ts)[static_cast<size_t>(x)]) + vbeta);
+            weights[static_cast<size_t>(x)] = pr > 0.0 ? pr : 0.0;
+            total += weights[static_cast<size_t>(x)];
+          }
+          int fresh = tok.topic;
+          if (total > 0.0) {
+            f64 u = rng.NextDouble() * total;
+            for (int x = 0; x < k_; ++x) {
+              u -= weights[static_cast<size_t>(x)];
+              if (u <= 0.0) {
+                fresh = x;
+                break;
+              }
+            }
+          }
+          dt[fresh] += 1;
+          wt[fresh] += 1;
+          (*ts)[static_cast<size_t>(fresh)] += 1;
+          tok.topic = fresh;
+        }
+        *seconds = sw.ElapsedSeconds();
+      });
+    }
+    pool_->Wait();
+    last_pass_compute_max_ += *std::max_element(block_seconds.begin(), block_seconds.end());
+    // Merge topic-total deltas.
+    std::vector<i32> merged = topic_sum_;
+    for (int j = 0; j < p; ++j) {
+      for (int x = 0; x < k_; ++x) {
+        merged[static_cast<size_t>(x)] +=
+            ts_local[static_cast<size_t>(j)][static_cast<size_t>(x)] -
+            topic_sum_[static_cast<size_t>(x)];
+      }
+    }
+    topic_sum_ = std::move(merged);
+  }
+}
+
+f64 StradsLda::EvalLogLikelihood() const {
+  const f64 alpha = alpha_;
+  const f64 beta = beta_;
+  const f64 vbeta = static_cast<f64>(vocab_) * beta;
+  const f64 kalpha = static_cast<f64>(k_) * alpha;
+  std::vector<i64> doc_len(static_cast<size_t>(num_docs_), 0);
+  for (i64 d = 0; d < num_docs_; ++d) {
+    for (int x = 0; x < k_; ++x) {
+      doc_len[static_cast<size_t>(d)] += doc_topic_[static_cast<size_t>(d * k_ + x)];
+    }
+  }
+  f64 ll = 0.0;
+  for (const auto& row : tokens_) {
+    for (const auto& block : row) {
+      for (const auto& tok : block) {
+        f64 p = 0.0;
+        for (int x = 0; x < k_; ++x) {
+          const f64 theta =
+              (static_cast<f64>(doc_topic_[static_cast<size_t>(tok.doc * k_ + x)]) + alpha) /
+              (static_cast<f64>(doc_len[static_cast<size_t>(tok.doc)]) + kalpha);
+          const f64 phi =
+              (static_cast<f64>(word_topic_[static_cast<size_t>(tok.word * k_ + x)]) + beta) /
+              (static_cast<f64>(topic_sum_[static_cast<size_t>(x)]) + vbeta);
+          p += theta * phi;
+        }
+        if (p > 0.0) {
+          ll += std::log(p);
+        }
+      }
+    }
+  }
+  return ll / static_cast<f64>(total_tokens_);
+}
+
+}  // namespace orion

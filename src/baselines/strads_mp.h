@@ -1,0 +1,102 @@
+// STRADS-style manual model parallelism (paper Secs. 2.2, 6.4, Fig. 11).
+//
+// The programmer hand-derives the stratified schedule Orion finds
+// automatically: ratings are blocked (worker-row x column-stratum), strata
+// rotate across workers, and no two concurrent blocks share a row of W or a
+// column of H — a serializable execution with shared-memory arrays and no
+// runtime layering (this is the "manually optimized" comparison point; its
+// per-iteration convergence should match Orion's, with somewhat higher raw
+// throughput).
+#ifndef ORION_SRC_BASELINES_STRADS_MP_H_
+#define ORION_SRC_BASELINES_STRADS_MP_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/datagen.h"
+#include "src/baselines/mf_common.h"
+#include "src/common/thread_pool.h"
+
+namespace orion {
+
+struct StradsConfig {
+  int num_workers = 4;
+  f32 step_size = 0.02f;
+  f32 step_decay = 0.99f;
+  bool adarev = false;
+  f32 adarev_alpha = 0.08f;
+};
+
+class StradsMf {
+ public:
+  StradsMf(const std::vector<RatingEntry>& entries, i64 rows, i64 cols, int rank,
+           const StradsConfig& config);
+  ~StradsMf();
+
+  void RunPass();
+  f64 EvalLoss() const;
+  // Critical-path compute time of the last pass: sum over strata of the
+  // slowest block in the stratum (each stratum ends with a barrier).
+  double last_pass_compute_max() const { return last_pass_compute_max_; }
+
+ private:
+  std::vector<RatingEntry> entries_;
+  i64 rows_;
+  i64 cols_;
+  int rank_;
+  StradsConfig config_;
+  f32 step_;
+
+  // blocks_[worker][stratum] = entries in that block.
+  std::vector<std::vector<std::vector<RatingEntry>>> blocks_;
+  std::vector<i64> row_split_;  // worker row ranges
+  std::vector<i64> col_split_;  // stratum column ranges
+
+  std::vector<f32> w_;
+  std::vector<f32> h_;
+  std::vector<f32> w_state_;  // AdaRev [z, gsum] interleaved
+  std::vector<f32> h_state_;
+  std::unique_ptr<ThreadPool> pool_;
+  double last_pass_compute_max_ = 0.0;
+};
+
+// Manual model-parallel LDA: documents partitioned over workers, vocabulary
+// blocked into strata that rotate; topic totals merged once per stratum.
+class StradsLda {
+ public:
+  StradsLda(const std::vector<TokenEntry>& tokens, i64 num_docs, i64 vocab, int num_topics,
+            const StradsConfig& config);
+  ~StradsLda();
+
+  void RunPass();
+  f64 EvalLogLikelihood() const;
+  double last_pass_compute_max() const { return last_pass_compute_max_; }
+
+ private:
+  struct Token {
+    i64 doc;
+    i64 word;
+    int topic;
+  };
+
+  i64 num_docs_;
+  i64 vocab_;
+  int k_;
+  StradsConfig config_;
+  int pass_ = 0;
+  f32 alpha_ = 0.5f;
+  f32 beta_ = 0.1f;
+  i64 total_tokens_ = 0;
+
+  // tokens_[worker][stratum].
+  std::vector<std::vector<std::vector<Token>>> tokens_;
+  std::vector<i32> doc_topic_;
+  std::vector<i32> word_topic_;
+  std::vector<i32> topic_sum_;
+  std::unique_ptr<ThreadPool> pool_;
+  double last_pass_compute_max_ = 0.0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_BASELINES_STRADS_MP_H_

@@ -1,0 +1,127 @@
+#include "src/baselines/tf_minibatch.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/timer.h"
+
+namespace orion {
+
+TfMinibatchMf::TfMinibatchMf(const std::vector<RatingEntry>& entries, i64 rows, i64 cols,
+                             int rank, const TfConfig& config)
+    : entries_(entries),
+      rows_(rows),
+      cols_(cols),
+      rank_(rank),
+      config_(config),
+      step_(config.step_size) {
+  w_ = InitFactorMatrix(rows, rank, 101);
+  h_ = InitFactorMatrix(cols, rank, 202);
+  pool_ = std::make_unique<ThreadPool>(config.num_threads);
+}
+
+TfMinibatchMf::~TfMinibatchMf() = default;
+
+double TfMinibatchMf::RunPass() {
+  Stopwatch sw;
+  const i64 n = static_cast<i64>(entries_.size());
+  const i64 batch = std::max<i64>(1, config_.minibatch_size);
+  const i64 num_batches = (n + batch - 1) / batch;
+  double modeled = 0.0;
+
+  // Per-thread gradient accumulators, merged and applied at batch end (the
+  // dataflow semantics: no intra-batch updates).
+  std::vector<std::unordered_map<i64, std::vector<f32>>> wgrad(
+      static_cast<size_t>(config_.num_threads));
+  std::vector<std::unordered_map<i64, std::vector<f32>>> hgrad(
+      static_cast<size_t>(config_.num_threads));
+  std::mutex slot_mutex;
+
+  for (i64 b = 0; b < num_batches; ++b) {
+    const i64 begin = b * batch;
+    const i64 end = std::min(n, begin + batch);
+    for (auto& g : wgrad) {
+      g.clear();
+    }
+    for (auto& g : hgrad) {
+      g.clear();
+    }
+    std::atomic<int> next_slot{0};
+    pool_->ParallelFor(end - begin, [&](i64 lo, i64 hi) {
+      int slot;
+      {
+        std::lock_guard<std::mutex> lock(slot_mutex);
+        slot = next_slot.fetch_add(1);
+      }
+      auto& wg = wgrad[static_cast<size_t>(slot)];
+      auto& hg = hgrad[static_cast<size_t>(slot)];
+      for (i64 i = lo; i < hi; ++i) {
+        const auto& e = entries_[static_cast<size_t>(begin + i)];
+        const f32* w = &w_[static_cast<size_t>(e.row * rank_)];
+        const f32* h = &h_[static_cast<size_t>(e.col * rank_)];
+        f32 pred = 0.0f;
+        for (int x = 0; x < rank_; ++x) {
+          pred += w[x] * h[x];
+        }
+        const f32 diff = e.value - pred;
+        auto& wrow = wg[e.row];
+        auto& hrow = hg[e.col];
+        if (wrow.empty()) {
+          wrow.assign(static_cast<size_t>(rank_) + 1, 0.0f);
+        }
+        if (hrow.empty()) {
+          hrow.assign(static_cast<size_t>(rank_) + 1, 0.0f);
+        }
+        for (int x = 0; x < rank_; ++x) {
+          wrow[static_cast<size_t>(x)] += -2.0f * diff * h[x];
+          hrow[static_cast<size_t>(x)] += -2.0f * diff * w[x];
+        }
+        wrow[static_cast<size_t>(rank_)] += 1.0f;  // contribution count
+        hrow[static_cast<size_t>(rank_)] += 1.0f;
+      }
+    });
+    // Apply the batch gradient. Per-row gradients are averaged over their
+    // contributing entries (dataflow programs minimize the batch *mean*
+    // loss), merging per-thread partials first.
+    std::unordered_map<i64, std::vector<f32>> wsum;
+    std::unordered_map<i64, std::vector<f32>> hsum;
+    auto merge = [this](std::vector<std::unordered_map<i64, std::vector<f32>>>& parts,
+                        std::unordered_map<i64, std::vector<f32>>& out) {
+      for (const auto& g : parts) {
+        for (const auto& [row, grad] : g) {
+          auto& acc = out[row];
+          if (acc.empty()) {
+            acc.assign(static_cast<size_t>(rank_) + 1, 0.0f);
+          }
+          for (int x = 0; x <= rank_; ++x) {
+            acc[static_cast<size_t>(x)] += grad[static_cast<size_t>(x)];
+          }
+        }
+      }
+    };
+    merge(wgrad, wsum);
+    merge(hgrad, hsum);
+    for (const auto& [row, grad] : wsum) {
+      f32* w = &w_[static_cast<size_t>(row * rank_)];
+      const f32 cnt = std::max(1.0f, grad[static_cast<size_t>(rank_)]);
+      for (int x = 0; x < rank_; ++x) {
+        w[x] -= step_ * grad[static_cast<size_t>(x)] / cnt;
+      }
+    }
+    for (const auto& [col, grad] : hsum) {
+      f32* h = &h_[static_cast<size_t>(col * rank_)];
+      const f32 cnt = std::max(1.0f, grad[static_cast<size_t>(rank_)]);
+      for (int x = 0; x < rank_; ++x) {
+        h[x] -= step_ * grad[static_cast<size_t>(x)] / cnt;
+      }
+    }
+    modeled += config_.dispatch_overhead_s;
+  }
+  step_ *= config_.step_decay;
+  return sw.ElapsedSeconds() / config_.num_threads + modeled;
+}
+
+f64 TfMinibatchMf::EvalLoss() const { return MfLoss(entries_, w_, h_, rank_); }
+
+}  // namespace orion

@@ -1,0 +1,59 @@
+// TensorFlow-style mini-batch dataflow SGD MF (paper Sec. 6.4, Fig. 13).
+//
+// A TF program expresses one mini-batch's computation as a DAG: gradients
+// for the whole batch are computed against the *current* parameters and
+// applied only when the batch completes. That makes the effective SGD batch
+// the mini-batch size — large batches converge slowly per epoch, small
+// batches underutilize the parallel operators. Both effects are reproduced:
+// gradients are computed batch-at-a-time with a thread pool, and a fixed
+// per-batch dispatch overhead models the DAG execution cost that dominates
+// small batches.
+#ifndef ORION_SRC_BASELINES_TF_MINIBATCH_H_
+#define ORION_SRC_BASELINES_TF_MINIBATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/apps/datagen.h"
+#include "src/baselines/mf_common.h"
+#include "src/common/thread_pool.h"
+
+namespace orion {
+
+struct TfConfig {
+  int num_threads = 4;
+  i64 minibatch_size = 1 << 16;
+  f32 step_size = 0.01f;
+  f32 step_decay = 0.99f;
+  // Models per-batch graph dispatch/launch overhead (seconds).
+  double dispatch_overhead_s = 0.002;
+};
+
+class TfMinibatchMf {
+ public:
+  TfMinibatchMf(const std::vector<RatingEntry>& entries, i64 rows, i64 cols, int rank,
+                const TfConfig& config);
+  ~TfMinibatchMf();
+
+  // One epoch (all mini-batches). Returns modeled execution seconds:
+  // compute wall time divided across the threads a real deployment would
+  // run in parallel, plus per-batch dispatch overhead.
+  double RunPass();
+  f64 EvalLoss() const;
+
+ private:
+  std::vector<RatingEntry> entries_;
+  i64 rows_;
+  i64 cols_;
+  int rank_;
+  TfConfig config_;
+  f32 step_;
+
+  std::vector<f32> w_;
+  std::vector<f32> h_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_BASELINES_TF_MINIBATCH_H_

@@ -1,0 +1,75 @@
+// Unbounded MPMC blocking queue used for inter-worker message delivery.
+#ifndef ORION_SRC_COMMON_BLOCKING_QUEUE_H_
+#define ORION_SRC_COMMON_BLOCKING_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace orion {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until an item is available or the queue is closed.
+  // Returns nullopt only when closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_BLOCKING_QUEUE_H_

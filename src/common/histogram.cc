@@ -1,0 +1,72 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace orion {
+
+DimHistogram::DimHistogram(i64 lo, i64 hi, int num_buckets) : lo_(lo), hi_(hi) {
+  ORION_CHECK(hi >= lo);
+  ORION_CHECK(num_buckets > 0);
+  const i64 span = hi - lo + 1;
+  const i64 buckets = std::min<i64>(num_buckets, span);
+  width_ = span / buckets;
+  if (width_ == 0) {
+    width_ = 1;
+  }
+  // Number of buckets actually needed to cover the span at this width.
+  const i64 needed = (span + width_ - 1) / width_;
+  buckets_.assign(static_cast<size_t>(needed), 0);
+}
+
+void DimHistogram::Add(i64 key, i64 count) {
+  ORION_CHECK(key >= lo_ && key <= hi_) << "key" << key << "outside [" << lo_ << "," << hi_ << "]";
+  size_t b = static_cast<size_t>((key - lo_) / width_);
+  if (b >= buckets_.size()) {
+    b = buckets_.size() - 1;
+  }
+  buckets_[b] += count;
+  total_ += count;
+}
+
+i64 DimHistogram::BucketHi(int b) const {
+  const i64 hi = lo_ + static_cast<i64>(b + 1) * width_ - 1;
+  return std::min(hi, hi_);
+}
+
+std::vector<i64> DimHistogram::EqualMassSplits(int num_parts) const {
+  ORION_CHECK(num_parts > 0);
+  std::vector<i64> splits;
+  if (num_parts == 1) {
+    return splits;
+  }
+  if (total_ == 0) {
+    // Degenerate: fall back to equal-width splits.
+    const i64 span = hi_ - lo_ + 1;
+    for (int p = 1; p < num_parts; ++p) {
+      splits.push_back(lo_ + span * p / num_parts - 1);
+    }
+    return splits;
+  }
+  // Walk buckets accumulating mass; emit a split whenever the running mass
+  // crosses the next target quantile.
+  i64 cum = 0;
+  int next_part = 1;
+  for (size_t b = 0; b < buckets_.size() && next_part < num_parts; ++b) {
+    cum += buckets_[b];
+    while (next_part < num_parts &&
+           cum * num_parts >= total_ * next_part) {
+      splits.push_back(BucketHi(static_cast<int>(b)));
+      ++next_part;
+    }
+  }
+  // If mass ran out early (possible with heavy tail in the last bucket),
+  // pad with hi_ so callers always get num_parts-1 boundaries.
+  while (static_cast<int>(splits.size()) < num_parts - 1) {
+    splits.push_back(hi_);
+  }
+  return splits;
+}
+
+}  // namespace orion

@@ -1,0 +1,47 @@
+// Approximate per-dimension histograms for skew-aware iteration-space
+// partitioning (paper Sec. 4.3 "Dealing with Skewed Data Distribution").
+//
+// Orion computes a histogram along each candidate partitioning dimension and
+// derives partition boundaries that equalize the *number of iterations* per
+// partition rather than the key range.
+#ifndef ORION_SRC_COMMON_HISTOGRAM_H_
+#define ORION_SRC_COMMON_HISTOGRAM_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace orion {
+
+class DimHistogram {
+ public:
+  // Tracks counts over [lo, hi] with the given number of buckets.
+  DimHistogram(i64 lo, i64 hi, int num_buckets);
+
+  void Add(i64 key, i64 count = 1);
+
+  // Returns `num_parts - 1` split keys such that partition p holds keys in
+  // [split[p-1]+1 .. split[p]] and partitions have approximately equal mass.
+  // Split keys are bucket upper bounds (approximation granularity = bucket).
+  std::vector<i64> EqualMassSplits(int num_parts) const;
+
+  i64 total() const { return total_; }
+  i64 lo() const { return lo_; }
+  i64 hi() const { return hi_; }
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  i64 bucket_count(int b) const { return buckets_[b]; }
+
+  // Upper key bound (inclusive) of bucket b.
+  i64 BucketHi(int b) const;
+
+ private:
+  i64 lo_;
+  i64 hi_;
+  i64 width_;  // keys per bucket (last bucket may be wider)
+  i64 total_ = 0;
+  std::vector<i64> buckets_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_HISTOGRAM_H_

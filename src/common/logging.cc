@@ -1,0 +1,54 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstring>
+#include <iostream>
+
+namespace orion {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= g_log_level.load()), level_(level) {
+  if (enabled_) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::cerr << stream_.str() << std::endl;
+  }
+}
+
+}  // namespace internal
+}  // namespace orion

@@ -1,0 +1,42 @@
+// Minimal leveled logger. Thread-safe line-at-a-time output to stderr.
+#ifndef ORION_SRC_COMMON_LOGGING_H_
+#define ORION_SRC_COMMON_LOGGING_H_
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace orion {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped. Default kWarning so
+// benchmarks and tests stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define ORION_LOG(level) ::orion::internal::LogLine(::orion::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,112 @@
+// Byte-oriented serialization used by the message fabric.
+//
+// Everything that crosses a (simulated) machine boundary is serialized with
+// these writers/readers so communication volume is measurable and the
+// share-nothing worker model is honest.
+#ifndef ORION_SRC_COMMON_SERDE_H_
+#define ORION_SRC_COMMON_SERDE_H_
+
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  template <typename T>
+  void Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "Put requires a trivially copyable type");
+    const size_t offset = buf_.size();
+    buf_.resize(offset + sizeof(T));
+    std::memcpy(buf_.data() + offset, &v, sizeof(T));
+  }
+
+  void PutString(const std::string& s) {
+    Put<u64>(s.size());
+    const size_t offset = buf_.size();
+    buf_.resize(offset + s.size());
+    std::memcpy(buf_.data() + offset, s.data(), s.size());
+  }
+
+  template <typename T>
+  void PutVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "PutVec requires a trivially copyable type");
+    Put<u64>(v.size());
+    const size_t offset = buf_.size();
+    buf_.resize(offset + v.size() * sizeof(T));
+    if (!v.empty()) {
+      std::memcpy(buf_.data() + offset, v.data(), v.size() * sizeof(T));
+    }
+  }
+
+  void PutBytes(const void* data, size_t n) {
+    const size_t offset = buf_.size();
+    buf_.resize(offset + n);
+    if (n > 0) {
+      std::memcpy(buf_.data() + offset, data, n);
+    }
+  }
+
+  size_t size() const { return buf_.size(); }
+  std::vector<u8> Take() { return std::move(buf_); }
+  const std::vector<u8>& bytes() const { return buf_; }
+
+ private:
+  std::vector<u8> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<u8>& buf) : data_(buf.data()), size_(buf.size()) {}
+  ByteReader(const u8* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>, "Get requires a trivially copyable type");
+    ORION_CHECK(pos_ + sizeof(T) <= size_) << "ByteReader overrun";
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string GetString() {
+    const u64 n = Get<u64>();
+    ORION_CHECK(pos_ + n <= size_) << "ByteReader overrun";
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> GetVec() {
+    static_assert(std::is_trivially_copyable_v<T>, "GetVec requires a trivially copyable type");
+    const u64 n = Get<u64>();
+    ORION_CHECK(pos_ + n * sizeof(T) <= size_) << "ByteReader overrun";
+    std::vector<T> v(n);
+    if (n > 0) {
+      std::memcpy(v.data(), data_ + pos_, n * sizeof(T));
+    }
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const u8* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_SERDE_H_

@@ -1,0 +1,70 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace orion {
+
+ThreadPool::ThreadPool(int num_threads) {
+  ORION_CHECK(num_threads > 0);
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  tasks_.Close();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(wait_mutex_);
+    ++pending_;
+  }
+  tasks_.Push(std::move(fn));
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  wait_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    auto task = tasks_.Pop();
+    if (!task.has_value()) {
+      return;
+    }
+    (*task)();
+    {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      --pending_;
+    }
+    wait_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(i64 n, const std::function<void(i64, i64)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  const i64 chunks = std::min<i64>(n, num_threads());
+  const i64 chunk = (n + chunks - 1) / chunks;
+  for (i64 c = 0; c < chunks; ++c) {
+    const i64 begin = c * chunk;
+    const i64 end = std::min(n, begin + chunk);
+    if (begin >= end) {
+      break;
+    }
+    Submit([&fn, begin, end] { fn(begin, end); });
+  }
+  Wait();
+}
+
+}  // namespace orion

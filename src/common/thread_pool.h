@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// Used by baselines (which model shared-memory workers) and by drivers for
+// local preprocessing. The Orion runtime itself uses dedicated Executor
+// threads (src/runtime) rather than this pool.
+#ifndef ORION_SRC_COMMON_THREAD_POOL_H_
+#define ORION_SRC_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/common/blocking_queue.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Schedules fn; Wait() blocks until all scheduled work has finished.
+  void Submit(std::function<void()> fn);
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Runs fn(i) for i in [0, n) partitioned into num_threads contiguous
+  // chunks, blocking until done.
+  void ParallelFor(i64 n, const std::function<void(i64 begin, i64 end)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+  i64 pending_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_THREAD_POOL_H_

@@ -1,0 +1,51 @@
+// Wall-clock stopwatch for throughput measurements.
+#ifndef ORION_SRC_COMMON_TIMER_H_
+#define ORION_SRC_COMMON_TIMER_H_
+
+#include <ctime>
+
+#include <chrono>
+
+namespace orion {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Measures CPU time consumed by the *calling thread*. Simulated workers
+// timeshare the host's cores, so per-worker compute must be charged in
+// thread CPU time — wall time would include preemption by sibling workers.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_TIMER_H_

@@ -1,0 +1,40 @@
+// Core scalar and index types shared across the Orion library.
+#ifndef ORION_SRC_COMMON_TYPES_H_
+#define ORION_SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace orion {
+
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using f32 = float;
+using f64 = double;
+
+// An index vector identifying one iteration (equivalently, one element of an
+// N-dimensional DistArray). Dimension order is application order: index[0] is
+// the first subscript position.
+using IndexVec = std::vector<i64>;
+
+// Identifies a DistArray inside a driver session.
+using DistArrayId = i32;
+inline constexpr DistArrayId kInvalidDistArrayId = -1;
+
+// Identifies a logical worker (executor).
+using WorkerId = i32;
+inline constexpr WorkerId kMasterRank = -1;
+
+inline constexpr i64 kI64Max = std::numeric_limits<i64>::max();
+inline constexpr i64 kI64Min = std::numeric_limits<i64>::min();
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_TYPES_H_

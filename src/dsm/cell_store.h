@@ -1,0 +1,230 @@
+// Storage for the cells of one DistArray partition.
+//
+// Three layouts:
+//  - kHashed: holds an arbitrary subset of cells (sparse arrays, server
+//    shards, caches). Iteration order is insertion order, so executions are
+//    deterministic.
+//  - kDenseRange: holds the contiguous key range [lo, hi] of a dense array
+//    (range partitions and rotated partitions of dense parameter arrays).
+//    Constant-time, hash-free access — this is the hot path of kernels.
+//  - kFullDense: holds every cell of the key space contiguously (small
+//    replicated arrays, driver-resident master copies).
+//
+// All values are f32 spans of length value_dim.
+#ifndef ORION_SRC_DSM_CELL_STORE_H_
+#define ORION_SRC_DSM_CELL_STORE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+class CellStore {
+ public:
+  enum class Layout : u8 { kHashed, kFullDense, kDenseRange };
+
+  CellStore() : CellStore(1, Layout::kHashed, 0) {}
+  CellStore(i32 value_dim, Layout layout, i64 dense_total)
+      : value_dim_(value_dim), layout_(layout) {
+    ORION_CHECK(value_dim > 0);
+    ORION_CHECK(layout != Layout::kDenseRange) << "use CellStore::DenseRange";
+    if (layout_ == Layout::kFullDense) {
+      ORION_CHECK(dense_total >= 0);
+      range_lo_ = 0;
+      range_hi_ = dense_total - 1;
+      values_.assign(static_cast<size_t>(dense_total) * value_dim_, 0.0f);
+    }
+  }
+
+  // A dense block over keys [lo, hi] (inclusive).
+  static CellStore DenseRange(i32 value_dim, i64 lo, i64 hi) {
+    ORION_CHECK(value_dim > 0);
+    ORION_CHECK(hi >= lo - 1);  // hi == lo-1 encodes an empty range
+    CellStore s;
+    s.value_dim_ = value_dim;
+    s.layout_ = Layout::kDenseRange;
+    s.range_lo_ = lo;
+    s.range_hi_ = hi;
+    s.values_.assign(static_cast<size_t>(hi - lo + 1) * static_cast<size_t>(value_dim), 0.0f);
+    return s;
+  }
+
+  i32 value_dim() const { return value_dim_; }
+  Layout layout() const { return layout_; }
+  bool IsDense() const { return layout_ != Layout::kHashed; }
+  i64 range_lo() const { return range_lo_; }
+  i64 range_hi() const { return range_hi_; }
+
+  i64 NumCells() const {
+    return IsDense() ? range_hi_ - range_lo_ + 1 : static_cast<i64>(keys_.size());
+  }
+
+  // Returns the cell value span, or nullptr if absent (hashed layout only).
+  const f32* Get(i64 key) const {
+    if (IsDense()) {
+      ORION_CHECK(key >= range_lo_ && key <= range_hi_)
+          << "key" << key << "outside dense range [" << range_lo_ << "," << range_hi_ << "]";
+      return values_.data() + static_cast<size_t>(key - range_lo_) * value_dim_;
+    }
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : values_.data() + it->second;
+  }
+
+  // Returns a mutable span, inserting a zero-initialized cell if absent.
+  f32* GetOrCreate(i64 key) {
+    if (IsDense()) {
+      ORION_CHECK(key >= range_lo_ && key <= range_hi_)
+          << "key" << key << "outside dense range [" << range_lo_ << "," << range_hi_ << "]";
+      return values_.data() + static_cast<size_t>(key - range_lo_) * value_dim_;
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      return values_.data() + it->second;
+    }
+    const size_t offset = values_.size();
+    values_.resize(offset + static_cast<size_t>(value_dim_), 0.0f);
+    index_.emplace(key, offset);
+    keys_.push_back(key);
+    return values_.data() + offset;
+  }
+
+  bool Contains(i64 key) const {
+    if (IsDense()) {
+      return key >= range_lo_ && key <= range_hi_;
+    }
+    return index_.find(key) != index_.end();
+  }
+
+  // Visits cells in a deterministic order (insertion order for hashed,
+  // key order for dense). Templated so hot loops inline the body.
+  template <typename F>
+  void ForEachFast(F&& fn) {
+    if (IsDense()) {
+      for (i64 k = range_lo_; k <= range_hi_; ++k) {
+        fn(k, values_.data() + static_cast<size_t>(k - range_lo_) * value_dim_);
+      }
+      return;
+    }
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      // Insertion order: cell i lives at offset i * value_dim_.
+      fn(keys_[i], values_.data() + i * static_cast<size_t>(value_dim_));
+    }
+  }
+
+  void ForEach(const std::function<void(i64 key, f32* value)>& fn) {
+    if (IsDense()) {
+      for (i64 k = range_lo_; k <= range_hi_; ++k) {
+        fn(k, values_.data() + static_cast<size_t>(k - range_lo_) * value_dim_);
+      }
+      return;
+    }
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      fn(keys_[i], values_.data() + i * static_cast<size_t>(value_dim_));
+    }
+  }
+
+  void ForEachConst(const std::function<void(i64 key, const f32* value)>& fn) const {
+    const_cast<CellStore*>(this)->ForEach(
+        [&fn](i64 key, f32* value) { fn(key, value); });
+  }
+
+  // Visits the `chunk`-th of `num_chunks` contiguous slices of the cell
+  // sequence (hashed layout; used for bounded-delay sync rounds).
+  void ForEachSlice(int chunk, int num_chunks, const std::function<void(i64 key, f32* value)>& fn) {
+    ORION_CHECK(layout_ == Layout::kHashed);
+    ORION_CHECK(chunk >= 0 && chunk < num_chunks);
+    const size_t n = keys_.size();
+    const size_t begin = n * static_cast<size_t>(chunk) / static_cast<size_t>(num_chunks);
+    const size_t end = n * static_cast<size_t>(chunk + 1) / static_cast<size_t>(num_chunks);
+    for (size_t i = begin; i < end; ++i) {
+      fn(keys_[i], values_.data() + i * static_cast<size_t>(value_dim_));
+    }
+  }
+
+  const std::vector<i64>& keys() const {
+    ORION_CHECK(layout_ == Layout::kHashed);
+    return keys_;
+  }
+
+  void Clear() {
+    if (IsDense()) {
+      values_.assign(values_.size(), 0.0f);
+      return;
+    }
+    index_.clear();
+    keys_.clear();
+    values_.clear();
+  }
+
+  // ---- Serialization (fabric payloads & checkpoints) ----
+
+  void Serialize(ByteWriter* w) const {
+    w->Put<i32>(value_dim_);
+    w->Put<u8>(static_cast<u8>(layout_));
+    if (IsDense()) {
+      w->Put<i64>(range_lo_);
+      w->Put<i64>(range_hi_);
+      w->PutVec(values_);
+      return;
+    }
+    w->PutVec(keys_);
+    w->PutVec(values_);
+  }
+
+  static CellStore Deserialize(ByteReader* r) {
+    const i32 value_dim = r->Get<i32>();
+    const Layout layout = static_cast<Layout>(r->Get<u8>());
+    if (layout != Layout::kHashed) {
+      const i64 lo = r->Get<i64>();
+      const i64 hi = r->Get<i64>();
+      CellStore s = DenseRange(value_dim, lo, hi);
+      s.layout_ = layout;
+      s.values_ = r->GetVec<f32>();
+      ORION_CHECK(static_cast<i64>(s.values_.size()) == (hi - lo + 1) * value_dim);
+      return s;
+    }
+    CellStore s(value_dim, Layout::kHashed, 0);
+    s.keys_ = r->GetVec<i64>();
+    s.values_ = r->GetVec<f32>();
+    ORION_CHECK(s.values_.size() == s.keys_.size() * static_cast<size_t>(value_dim));
+    s.index_.reserve(s.keys_.size());
+    for (size_t i = 0; i < s.keys_.size(); ++i) {
+      s.index_.emplace(s.keys_[i], i * static_cast<size_t>(value_dim));
+    }
+    return s;
+  }
+
+  // Adds every cell of `other` into this store (cell-wise +=). Used to merge
+  // buffered updates with the default additive apply.
+  void MergeAdd(const CellStore& other) {
+    ORION_CHECK(other.value_dim_ == value_dim_);
+    other.ForEachConst([this](i64 key, const f32* v) {
+      f32* dst = GetOrCreate(key);
+      for (i32 d = 0; d < value_dim_; ++d) {
+        dst[d] += v[d];
+      }
+    });
+  }
+
+  size_t ApproxBytes() const {
+    return values_.size() * sizeof(f32) + keys_.size() * (sizeof(i64) + 16);
+  }
+
+ private:
+  i32 value_dim_ = 1;
+  Layout layout_ = Layout::kHashed;
+  i64 range_lo_ = 0;   // dense layouts: first key
+  i64 range_hi_ = -1;  // dense layouts: last key (inclusive)
+  std::unordered_map<i64, size_t> index_;  // key -> offset into values_
+  std::vector<i64> keys_;                  // insertion order
+  std::vector<f32> values_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_DSM_CELL_STORE_H_

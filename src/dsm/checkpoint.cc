@@ -1,0 +1,63 @@
+#include "src/dsm/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "src/common/serde.h"
+
+namespace orion {
+
+namespace {
+constexpr u32 kMagic = 0x4f52434b;  // "ORCK"
+constexpr u32 kVersion = 2;
+}  // namespace
+
+Status CheckpointWrite(const std::string& path, const CellStore& store) {
+  ByteWriter w;
+  w.Put<u32>(kMagic);
+  w.Put<u32>(kVersion);
+  store.Serialize(&w);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    const auto& bytes = w.bytes();
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      return Status::IoError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename " + tmp + " -> " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+StatusOr<CellStore> CheckpointRead(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<u8> bytes(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) {
+    return Status::IoError("short read from " + path);
+  }
+  ByteReader r(bytes);
+  if (r.Get<u32>() != kMagic) {
+    return Status::InvalidArgument(path + " is not an Orion checkpoint");
+  }
+  if (r.Get<u32>() != kVersion) {
+    return Status::InvalidArgument(path + " has an unsupported checkpoint version");
+  }
+  return CellStore::Deserialize(&r);
+}
+
+}  // namespace orion

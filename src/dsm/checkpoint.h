@@ -1,0 +1,21 @@
+// DistArray checkpointing (paper Sec. 4.3 "Fault tolerance"): a driver can
+// eagerly write a DistArray's cells to disk and restore them later.
+#ifndef ORION_SRC_DSM_CHECKPOINT_H_
+#define ORION_SRC_DSM_CHECKPOINT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dsm/cell_store.h"
+
+namespace orion {
+
+// Writes `store` to `path` (atomic via rename of a temp file).
+Status CheckpointWrite(const std::string& path, const CellStore& store);
+
+// Reads a CellStore previously written by CheckpointWrite.
+StatusOr<CellStore> CheckpointRead(const std::string& path);
+
+}  // namespace orion
+
+#endif  // ORION_SRC_DSM_CHECKPOINT_H_

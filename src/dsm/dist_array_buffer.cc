@@ -1,0 +1,21 @@
+#include "src/dsm/dist_array_buffer.h"
+
+namespace orion {
+
+BufferApplyFn MakeAddApplyFn() {
+  return [](f32* cell, const f32* update, i32 value_dim) {
+    for (i32 d = 0; d < value_dim; ++d) {
+      cell[d] += update[d];
+    }
+  };
+}
+
+BufferCombineFn MakeAddCombineFn() {
+  return [](f32* pending, const f32* incoming, i32 update_dim) {
+    for (i32 d = 0; d < update_dim; ++d) {
+      pending[d] += incoming[d];
+    }
+  };
+}
+
+}  // namespace orion

@@ -1,0 +1,82 @@
+// DistArray Buffers (paper Sec. 3.3): per-worker write-back buffers whose
+// writes are exempt from dependence analysis.
+//
+// A buffer accumulates updates locally; on flush the updates are shipped to
+// the owning shard and applied cell-by-cell with a user-defined apply
+// function executed atomically per cell. The apply UDF enables adaptive
+// gradient algorithms (AdaGrad / Adaptive Revision) because the owner can
+// keep auxiliary state in the cell's value span.
+#ifndef ORION_SRC_DSM_DIST_ARRAY_BUFFER_H_
+#define ORION_SRC_DSM_DIST_ARRAY_BUFFER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/dsm/cell_store.h"
+
+namespace orion {
+
+// Applies one buffered update to one cell. `cell` is the authoritative value
+// span (value_dim floats); `update` is the buffered update span
+// (update_dim floats, which may differ from value_dim when the update
+// carries extra info such as the old parameter value for AdaRevision).
+using BufferApplyFn = std::function<void(f32* cell, const f32* update, i32 value_dim)>;
+
+// The default apply: cell += update (update_dim == value_dim).
+BufferApplyFn MakeAddApplyFn();
+
+// Combines two pending updates for the same key inside the buffer before
+// flush (update coalescing). Default is element-wise addition.
+using BufferCombineFn = std::function<void(f32* pending, const f32* incoming, i32 update_dim)>;
+BufferCombineFn MakeAddCombineFn();
+
+class DistArrayBuffer {
+ public:
+  DistArrayBuffer(DistArrayId target, i32 update_dim, BufferApplyFn apply,
+                  BufferCombineFn combine)
+      : target_(target),
+        update_dim_(update_dim),
+        apply_(std::move(apply)),
+        combine_(std::move(combine)),
+        pending_(update_dim, CellStore::Layout::kHashed, 0) {}
+
+  DistArrayId target() const { return target_; }
+  i32 update_dim() const { return update_dim_; }
+  const BufferApplyFn& apply_fn() const { return apply_; }
+
+  // Buffers an update for `key`, coalescing with any pending update.
+  void Accumulate(i64 key, const f32* update) {
+    f32* slot = pending_.GetOrCreate(key);
+    combine_(slot, update, update_dim_);
+  }
+
+  i64 NumPending() const { return pending_.NumCells(); }
+
+  // Drains the pending updates (leaves the buffer empty).
+  CellStore Drain() {
+    CellStore out = std::move(pending_);
+    pending_ = CellStore(update_dim_, CellStore::Layout::kHashed, 0);
+    return out;
+  }
+
+  // Applies a drained update store onto authoritative cells.
+  static void ApplyTo(CellStore* cells, const CellStore& updates, const BufferApplyFn& apply) {
+    updates.ForEachConst([&](i64 key, const f32* update) {
+      f32* cell = cells->GetOrCreate(key);
+      apply(cell, update, cells->value_dim());
+    });
+  }
+
+ private:
+  DistArrayId target_;
+  i32 update_dim_;
+  BufferApplyFn apply_;
+  BufferCombineFn combine_;
+  CellStore pending_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_DSM_DIST_ARRAY_BUFFER_H_

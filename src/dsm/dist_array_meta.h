@@ -1,0 +1,48 @@
+// Metadata describing a DistArray (paper Sec. 3.1).
+//
+// A DistArray is an N-dimensional matrix of cells; each cell is a fixed-size
+// span of `value_dim` f32s (rank-r factor rows, K-topic count vectors, or
+// plain scalars with value_dim == 1). DistArrays may be dense (every index
+// present) or sparse (only materialized entries exist, e.g. a rating matrix).
+#ifndef ORION_SRC_DSM_DIST_ARRAY_META_H_
+#define ORION_SRC_DSM_DIST_ARRAY_META_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dsm/key_space.h"
+
+namespace orion {
+
+enum class Density { kDense, kSparse };
+
+// How a DistArray is laid out across workers during a parallel for-loop.
+enum class PartitionScheme {
+  kUnpartitioned,  // driver-local
+  kRange,          // range partitioned along one dimension (space dim)
+  kSpaceTime,      // 2D partitioned (space dim owned, time dim rotated)
+  kServer,         // hosted by the server; accessed via prefetch/buffer
+  kReplicated,     // full copy on every worker; writes must be buffered
+  kIterSpace,      // the loop's iteration space (partitioned by the grid)
+};
+
+struct DistArrayMeta {
+  DistArrayId id = kInvalidDistArrayId;
+  std::string name;
+  KeySpace key_space;
+  i32 value_dim = 1;
+  Density density = Density::kDense;
+
+  PartitionScheme scheme = PartitionScheme::kUnpartitioned;
+  // For kRange / kSpaceTime: the array dimension aligned with the loop's
+  // space dimension; for kSpaceTime additionally the rotated dimension.
+  int partition_dim = -1;
+
+  i64 num_cells() const {
+    return density == Density::kDense ? key_space.total() : -1;
+  }
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_DSM_DIST_ARRAY_META_H_

@@ -1,0 +1,44 @@
+// Deterministic random bijections used by the DistArray `randomize`
+// operation (paper Sec. 4.3): remapping a skewed dimension through a random
+// permutation yields a near-uniform distribution so equal-width partitions
+// balance, complementing histogram-based splitting.
+#ifndef ORION_SRC_DSM_RANDOMIZE_H_
+#define ORION_SRC_DSM_RANDOMIZE_H_
+
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+class RandomPermutation {
+ public:
+  RandomPermutation(i64 n, u64 seed) : forward_(static_cast<size_t>(n)) {
+    ORION_CHECK(n > 0);
+    std::iota(forward_.begin(), forward_.end(), 0);
+    Rng rng(seed);
+    for (size_t i = forward_.size(); i-- > 1;) {
+      const size_t j = static_cast<size_t>(rng.NextBounded(i + 1));
+      std::swap(forward_[i], forward_[j]);
+    }
+    inverse_.resize(forward_.size());
+    for (size_t i = 0; i < forward_.size(); ++i) {
+      inverse_[static_cast<size_t>(forward_[i])] = static_cast<i64>(i);
+    }
+  }
+
+  i64 size() const { return static_cast<i64>(forward_.size()); }
+  i64 Map(i64 x) const { return forward_[static_cast<size_t>(x)]; }
+  i64 Inverse(i64 y) const { return inverse_[static_cast<size_t>(y)]; }
+
+ private:
+  std::vector<i64> forward_;
+  std::vector<i64> inverse_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_DSM_RANDOMIZE_H_

@@ -1,0 +1,158 @@
+#include "src/ir/expr.h"
+
+#include <optional>
+#include <sstream>
+
+namespace orion {
+
+namespace {
+
+// Linear form over loop indices: coeff[d] * index_d + constant, or
+// "not linear" / "contains runtime value".
+struct LinearForm {
+  bool has_runtime = false;
+  bool nonlinear = false;
+  i64 constant = 0;
+  // Sparse coefficient list (loop_dim, coeff).
+  std::vector<std::pair<int, i64>> coeffs;
+
+  void AddCoeff(int dim, i64 c) {
+    for (auto& [d, existing] : coeffs) {
+      if (d == dim) {
+        existing += c;
+        return;
+      }
+    }
+    coeffs.push_back({dim, c});
+  }
+
+  void PruneZeros() {
+    std::erase_if(coeffs, [](const auto& p) { return p.second == 0; });
+  }
+};
+
+LinearForm Analyze(const Expr& e) {
+  LinearForm f;
+  switch (e.op()) {
+    case ExprOp::kConst:
+      f.constant = e.value();
+      return f;
+    case ExprOp::kLoopIndex:
+      f.AddCoeff(e.loop_dim(), 1);
+      return f;
+    case ExprOp::kRuntime:
+      f.has_runtime = true;
+      return f;
+    case ExprOp::kAdd:
+    case ExprOp::kSub: {
+      LinearForm a = Analyze(*e.children()[0]);
+      LinearForm b = Analyze(*e.children()[1]);
+      f.has_runtime = a.has_runtime || b.has_runtime;
+      f.nonlinear = a.nonlinear || b.nonlinear;
+      const i64 sign = e.op() == ExprOp::kAdd ? 1 : -1;
+      f.constant = a.constant + sign * b.constant;
+      f.coeffs = a.coeffs;
+      for (const auto& [d, c] : b.coeffs) {
+        f.AddCoeff(d, sign * c);
+      }
+      f.PruneZeros();
+      return f;
+    }
+    case ExprOp::kMul: {
+      LinearForm a = Analyze(*e.children()[0]);
+      LinearForm b = Analyze(*e.children()[1]);
+      f.has_runtime = a.has_runtime || b.has_runtime;
+      f.nonlinear = a.nonlinear || b.nonlinear;
+      if (a.coeffs.empty() && b.coeffs.empty()) {
+        f.constant = a.constant * b.constant;
+        return f;
+      }
+      // const * linear stays linear; linear * linear is nonlinear.
+      if (!a.coeffs.empty() && !b.coeffs.empty()) {
+        f.nonlinear = true;
+        return f;
+      }
+      const LinearForm& lin = a.coeffs.empty() ? b : a;
+      const i64 k = a.coeffs.empty() ? a.constant : b.constant;
+      f.constant = lin.constant * k;
+      for (const auto& [d, c] : lin.coeffs) {
+        f.AddCoeff(d, c * k);
+      }
+      f.PruneZeros();
+      return f;
+    }
+  }
+  f.nonlinear = true;
+  return f;
+}
+
+}  // namespace
+
+Subscript ClassifySubscript(const ExprPtr& e) {
+  LinearForm f = Analyze(*e);
+  if (f.has_runtime) {
+    return Subscript::MakeRuntime();
+  }
+  if (f.nonlinear) {
+    return Subscript::MakeRange();
+  }
+  if (f.coeffs.empty()) {
+    return Subscript::MakeConstant(f.constant);
+  }
+  if (f.coeffs.size() == 1 && f.coeffs[0].second == 1) {
+    return Subscript::MakeLoopIndex(f.coeffs[0].first, f.constant);
+  }
+  // Multiple loop indices or scaled index: conservative.
+  return Subscript::MakeRange();
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (op_) {
+    case ExprOp::kConst:
+      os << value_;
+      break;
+    case ExprOp::kLoopIndex:
+      os << "i" << loop_dim_;
+      break;
+    case ExprOp::kRuntime:
+      os << "runtime(" << tag_ << ")";
+      break;
+    case ExprOp::kAdd:
+      os << "(" << children_[0]->ToString() << " + " << children_[1]->ToString() << ")";
+      break;
+    case ExprOp::kSub:
+      os << "(" << children_[0]->ToString() << " - " << children_[1]->ToString() << ")";
+      break;
+    case ExprOp::kMul:
+      os << "(" << children_[0]->ToString() << " * " << children_[1]->ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+std::string Subscript::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case SubscriptKind::kConstant:
+      os << constant;
+      break;
+    case SubscriptKind::kLoopIndex:
+      os << "i" << loop_dim;
+      if (constant > 0) {
+        os << "+" << constant;
+      } else if (constant < 0) {
+        os << constant;
+      }
+      break;
+    case SubscriptKind::kRange:
+      os << ":";
+      break;
+    case SubscriptKind::kRuntime:
+      os << "?";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace orion

@@ -1,0 +1,116 @@
+// Subscript expression AST.
+//
+// Orion's Julia macro analyzes the loop body's AST to extract, for each
+// DistArray reference, a subscript expression per dimension. This module is
+// the C++ equivalent: applications build small expression trees describing
+// their subscripts, and ClassifySubscript() reduces each tree to the 3-tuple
+// (dim_idx, const, type) the dependence test consumes (paper Sec. 4.2).
+//
+// The supported precise form is `loop_index ± constant` at each position;
+// anything else degrades conservatively (kRange over the whole dimension or
+// kRuntime for data-dependent subscripts), exactly as the paper specifies.
+#ifndef ORION_SRC_IR_EXPR_H_
+#define ORION_SRC_IR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace orion {
+
+enum class ExprOp {
+  kConst,      // integer literal
+  kLoopIndex,  // the d-th loop index variable
+  kRuntime,    // value known only at run time (data-dependent subscript)
+  kAdd,
+  kSub,
+  kMul,
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  static ExprPtr Const(i64 v) { return std::make_shared<Expr>(ExprOp::kConst, v, -1); }
+  static ExprPtr LoopIndex(int dim) {
+    return std::make_shared<Expr>(ExprOp::kLoopIndex, 0, dim);
+  }
+  // tag identifies the runtime source (for diagnostics / prefetch synthesis).
+  static ExprPtr Runtime(std::string tag) {
+    auto e = std::make_shared<Expr>(ExprOp::kRuntime, 0, -1);
+    const_cast<Expr*>(e.get())->tag_ = std::move(tag);
+    return e;
+  }
+  static ExprPtr Add(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kAdd, std::move(a), std::move(b)); }
+  static ExprPtr Sub(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kSub, std::move(a), std::move(b)); }
+  static ExprPtr Mul(ExprPtr a, ExprPtr b) { return Binary(ExprOp::kMul, std::move(a), std::move(b)); }
+
+  Expr(ExprOp op, i64 value, int dim) : op_(op), value_(value), loop_dim_(dim) {}
+
+  ExprOp op() const { return op_; }
+  i64 value() const { return value_; }
+  int loop_dim() const { return loop_dim_; }
+  const std::string& tag() const { return tag_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  std::string ToString() const;
+
+ private:
+  static ExprPtr Binary(ExprOp op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_shared<Expr>(op, 0, -1);
+    const_cast<Expr*>(e.get())->children_ = {std::move(a), std::move(b)};
+    return e;
+  }
+
+  ExprOp op_;
+  i64 value_;
+  int loop_dim_;
+  std::string tag_;
+  std::vector<ExprPtr> children_;
+};
+
+// The classified subscript: the paper's (dim_idx, const, stype) 3-tuple.
+enum class SubscriptKind {
+  kConstant,   // a fixed coordinate
+  kLoopIndex,  // loop_index(dim) + constant  (precisely analyzable)
+  kRange,      // a set query / unanalyzable affine form: any value in bounds
+  kRuntime,    // data-dependent: any value in bounds, not statically known
+};
+
+struct Subscript {
+  SubscriptKind kind = SubscriptKind::kRange;
+  int loop_dim = -1;  // valid for kLoopIndex
+  i64 constant = 0;   // kConstant: the coordinate; kLoopIndex: the offset
+
+  static Subscript MakeConstant(i64 c) { return {SubscriptKind::kConstant, -1, c}; }
+  static Subscript MakeLoopIndex(int dim, i64 offset = 0) {
+    return {SubscriptKind::kLoopIndex, dim, offset};
+  }
+  static Subscript MakeRange() { return {SubscriptKind::kRange, -1, 0}; }
+  static Subscript MakeRuntime() { return {SubscriptKind::kRuntime, -1, 0}; }
+
+  bool PreciselyAnalyzable() const {
+    return kind == SubscriptKind::kConstant || kind == SubscriptKind::kLoopIndex;
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Subscript& a, const Subscript& b) {
+    return a.kind == b.kind && a.loop_dim == b.loop_dim && a.constant == b.constant;
+  }
+};
+
+// Reduces an expression tree to a Subscript. The precise form is
+// `LoopIndex(d) + c` / `LoopIndex(d) - c` / `c` (constant folding over
+// +,-,* of constants is performed first). Any expression containing a
+// runtime value maps to kRuntime; any other shape (two loop indices,
+// loop_index * 2, ...) maps to kRange — "conservatively regarded as any
+// value within the DistArray's bounds" (paper Sec. 3.2).
+Subscript ClassifySubscript(const ExprPtr& e);
+
+}  // namespace orion
+
+#endif  // ORION_SRC_IR_EXPR_H_

@@ -1,0 +1,55 @@
+// The runtime interface a loop-body kernel programs against.
+//
+// A kernel is the compiled loop body: it receives the current iteration's
+// index vector and value, and touches DistArrays only through this context.
+// The same kernel serves three execution modes:
+//   - normal execution on an Executor (reads/writes local partitions),
+//   - server mode (reads come from prefetched caches, writes go to buffers),
+//   - access-recording mode (the synthesized bulk-prefetch pass, paper
+//     Sec. 4.4): reads of server-hosted arrays record their subscript and
+//     return a zero span; writes are discarded.
+#ifndef ORION_SRC_IR_LOOP_CONTEXT_H_
+#define ORION_SRC_IR_LOOP_CONTEXT_H_
+
+#include <functional>
+#include <span>
+
+#include "src/common/types.h"
+
+namespace orion {
+
+using IdxSpan = std::span<const i64>;
+
+class LoopContext {
+ public:
+  virtual ~LoopContext() = default;
+
+  // Reads a cell of `array`. Never returns nullptr: absent sparse cells and
+  // recording-mode reads yield a zero-filled span of the array's value_dim.
+  virtual const f32* Read(DistArrayId array, IdxSpan idx) = 0;
+
+  // Returns a mutable span for a cell this worker owns (dependence-preserving
+  // in-place write). Aborts if the cell is not locally owned — the planner
+  // guarantees owned access for analyzable writes.
+  virtual f32* Mutate(DistArrayId array, IdxSpan idx) = 0;
+
+  // Routes an update through the DistArray Buffer registered for `array`
+  // (dependence-exempt write; applied later with the buffer's apply UDF).
+  virtual void BufferUpdate(DistArrayId array, IdxSpan idx, const f32* update) = 0;
+
+  // Adds to the worker-local instance of accumulator `slot`.
+  virtual void AccumulatorAdd(int slot, f64 delta) = 0;
+
+  // True during the synthesized access-recording (prefetch) pass; kernels
+  // never need to check this, but exotic bodies may skip pure compute.
+  virtual bool recording() const { return false; }
+};
+
+// The compiled loop body. `idx` is the iteration index vector (the element's
+// N-tuple in the iteration-space DistArray); `value` is that element's value
+// span (e.g. the rating Z_ij).
+using LoopKernel = std::function<void(LoopContext& ctx, IdxSpan idx, const f32* value)>;
+
+}  // namespace orion
+
+#endif  // ORION_SRC_IR_LOOP_CONTEXT_H_

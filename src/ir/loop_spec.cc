@@ -1,0 +1,25 @@
+#include "src/ir/loop_spec.h"
+
+#include <sstream>
+
+namespace orion {
+
+std::string ArrayAccess::ToString() const {
+  std::ostringstream os;
+  os << array_name << "[";
+  for (size_t d = 0; d < subscripts.size(); ++d) {
+    if (d > 0) {
+      os << ", ";
+    }
+    os << subscripts[d].ToString();
+  }
+  os << "]";
+  os << (is_write ? " (write" : " (read");
+  if (buffered) {
+    os << ", buffered";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace orion

@@ -1,0 +1,73 @@
+// LoopSpec: the statically analyzable description of a parallel for-loop.
+//
+// This is what Orion's @parallel_for macro extracts from the Julia AST
+// (paper Fig. 6 "Loop information"): the iteration-space DistArray, the
+// ordering requirement, and every DistArray reference in the loop body with
+// its per-dimension subscript expressions. Writes routed through DistArray
+// Buffers are marked `buffered` and exempted from dependence analysis
+// (paper Sec. 3.3).
+#ifndef ORION_SRC_IR_LOOP_SPEC_H_
+#define ORION_SRC_IR_LOOP_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/ir/expr.h"
+
+namespace orion {
+
+struct ArrayAccess {
+  DistArrayId array = kInvalidDistArrayId;
+  std::string array_name;             // diagnostics only
+  std::vector<Subscript> subscripts;  // one per array dimension
+  bool is_write = false;
+  bool buffered = false;  // write through a DistArray Buffer -> exempt
+
+  std::string ToString() const;
+};
+
+struct LoopSpec {
+  // Iteration space: the DistArray being iterated (paper Sec. 3.2). Its
+  // dimensionality defines the loop nest depth.
+  DistArrayId iter_space = kInvalidDistArrayId;
+  std::vector<i64> iter_extents;  // iteration-space bounds per dimension
+  bool ordered = false;           // enforce lexicographic iteration order
+
+  std::vector<ArrayAccess> accesses;
+
+  int num_dims() const { return static_cast<int>(iter_extents.size()); }
+
+  // Declares one DistArray reference; subscript expressions are classified
+  // immediately (the "static analysis of the loop code" step).
+  void AddAccess(DistArrayId array, std::string name, const std::vector<ExprPtr>& subs,
+                 bool is_write, bool buffered = false) {
+    ArrayAccess a;
+    a.array = array;
+    a.array_name = std::move(name);
+    a.subscripts.reserve(subs.size());
+    for (const auto& e : subs) {
+      a.subscripts.push_back(ClassifySubscript(e));
+    }
+    a.is_write = is_write;
+    a.buffered = buffered;
+    accesses.push_back(std::move(a));
+  }
+
+  // Convenience for already-classified subscripts (tests).
+  void AddClassifiedAccess(DistArrayId array, std::string name, std::vector<Subscript> subs,
+                           bool is_write, bool buffered = false) {
+    ArrayAccess a;
+    a.array = array;
+    a.array_name = std::move(name);
+    a.subscripts = std::move(subs);
+    a.is_write = is_write;
+    a.buffered = buffered;
+    accesses.push_back(std::move(a));
+  }
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_IR_LOOP_SPEC_H_

@@ -1,0 +1,45 @@
+// Network cost model for the simulated fabric.
+//
+// The paper's cluster uses 40Gbps Ethernet; we model per-message cost as
+// latency + bytes/bandwidth and (optionally) charge it as real sender-side
+// delay so time-based experiments reflect communication volume. Cost can
+// also be accounted on a virtual clock only (no sleeping) for fast runs.
+#ifndef ORION_SRC_NET_COST_MODEL_H_
+#define ORION_SRC_NET_COST_MODEL_H_
+
+#include "src/common/types.h"
+
+namespace orion {
+
+struct NetCostModel {
+  // Per-message fixed latency, microseconds.
+  double latency_us = 0.0;
+  // Link bandwidth in bits per second; 0 disables the bandwidth term.
+  double bandwidth_bps = 0.0;
+  // If true, Send() sleeps for the computed cost (models marshalling +
+  // serialization occupancy on the sender); if false, cost is only recorded
+  // on the virtual clock.
+  bool charge_real_time = false;
+
+  static NetCostModel Unlimited() { return NetCostModel{}; }
+
+  static NetCostModel Ethernet40G(bool charge_real_time = false) {
+    NetCostModel m;
+    m.latency_us = 20.0;
+    m.bandwidth_bps = 40e9;
+    m.charge_real_time = charge_real_time;
+    return m;
+  }
+
+  double CostSeconds(size_t bytes) const {
+    double s = latency_us * 1e-6;
+    if (bandwidth_bps > 0.0) {
+      s += static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+    }
+    return s;
+  }
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_NET_COST_MODEL_H_

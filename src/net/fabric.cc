@@ -1,0 +1,76 @@
+#include "src/net/fabric.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/status.h"
+
+namespace orion {
+
+Fabric::Fabric(int num_workers, NetCostModel cost_model, double stats_bucket_seconds)
+    : num_workers_(num_workers),
+      cost_model_(cost_model),
+      bucket_seconds_(stats_bucket_seconds) {
+  ORION_CHECK(num_workers > 0);
+  ORION_CHECK(stats_bucket_seconds > 0.0);
+  inboxes_.reserve(static_cast<size_t>(num_workers) + 1);
+  for (int i = 0; i < num_workers + 1; ++i) {
+    inboxes_.push_back(std::make_unique<BlockingQueue<Message>>());
+  }
+}
+
+BlockingQueue<Message>& Fabric::InboxFor(WorkerId rank) {
+  ORION_CHECK(rank >= kMasterRank && rank < num_workers_) << "bad rank" << rank;
+  return *inboxes_[static_cast<size_t>(rank + 1)];
+}
+
+void Fabric::Send(Message msg) {
+  const size_t wire = msg.WireSize();
+  const double cost = cost_model_.CostSeconds(wire);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++messages_sent_;
+    bytes_sent_ += wire;
+    virtual_net_seconds_ += cost;
+    const auto bucket = static_cast<size_t>(clock_.ElapsedSeconds() / bucket_seconds_);
+    if (bytes_per_bucket_.size() <= bucket) {
+      bytes_per_bucket_.resize(bucket + 1, 0);
+    }
+    bytes_per_bucket_[bucket] += wire;
+  }
+  if (cost_model_.charge_real_time && cost > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(cost));
+  }
+  InboxFor(msg.to).Push(std::move(msg));
+}
+
+std::optional<Message> Fabric::Recv(WorkerId rank) { return InboxFor(rank).Pop(); }
+
+std::optional<Message> Fabric::TryRecv(WorkerId rank) { return InboxFor(rank).TryPop(); }
+
+void Fabric::Shutdown() {
+  for (auto& inbox : inboxes_) {
+    inbox->Close();
+  }
+}
+
+FabricStats Fabric::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  FabricStats s;
+  s.messages_sent = messages_sent_;
+  s.bytes_sent = bytes_sent_;
+  s.virtual_net_seconds = virtual_net_seconds_;
+  s.bytes_per_bucket = bytes_per_bucket_;
+  s.bucket_seconds = bucket_seconds_;
+  return s;
+}
+
+void Fabric::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  messages_sent_ = 0;
+  bytes_sent_ = 0;
+  virtual_net_seconds_ = 0.0;
+  bytes_per_bucket_.clear();
+}
+
+}  // namespace orion

@@ -1,0 +1,85 @@
+// In-process message fabric simulating a distributed cluster interconnect.
+//
+// Each logical process (master rank -1 plus workers 0..N-1) owns an inbox.
+// Links are in-order and reliable. All payloads are serialized bytes, so
+// nothing structured is shared between endpoints: the worker model is
+// share-nothing even though workers are threads.
+//
+// The fabric meters traffic into fixed-width time buckets, which reproduces
+// the paper's Fig. 12 (bandwidth usage over time).
+#ifndef ORION_SRC_NET_FABRIC_H_
+#define ORION_SRC_NET_FABRIC_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/common/blocking_queue.h"
+#include "src/common/timer.h"
+#include "src/common/types.h"
+#include "src/net/cost_model.h"
+#include "src/net/message.h"
+
+namespace orion {
+
+struct FabricStats {
+  u64 messages_sent = 0;
+  u64 bytes_sent = 0;
+  double virtual_net_seconds = 0.0;  // accumulated modeled cost
+  // Bytes sent per time bucket since fabric creation (wall clock).
+  std::vector<u64> bytes_per_bucket;
+  double bucket_seconds = 0.0;
+};
+
+class Fabric {
+ public:
+  // num_workers worker endpoints plus one master endpoint (kMasterRank).
+  explicit Fabric(int num_workers, NetCostModel cost_model = NetCostModel::Unlimited(),
+                  double stats_bucket_seconds = 1.0);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int num_workers() const { return num_workers_; }
+  const NetCostModel& cost_model() const { return cost_model_; }
+
+  // Sends msg to msg.to (may be kMasterRank). Thread-safe.
+  void Send(Message msg);
+
+  // Blocking receive on the given endpoint. Returns nullopt after Shutdown().
+  std::optional<Message> Recv(WorkerId rank);
+
+  // Non-blocking receive.
+  std::optional<Message> TryRecv(WorkerId rank);
+
+  // Closes all inboxes; receivers drain then observe nullopt.
+  void Shutdown();
+
+  FabricStats Stats() const;
+  // Resets counters (used between benchmark phases).
+  void ResetStats();
+
+  double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
+
+ private:
+  BlockingQueue<Message>& InboxFor(WorkerId rank);
+
+  int num_workers_;
+  NetCostModel cost_model_;
+  double bucket_seconds_;
+  Stopwatch clock_;
+
+  std::vector<std::unique_ptr<BlockingQueue<Message>>> inboxes_;  // [0]=master, [1+i]=worker i
+
+  mutable std::mutex stats_mutex_;
+  u64 messages_sent_ = 0;
+  u64 bytes_sent_ = 0;
+  double virtual_net_seconds_ = 0.0;
+  std::vector<u64> bytes_per_bucket_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_NET_FABRIC_H_

@@ -1,0 +1,41 @@
+// Message types exchanged over the simulated fabric.
+#ifndef ORION_SRC_NET_MESSAGE_H_
+#define ORION_SRC_NET_MESSAGE_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace orion {
+
+// Message kinds cover both the Orion runtime protocol and the baseline
+// parameter-server protocol; the fabric itself is kind-agnostic.
+enum class MsgKind : u16 {
+  kControl = 0,        // master <-> worker control plane
+  kPartitionData = 1,  // DistArray partition rotation (2D schedules)
+  kTimeStepToken = 2,  // predecessor -> successor "you may start" signal
+  kParamRequest = 3,   // server mode: read request (bulk prefetch list)
+  kParamReply = 4,     // server mode: values
+  kParamUpdate = 5,    // server mode: buffered writes flush
+  kAccumulator = 6,    // accumulator aggregation
+  kBarrier = 7,        // distributed barrier protocol
+  kShutdown = 8,
+};
+
+struct Message {
+  WorkerId from = 0;
+  WorkerId to = 0;
+  MsgKind kind = MsgKind::kControl;
+  u32 tag = 0;  // schedule-defined disambiguator (e.g. time step number)
+  std::vector<u8> payload;
+
+  size_t WireSize() const {
+    // Approximate header cost of a real transport.
+    static constexpr size_t kHeaderBytes = 32;
+    return kHeaderBytes + payload.size();
+  }
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_NET_MESSAGE_H_

@@ -1,0 +1,131 @@
+// CompiledLoop: everything the runtime derives from one @parallel_for site.
+//
+// Compilation happens once per loop (paper Sec. 4.1: macro expansion and JIT
+// compilation execute once even when the loop runs many times): the
+// dependence analysis, the parallelization plan, the iteration-space grid
+// (histogram-balanced splits), and the concrete schedule. Executors hold a
+// shared read-only pointer to this structure.
+#ifndef ORION_SRC_RUNTIME_COMPILED_LOOP_H_
+#define ORION_SRC_RUNTIME_COMPILED_LOOP_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/analysis/plan.h"
+#include "src/dsm/dist_array_buffer.h"
+#include "src/dsm/partition.h"
+#include "src/ir/loop_context.h"
+#include "src/ir/analyze_body.h"
+#include "src/ir/loop_spec.h"
+#include "src/sched/schedule.h"
+
+namespace orion {
+
+// How server-hosted reads are fetched (paper Sec. 4.4 and the SLR
+// prefetching experiment in Sec. 6.3).
+enum class PrefetchMode {
+  kPerKey,   // one request per key: models naive remote random access
+  kBulk,     // synthesized recording pass per execution, batched request
+  kCached,   // recording pass once; key list reused across passes
+};
+
+struct ParallelForOptions {
+  bool ordered = false;
+  PlannerOptions planner;
+  int pipeline_depth = 2;  // time partitions per worker (unordered 2D)
+  PrefetchMode prefetch = PrefetchMode::kBulk;
+  // 1D loops only: bound how long buffered writes to server-hosted arrays
+  // may be delayed (paper Sec. 3.3) by splitting each pass into this many
+  // sync rounds — each round prefetches fresh values, computes a slice of
+  // the local iterations, and flushes its buffered updates.
+  int server_sync_rounds = 1;
+  // Ablation knob: use equal-width iteration-space splits instead of the
+  // histogram-balanced ones (paper Sec. 4.3 skew handling).
+  bool equal_width_partitions = false;
+  // Bound (in loop iterations) on how long buffered writes to *locally
+  // owned* arrays (range/rotated placements) may stay buffered within one
+  // block (paper Sec. 3.3: "the application program may optionally bound
+  // how long the writes can be buffered"). 0 = apply once per step.
+  i64 buffer_flush_every = 0;
+};
+
+struct CompiledLoop {
+  i32 loop_id = 0;
+  LoopSpec spec;
+  LoopKernel kernel;
+  ParallelForOptions options;
+
+  // When the loop was compiled from a statement-level LoopBody, the
+  // synthesized prefetch function (paper Sec. 4.4): executors interpret it
+  // instead of replaying the kernel in recording mode.
+  std::shared_ptr<const PrefetchProgram> prefetch_program;
+  std::map<DistArrayId, KeySpace> prefetch_key_spaces;
+
+  ParallelizationPlan plan;
+
+  // Iteration-space partitioning. For 1D only `space_splits` is meaningful.
+  SpaceTimeGrid grid;
+
+  // Concrete schedule (which one is valid depends on plan.form/ordered).
+  OneDSchedule sched_1d;
+  WavefrontSchedule sched_wave;
+  RotationSchedule sched_rot;
+
+  int num_workers = 1;
+
+  bool Is2D() const {
+    return plan.form == ParallelForm::k2D || plan.form == ParallelForm::k2DUnimodular;
+  }
+  // Transformed loops run in lockstep: every worker executes the *same*
+  // transformed-outer value each step (dependences are carried by that
+  // dimension with arbitrary distances, so staggering workers would let
+  // dependent blocks run concurrently).
+  bool UsesLockstep() const { return plan.form == ParallelForm::k2DUnimodular; }
+  bool UsesWavefront() const {
+    return Is2D() && plan.ordered && !UsesLockstep();
+  }
+  bool UsesRotation() const { return Is2D() && !UsesWavefront() && !UsesLockstep(); }
+  bool NeedsStepBarrier() const { return UsesWavefront() || UsesLockstep(); }
+
+  int NumSteps() const {
+    if (!Is2D()) {
+      return 1;
+    }
+    if (UsesLockstep()) {
+      return sched_wave.num_time_parts;
+    }
+    return UsesWavefront() ? sched_wave.num_steps() : sched_rot.num_steps();
+  }
+
+  // Time partition worker executes at a step (-1 = idle this step).
+  int TimePartAt(int worker, int step) const {
+    if (!Is2D()) {
+      return -1;
+    }
+    if (UsesLockstep()) {
+      return step;
+    }
+    return UsesWavefront() ? sched_wave.TimePartAt(worker, step)
+                           : sched_rot.TimePartAt(worker, step);
+  }
+
+  // Applies the plan's unimodular transform to an iteration index (identity
+  // for non-transformed loops). Only 2D index spaces are transformed.
+  std::pair<i64, i64> ToScheduleCoords(i64 p0, i64 p1) const {
+    if (plan.form != ParallelForm::k2DUnimodular) {
+      return {p0, p1};
+    }
+    return plan.transform.Apply(p0, p1);
+  }
+
+  const ArrayPlacement& PlacementOf(DistArrayId array) const {
+    auto it = plan.placements.find(array);
+    ORION_CHECK(it != plan.placements.end()) << "no placement for array" << array;
+    return it->second;
+  }
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_RUNTIME_COMPILED_LOOP_H_

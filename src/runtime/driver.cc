@@ -1,0 +1,937 @@
+#include "src/runtime/driver.h"
+
+#include <algorithm>
+
+#include "src/common/histogram.h"
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+#include "src/dsm/randomize.h"
+
+#include <fstream>
+
+namespace orion {
+
+namespace {
+u32 PartTag(int tau) { return static_cast<u32>(tau + 1); }
+}  // namespace
+
+Driver::Driver(const DriverConfig& config)
+    : config_(config),
+      fabric_(std::make_unique<Fabric>(config.num_workers, config.net,
+                                       config.stats_bucket_seconds)),
+      rng_(config.seed) {
+  ORION_CHECK(config.num_workers > 0);
+  executors_.reserve(static_cast<size_t>(config.num_workers));
+  threads_.reserve(static_cast<size_t>(config.num_workers));
+  for (int w = 0; w < config.num_workers; ++w) {
+    executors_.push_back(std::make_unique<Executor>(w, fabric_.get(), &dir_));
+    threads_.emplace_back([ex = executors_.back().get()] { ex->Run(); });
+  }
+}
+
+Driver::~Driver() {
+  for (int w = 0; w < config_.num_workers; ++w) {
+    Message m;
+    m.from = kMasterRank;
+    m.to = w;
+    m.kind = MsgKind::kShutdown;
+    fabric_->Send(std::move(m));
+  }
+  for (auto& t : threads_) {
+    t.join();
+  }
+  fabric_->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// DistArray lifecycle
+
+DistArrayId Driver::CreateDistArray(const std::string& name, std::vector<i64> dims,
+                                    i32 value_dim, Density density) {
+  DistArrayMeta meta;
+  meta.id = next_array_id_++;
+  meta.name = name;
+  meta.key_space = KeySpace(std::move(dims));
+  meta.value_dim = value_dim;
+  meta.density = density;
+
+  auto host = std::make_unique<ArrayHost>();
+  host->meta = meta;
+  if (density == Density::kDense) {
+    host->master = CellStore(value_dim, CellStore::Layout::kFullDense, meta.key_space.total());
+  } else {
+    host->master = CellStore(value_dim, CellStore::Layout::kHashed, 0);
+  }
+  dir_.PutMeta(meta);
+  arrays_[meta.id] = std::move(host);
+  return meta.id;
+}
+
+Driver::ArrayHost& Driver::Host(DistArrayId id) {
+  auto it = arrays_.find(id);
+  ORION_CHECK(it != arrays_.end()) << "unknown DistArray" << id;
+  return *it->second;
+}
+
+const Driver::ArrayHost& Driver::Host(DistArrayId id) const {
+  auto it = arrays_.find(id);
+  ORION_CHECK(it != arrays_.end()) << "unknown DistArray" << id;
+  return *it->second;
+}
+
+const DistArrayMeta& Driver::Meta(DistArrayId id) const { return Host(id).meta; }
+
+CellStore& Driver::MutableCells(DistArrayId id) {
+  GatherToDriver(id);
+  return Host(id).master;
+}
+
+void Driver::FillRandomNormal(DistArrayId id, f32 scale, u64 seed) {
+  CellStore& cells = MutableCells(id);
+  Rng rng(seed);
+  cells.ForEach([&](i64 key, f32* value) {
+    for (i32 d = 0; d < cells.value_dim(); ++d) {
+      value[d] = scale * static_cast<f32>(rng.NextGaussian());
+    }
+  });
+}
+
+void Driver::MapCells(DistArrayId id, const std::function<void(i64, f32*)>& fn) {
+  MutableCells(id).ForEach(fn);
+}
+
+void Driver::RandomizeDim(DistArrayId id, int dim, u64 seed) {
+  ArrayHost& h = Host(id);
+  CellStore& cells = MutableCells(id);
+  ORION_CHECK(cells.layout() == CellStore::Layout::kHashed)
+      << "RandomizeDim applies to sparse arrays";
+  const KeySpace& ks = h.meta.key_space;
+  RandomPermutation perm(ks.dim(dim), seed);
+  CellStore remapped(cells.value_dim(), CellStore::Layout::kHashed, 0);
+  std::vector<i64> idx(static_cast<size_t>(ks.num_dims()));
+  cells.ForEach([&](i64 key, f32* value) {
+    ks.DecodeInto(key, idx);
+    idx[static_cast<size_t>(dim)] = perm.Map(idx[static_cast<size_t>(dim)]);
+    f32* dst = remapped.GetOrCreate(ks.Encode(idx));
+    std::copy(value, value + cells.value_dim(), dst);
+  });
+  cells = std::move(remapped);
+}
+
+StatusOr<DistArrayId> Driver::Materialize(const std::string& name, std::vector<i64> dims,
+                                          i32 value_dim, Density density,
+                                          const ArrayRecipe& recipe) {
+  std::ifstream in(recipe.path());
+  if (!in) {
+    return Status::IoError("cannot open " + recipe.path());
+  }
+  const DistArrayId id = CreateDistArray(name, std::move(dims), value_dim, density);
+  ArrayHost& h = Host(id);
+  const KeySpace& ks = h.meta.key_space;
+
+  // The fused pass: parse -> map_1 -> ... -> map_n -> insert. No
+  // intermediate array is ever allocated.
+  std::string line;
+  IndexVec idx;
+  std::vector<f32> value;
+  i64 line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!recipe.parser()(line, &idx, &value)) {
+      continue;
+    }
+    for (const auto& map : recipe.maps()) {
+      map(&idx, &value);
+    }
+    if (!ks.Contains(idx)) {
+      return Status::OutOfRange(recipe.path() + ":" + std::to_string(line_no) +
+                                ": index outside the DistArray bounds");
+    }
+    if (static_cast<i32>(value.size()) != value_dim) {
+      return Status::InvalidArgument(recipe.path() + ":" + std::to_string(line_no) +
+                                     ": record has wrong value arity");
+    }
+    f32* dst = h.master.GetOrCreate(ks.Encode(idx));
+    std::copy(value.begin(), value.end(), dst);
+  }
+  return id;
+}
+
+DistArrayId Driver::GroupByDim(DistArrayId src, int dim, const std::string& name,
+                               i32 out_value_dim, const GroupReduceFn& reduce) {
+  ArrayHost& h = Host(src);
+  GatherToDriver(src);
+  const KeySpace& ks = h.meta.key_space;
+  ORION_CHECK(dim >= 0 && dim < ks.num_dims());
+  const DistArrayId out = CreateDistArray(name, {ks.dim(dim)}, out_value_dim, Density::kDense);
+  CellStore& out_cells = Host(out).master;
+  IndexVec idx(static_cast<size_t>(ks.num_dims()));
+  h.master.ForEachConst([&](i64 key, const f32* value) {
+    ks.DecodeInto(key, idx);
+    reduce(out_cells.GetOrCreate(idx[static_cast<size_t>(dim)]), idx, value);
+  });
+  return out;
+}
+
+Status Driver::Checkpoint(DistArrayId id, const std::string& path) {
+  return CheckpointWrite(path, MutableCells(id));
+}
+
+Status Driver::Restore(DistArrayId id, const std::string& path) {
+  auto cells = CheckpointRead(path);
+  ORION_RETURN_IF_ERROR(cells.status());
+  ArrayHost& h = Host(id);
+  if (h.on_workers) {
+    GatherToDriver(id);
+  }
+  if (cells->value_dim() != h.meta.value_dim) {
+    return Status::InvalidArgument("checkpoint value_dim mismatch for " + h.meta.name);
+  }
+  h.master = std::move(cells).value();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Buffers & accumulators
+
+void Driver::RegisterBuffer(DistArrayId target, i32 update_dim, BufferApplyFn apply,
+                            BufferCombineFn combine) {
+  auto def = std::make_shared<BufferDef>();
+  def->target = target;
+  def->update_dim = update_dim;
+  def->apply = std::move(apply);
+  def->combine = std::move(combine);
+  dir_.PutBufferDef(std::move(def));
+}
+
+int Driver::CreateAccumulator(AccumOp op) {
+  accumulators_.push_back(AccumIdentity(op));
+  accumulator_ops_.push_back(op);
+  dir_.SetAccumulatorOps(accumulator_ops_);
+  return static_cast<int>(accumulators_.size()) - 1;
+}
+
+f64 Driver::AccumulatorValue(int slot) const {
+  ORION_CHECK(slot >= 0 && slot < static_cast<int>(accumulators_.size()));
+  return accumulators_[static_cast<size_t>(slot)];
+}
+
+void Driver::ResetAccumulator(int slot) {
+  ORION_CHECK(slot >= 0 && slot < static_cast<int>(accumulators_.size()));
+  accumulators_[static_cast<size_t>(slot)] =
+      AccumIdentity(accumulator_ops_[static_cast<size_t>(slot)]);
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+
+StatusOr<i32> Driver::Compile(LoopSpec spec, LoopKernel kernel, ParallelForOptions options) {
+  // Everything the planner and the histogram pass need must be
+  // driver-resident.
+  GatherToDriver(spec.iter_space);
+  std::map<DistArrayId, ArrayStats> stats;
+  for (const auto& a : spec.accesses) {
+    if (a.array == spec.iter_space || stats.count(a.array) > 0) {
+      continue;
+    }
+    GatherToDriver(a.array);
+    const ArrayHost& h = Host(a.array);
+    ArrayStats s;
+    s.cells = h.master.NumCells();
+    s.value_dim = h.meta.value_dim;
+    stats[a.array] = s;
+  }
+
+  options.planner.num_workers = config_.num_workers;
+  ParallelizationPlan plan = PlanLoop(spec, stats, options.planner);
+  if (plan.form == ParallelForm::kSerial) {
+    return Status::FailedPrecondition(plan.explanation);
+  }
+
+  auto cl = std::make_shared<CompiledLoop>();
+  cl->loop_id = next_loop_id_++;
+  cl->spec = std::move(spec);
+  cl->kernel = std::move(kernel);
+  cl->options = options;
+  cl->plan = std::move(plan);
+  cl->num_workers = config_.num_workers;
+  cl->sched_1d = OneDSchedule{config_.num_workers};
+  cl->sched_wave = WavefrontSchedule{config_.num_workers, config_.num_workers};
+  cl->sched_rot = RotationSchedule{config_.num_workers, options.pipeline_depth};
+
+  // Histogram-balanced splits over the iteration space (schedule coords).
+  const ArrayHost& iter = Host(cl->spec.iter_space);
+  const KeySpace& ks = iter.meta.key_space;
+  const int space_dim = cl->plan.space_dim;
+  const int time_dim = cl->plan.time_dim;
+  const bool transformed = cl->plan.form == ParallelForm::k2DUnimodular;
+
+  i64 space_lo = 0;
+  i64 space_hi = 0;
+  i64 time_lo = 0;
+  i64 time_hi = 0;
+  if (transformed) {
+    bool first = true;
+    std::vector<i64> idx(static_cast<size_t>(ks.num_dims()));
+    iter.master.ForEachConst([&](i64 key, const f32*) {
+      ks.DecodeInto(key, idx);
+      auto [q0, q1] = cl->ToScheduleCoords(idx[0], idx[1]);
+      const i64 s = space_dim == 0 ? q0 : q1;
+      const i64 t = time_dim == 0 ? q0 : q1;
+      if (first) {
+        space_lo = space_hi = s;
+        time_lo = time_hi = t;
+        first = false;
+      } else {
+        space_lo = std::min(space_lo, s);
+        space_hi = std::max(space_hi, s);
+        time_lo = std::min(time_lo, t);
+        time_hi = std::max(time_hi, t);
+      }
+    });
+    if (first) {
+      return Status::FailedPrecondition("iteration space is empty");
+    }
+  } else {
+    space_lo = 0;
+    space_hi = ks.dim(space_dim) - 1;
+    if (time_dim >= 0) {
+      time_lo = 0;
+      time_hi = ks.dim(time_dim) - 1;
+    }
+  }
+
+  constexpr int kHistBuckets = 4096;
+  DimHistogram space_hist(space_lo, space_hi, kHistBuckets);
+  DimHistogram time_hist(time_lo, std::max(time_lo, time_hi), kHistBuckets);
+  {
+    std::vector<i64> idx(static_cast<size_t>(ks.num_dims()));
+    iter.master.ForEachConst([&](i64 key, const f32*) {
+      ks.DecodeInto(key, idx);
+      i64 s;
+      i64 t = 0;
+      if (transformed) {
+        auto [q0, q1] = cl->ToScheduleCoords(idx[0], idx[1]);
+        s = space_dim == 0 ? q0 : q1;
+        t = time_dim == 0 ? q0 : q1;
+      } else {
+        s = idx[static_cast<size_t>(space_dim)];
+        if (time_dim >= 0) {
+          t = idx[static_cast<size_t>(time_dim)];
+        }
+      }
+      space_hist.Add(s);
+      if (time_dim >= 0) {
+        time_hist.Add(t);
+      }
+    });
+  }
+
+  cl->grid.space_dim = space_dim;
+  cl->grid.time_dim = time_dim;
+  if (options.equal_width_partitions) {
+    cl->grid.space_splits = RangeSplits::EqualWidth(space_hi - space_lo + 1,
+                                                    config_.num_workers);
+  } else {
+    cl->grid.space_splits = RangeSplits::FromHistogram(space_hist, config_.num_workers);
+  }
+  if (transformed) {
+    // Transformed loops carry dependences on the outer (time) dimension with
+    // arbitrary distances, so a time *range* could contain dependent
+    // iterations assigned to different space partitions. Every distinct
+    // transformed outer value therefore becomes its own wavefront step.
+    const i64 span = time_hi - time_lo + 1;
+    std::vector<i64> uppers;
+    uppers.reserve(static_cast<size_t>(span) - 1);
+    for (i64 v = time_lo; v < time_hi; ++v) {
+      uppers.push_back(v);
+    }
+    cl->grid.time_splits = RangeSplits(static_cast<int>(span), std::move(uppers));
+    cl->sched_wave.num_time_parts = static_cast<int>(span);
+  } else if (cl->Is2D()) {
+    const int time_parts =
+        cl->UsesWavefront() ? cl->sched_wave.num_time_parts : cl->sched_rot.num_time_parts();
+    if (options.equal_width_partitions) {
+      cl->grid.time_splits = RangeSplits::EqualWidth(time_hi - time_lo + 1, time_parts);
+    } else {
+      cl->grid.time_splits = RangeSplits::FromHistogram(time_hist, time_parts);
+    }
+  }
+
+  dir_.PutLoop(cl);
+  loops_[cl->loop_id] = cl;
+  EnsureScattered(*cl);
+  return cl->loop_id;
+}
+
+StatusOr<i32> Driver::CompileBody(DistArrayId iter_space, std::vector<i64> iter_extents,
+                                  bool ordered, const LoopBody& body, LoopKernel kernel,
+                                  ParallelForOptions options) {
+  LoopSpec spec;
+  spec.iter_space = iter_space;
+  spec.iter_extents = std::move(iter_extents);
+  spec.ordered = ordered;
+  spec.accesses = ExtractAccesses(body);
+  for (auto& a : spec.accesses) {
+    a.array_name = Host(a.array).meta.name;  // nicer diagnostics
+  }
+
+  auto program = std::make_shared<PrefetchProgram>(SynthesizePrefetch(body));
+  auto loop = Compile(std::move(spec), std::move(kernel), options);
+  ORION_RETURN_IF_ERROR(loop.status());
+
+  // Attach the synthesized prefetch function (key spaces for the arrays it
+  // records) to the compiled loop.
+  auto cl = std::const_pointer_cast<CompiledLoop>(loops_[*loop]);
+  for (DistArrayId id : program->target_arrays()) {
+    cl->prefetch_key_spaces.emplace(id, Host(id).meta.key_space);
+  }
+  cl->prefetch_program = std::move(program);
+  return *loop;
+}
+
+const ParallelizationPlan& Driver::PlanOf(i32 loop_id) const {
+  auto it = loops_.find(loop_id);
+  ORION_CHECK(it != loops_.end());
+  return it->second->plan;
+}
+
+// ---------------------------------------------------------------------------
+// Placement management
+
+bool Driver::GridEquals(const SpaceTimeGrid& a, const SpaceTimeGrid& b) {
+  return a.space_dim == b.space_dim && a.time_dim == b.time_dim &&
+         a.space_splits.num_parts() == b.space_splits.num_parts() &&
+         a.space_splits.uppers() == b.space_splits.uppers() &&
+         a.time_splits.num_parts() == b.time_splits.num_parts() &&
+         a.time_splits.uppers() == b.time_splits.uppers();
+}
+
+void Driver::GatherToDriver(DistArrayId id) {
+  ArrayHost& h = Host(id);
+  if (!h.on_workers) {
+    return;
+  }
+  if (h.placement.scheme == PartitionScheme::kReplicated ||
+      h.placement.scheme == PartitionScheme::kServer) {
+    // The master copy is authoritative; just drop worker-side state.
+    DropFromWorkers(id);
+    h.on_workers = false;
+    return;
+  }
+  for (int w = 0; w < config_.num_workers; ++w) {
+    Message m;
+    m.from = kMasterRank;
+    m.to = w;
+    m.kind = MsgKind::kControl;
+    m.payload = ArrayOp{ControlOp::kGather, id}.Encode();
+    fabric_->Send(std::move(m));
+  }
+  int replies = 0;
+  while (replies < config_.num_workers) {
+    auto msg = fabric_->Recv(kMasterRank);
+    ORION_CHECK(msg.has_value()) << "fabric shut down during gather";
+    ORION_CHECK(msg->kind == MsgKind::kParamUpdate)
+        << "unexpected message during gather:" << static_cast<int>(msg->kind);
+    PartData pd = PartData::Decode(msg->payload);
+    ORION_CHECK(pd.array == id && pd.mode == PartDataMode::kOverwrite);
+    pd.cells.ForEachConst([&](i64 key, const f32* v) {
+      f32* dst = h.master.GetOrCreate(key);
+      std::copy(v, v + h.meta.value_dim, dst);
+    });
+    ++replies;
+  }
+  h.on_workers = false;
+}
+
+void Driver::DropFromWorkers(DistArrayId id) {
+  for (int w = 0; w < config_.num_workers; ++w) {
+    Message m;
+    m.from = kMasterRank;
+    m.to = w;
+    m.kind = MsgKind::kControl;
+    m.payload = ArrayOp{ControlOp::kDropArray, id}.Encode();
+    fabric_->Send(std::move(m));
+  }
+}
+
+void Driver::SendParts(DistArrayId array, std::map<std::pair<int, int>, CellStore>* parts,
+                       PartDataMode mode) {
+  for (auto& [key, cells] : *parts) {
+    const auto [worker, tau] = key;
+    PartData pd;
+    pd.array = array;
+    pd.part = tau;
+    pd.mode = mode;
+    pd.cells = std::move(cells);
+    Message m;
+    m.from = kMasterRank;
+    m.to = worker;
+    m.kind = MsgKind::kPartitionData;
+    m.tag = PartTag(tau);
+    m.payload = pd.Encode();
+    fabric_->Send(std::move(m));
+  }
+}
+
+void Driver::ScatterIterSpace(const CompiledLoop& cl) {
+  ArrayHost& h = Host(cl.spec.iter_space);
+  const KeySpace& ks = h.meta.key_space;
+
+  // Collect keys in execution order: sorted for ordered loops (lexicographic
+  // serial semantics), shuffled for unordered loops.
+  std::vector<i64> keys;
+  keys.reserve(static_cast<size_t>(std::max<i64>(h.master.NumCells(), 0)));
+  h.master.ForEachConst([&](i64 key, const f32*) { keys.push_back(key); });
+  if (cl.spec.ordered) {
+    std::sort(keys.begin(), keys.end());
+  } else {
+    for (size_t i = keys.size(); i-- > 1;) {
+      std::swap(keys[i], keys[rng_.NextBounded(i + 1)]);
+    }
+  }
+
+  std::map<std::pair<int, int>, CellStore> parts;
+  std::vector<i64> idx(static_cast<size_t>(ks.num_dims()));
+  for (i64 key : keys) {
+    ks.DecodeInto(key, idx);
+    i64 s;
+    i64 t = 0;
+    if (cl.plan.form == ParallelForm::k2DUnimodular) {
+      auto [q0, q1] = cl.ToScheduleCoords(idx[0], idx[1]);
+      s = cl.plan.space_dim == 0 ? q0 : q1;
+      t = cl.plan.time_dim == 0 ? q0 : q1;
+    } else {
+      s = idx[static_cast<size_t>(cl.plan.space_dim)];
+      if (cl.plan.time_dim >= 0) {
+        t = idx[static_cast<size_t>(cl.plan.time_dim)];
+      }
+    }
+    const int worker = cl.grid.space_splits.PartOf(s);
+    const int tau = cl.Is2D() ? cl.grid.time_splits.PartOf(t) : -1;
+    auto [it, inserted] = parts.try_emplace(
+        {worker, tau}, CellStore(h.meta.value_dim, CellStore::Layout::kHashed, 0));
+    f32* dst = it->second.GetOrCreate(key);
+    const f32* src = h.master.Get(key);
+    std::copy(src, src + h.meta.value_dim, dst);
+  }
+  SendParts(h.meta.id, &parts, PartDataMode::kInstallPart);
+
+  h.on_workers = true;
+  h.placement = ArrayPlacement{PartitionScheme::kIterSpace, -1};
+  h.grid = cl.grid;
+  h.iter_ordered = cl.spec.ordered;
+}
+
+namespace {
+// Key bounds (inclusive) of partition `part` under `splits` covering
+// [0, extent).
+std::pair<i64, i64> PartBounds(const RangeSplits& splits, int part, i64 extent) {
+  const i64 lo = part == 0 ? 0 : splits.uppers()[static_cast<size_t>(part - 1)] + 1;
+  const i64 hi = part == splits.num_parts() - 1 ? extent - 1
+                                                : splits.uppers()[static_cast<size_t>(part)];
+  return {lo, hi};
+}
+}  // namespace
+
+void Driver::ScatterArray(const CompiledLoop& cl, DistArrayId id,
+                          const ArrayPlacement& placement) {
+  ArrayHost& h = Host(id);
+  const KeySpace& ks = h.meta.key_space;
+
+  // Dense 1-D arrays partitioned along their only dimension ship as dense
+  // key-range blocks: kernels then access them with direct indexing.
+  const bool dense_blocks = h.meta.density == Density::kDense && ks.num_dims() == 1 &&
+                            placement.array_dim == 0 &&
+                            (placement.scheme == PartitionScheme::kRange ||
+                             placement.scheme == PartitionScheme::kSpaceTime);
+
+  if (placement.scheme == PartitionScheme::kServer) {
+    // Master-hosted; nothing to ship.
+    h.on_workers = true;  // placement is active (workers hold caches only)
+    h.placement = placement;
+    h.grid = cl.grid;
+    return;
+  }
+  if (placement.scheme == PartitionScheme::kReplicated) {
+    for (int w = 0; w < config_.num_workers; ++w) {
+      PartData pd;
+      pd.array = id;
+      pd.part = -1;
+      pd.mode = PartDataMode::kReplicaSnapshot;
+      pd.cells = h.master;  // copy
+      Message m;
+      m.from = kMasterRank;
+      m.to = w;
+      m.kind = MsgKind::kPartitionData;
+      m.payload = pd.Encode();
+      fabric_->Send(std::move(m));
+    }
+    h.on_workers = true;
+    h.placement = placement;
+    h.grid = cl.grid;
+    return;
+  }
+
+  std::map<std::pair<int, int>, CellStore> parts;
+  if (placement.scheme == PartitionScheme::kSpaceTime) {
+    // Pre-create every time partition (the residency protocol requires even
+    // empty partitions to circulate).
+    const int time_parts = cl.grid.time_splits.num_parts();
+    for (int tau = 0; tau < time_parts; ++tau) {
+      const int owner = cl.UsesWavefront() ? cl.sched_wave.InitialOwner(tau)
+                                           : cl.sched_rot.InitialOwner(tau);
+      if (dense_blocks) {
+        auto [lo, hi] = PartBounds(cl.grid.time_splits, tau, ks.dim(0));
+        parts.try_emplace({owner, tau}, CellStore::DenseRange(h.meta.value_dim, lo, hi));
+      } else {
+        parts.try_emplace({owner, tau},
+                          CellStore(h.meta.value_dim, CellStore::Layout::kHashed, 0));
+      }
+    }
+  } else if (dense_blocks) {
+    for (int w = 0; w < cl.grid.space_splits.num_parts(); ++w) {
+      auto [lo, hi] = PartBounds(cl.grid.space_splits, w, ks.dim(0));
+      parts.try_emplace({w, -1}, CellStore::DenseRange(h.meta.value_dim, lo, hi));
+    }
+  }
+  h.master.ForEachConst([&](i64 key, const f32* v) {
+    const i64 coord = ks.Coord(key, placement.array_dim);
+    int worker;
+    int tau;
+    if (placement.scheme == PartitionScheme::kRange) {
+      worker = cl.grid.space_splits.PartOf(coord);
+      tau = -1;
+    } else {
+      tau = cl.grid.time_splits.PartOf(coord);
+      worker = cl.UsesWavefront() ? cl.sched_wave.InitialOwner(tau)
+                                  : cl.sched_rot.InitialOwner(tau);
+    }
+    auto [it, inserted] = parts.try_emplace(
+        {worker, tau}, CellStore(h.meta.value_dim, CellStore::Layout::kHashed, 0));
+    f32* dst = it->second.GetOrCreate(key);
+    std::copy(v, v + h.meta.value_dim, dst);
+  });
+  SendParts(id, &parts,
+            placement.scheme == PartitionScheme::kRange ? PartDataMode::kInstallRange
+                                                         : PartDataMode::kInstallPart);
+
+  h.on_workers = true;
+  h.placement = placement;
+  h.grid = cl.grid;
+}
+
+void Driver::EnsureScattered(const CompiledLoop& cl) {
+  {
+    ArrayHost& h = Host(cl.spec.iter_space);
+    const bool ok = h.on_workers && h.placement.scheme == PartitionScheme::kIterSpace &&
+                    GridEquals(h.grid, cl.grid) && h.iter_ordered == cl.spec.ordered;
+    if (!ok) {
+      GatherToDriver(cl.spec.iter_space);
+      ScatterIterSpace(cl);
+    }
+  }
+  for (const auto& [id, placement] : cl.plan.placements) {
+    ArrayHost& h = Host(id);
+    const bool ok = h.on_workers && h.placement.scheme == placement.scheme &&
+                    h.placement.array_dim == placement.array_dim && GridEquals(h.grid, cl.grid);
+    if (!ok) {
+      GatherToDriver(id);
+      ScatterArray(cl, id, placement);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass execution (master service loop)
+
+void Driver::HandleParamRequest(const Message& msg) {
+  ParamRequest req = ParamRequest::Decode(msg.payload);
+  ArrayHost& h = Host(req.array);
+  PartData pd;
+  pd.array = req.array;
+  pd.part = req.step;
+  pd.mode = PartDataMode::kInstallPart;
+  pd.cells = CellStore(h.meta.value_dim, CellStore::Layout::kHashed, 0);
+  for (i64 key : req.keys) {
+    const f32* v = h.master.Get(key);
+    if (v != nullptr) {
+      f32* dst = pd.cells.GetOrCreate(key);
+      std::copy(v, v + h.meta.value_dim, dst);
+    }
+  }
+  Message reply;
+  reply.from = kMasterRank;
+  reply.to = msg.from;
+  reply.kind = MsgKind::kParamReply;
+  reply.tag = static_cast<u32>(req.step);
+  reply.payload = pd.Encode();
+  fabric_->Send(std::move(reply));
+}
+
+void Driver::BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array) {
+  ArrayHost& h = Host(array);
+  for (int w = 0; w < config_.num_workers; ++w) {
+    PartData pd;
+    pd.array = array;
+    pd.part = -1;
+    pd.mode = PartDataMode::kReplicaSnapshot;
+    pd.cells = h.master;  // copy
+    Message m;
+    m.from = kMasterRank;
+    m.to = w;
+    m.kind = MsgKind::kPartitionData;
+    m.payload = pd.Encode();
+    fabric_->Send(std::move(m));
+  }
+}
+
+void Driver::HandleParamUpdate(const CompiledLoop* cl, const Message& msg) {
+  PartData pd = PartData::Decode(msg.payload);
+  ArrayHost& h = Host(pd.array);
+  switch (pd.mode) {
+    case PartDataMode::kOverwrite:
+      pd.cells.ForEachConst([&](i64 key, const f32* v) {
+        f32* dst = h.master.GetOrCreate(key);
+        std::copy(v, v + h.meta.value_dim, dst);
+      });
+      break;
+    case PartDataMode::kApplyAdd:
+      h.master.MergeAdd(pd.cells);
+      break;
+    case PartDataMode::kApplyBufferUdf: {
+      auto def = dir_.GetBufferDef(pd.array);
+      ORION_CHECK(def != nullptr) << "buffered update for array without buffer def";
+      DistArrayBuffer::ApplyTo(&h.master, pd.cells, def->apply);
+      break;
+    }
+    default:
+      ORION_CHECK(false) << "unexpected PartData mode on master";
+  }
+  if (cl != nullptr) {
+    auto it = cl->plan.placements.find(pd.array);
+    if (it != cl->plan.placements.end() &&
+        it->second.scheme == PartitionScheme::kReplicated) {
+      // Coalesce: broadcast a refreshed snapshot once per step tag rather
+      // than once per worker flush (replicas tolerate bounded staleness).
+      auto [tag_it, inserted] = last_replica_bcast_tag_.try_emplace(pd.array, msg.tag);
+      if (inserted || tag_it->second != msg.tag) {
+        tag_it->second = msg.tag;
+        BroadcastReplicaSnapshot(*cl, pd.array);
+      }
+    }
+  }
+}
+
+void Driver::ServicePassMessages(const CompiledLoop& cl) {
+  int done = 0;
+  int barrier_count = 0;
+  last_metrics_.max_worker_compute_seconds = 0.0;
+  last_metrics_.max_worker_wait_seconds = 0.0;
+  std::vector<DistArrayId> returned;
+
+  while (done < config_.num_workers) {
+    auto msg = fabric_->Recv(kMasterRank);
+    ORION_CHECK(msg.has_value()) << "fabric shut down during pass";
+    switch (msg->kind) {
+      case MsgKind::kParamRequest:
+        HandleParamRequest(*msg);
+        break;
+      case MsgKind::kParamUpdate:
+        HandleParamUpdate(&cl, *msg);
+        break;
+      case MsgKind::kPartitionData: {
+        // Wavefront loops: the last worker in the ring returns rotated
+        // partitions to the master.
+        PartData pd = PartData::Decode(msg->payload);
+        ArrayHost& h = Host(pd.array);
+        pd.cells.ForEachConst([&](i64 key, const f32* v) {
+          f32* dst = h.master.GetOrCreate(key);
+          std::copy(v, v + h.meta.value_dim, dst);
+        });
+        returned.push_back(pd.array);
+        break;
+      }
+      case MsgKind::kBarrier: {
+        ++barrier_count;
+        if (barrier_count == config_.num_workers) {
+          barrier_count = 0;
+          for (int w = 0; w < config_.num_workers; ++w) {
+            Message go;
+            go.from = kMasterRank;
+            go.to = w;
+            go.kind = MsgKind::kBarrier;
+            go.tag = msg->tag;
+            fabric_->Send(std::move(go));
+          }
+        }
+        break;
+      }
+      case MsgKind::kControl: {
+        ORION_CHECK(PeekControlOp(msg->payload) == ControlOp::kPassDone);
+        ByteReader r(msg->payload);
+        r.Get<u16>();
+        r.Get<i32>();  // loop id
+        r.Get<i32>();  // pass
+        const double compute = r.Get<double>();
+        const double wait = r.Get<double>();
+        auto acc = r.GetVec<f64>();
+        for (size_t i = 0; i < acc.size() && i < accumulators_.size(); ++i) {
+          accumulators_[i] = AccumCombine(accumulator_ops_[i], accumulators_[i], acc[i]);
+        }
+        last_metrics_.max_worker_compute_seconds =
+            std::max(last_metrics_.max_worker_compute_seconds, compute);
+        last_metrics_.max_worker_wait_seconds =
+            std::max(last_metrics_.max_worker_wait_seconds, wait);
+        ++done;
+        break;
+      }
+      default:
+        ORION_CHECK(false) << "unexpected message kind" << static_cast<int>(msg->kind);
+    }
+  }
+
+  // Rotated arrays that returned to the master need a re-scatter next pass.
+  for (DistArrayId id : returned) {
+    Host(id).on_workers = false;
+  }
+}
+
+void Driver::AutoCheckpoint(std::vector<DistArrayId> arrays, std::string directory,
+                            int every_n_passes) {
+  auto_ckpt_arrays_ = std::move(arrays);
+  auto_ckpt_dir_ = std::move(directory);
+  auto_ckpt_every_ = every_n_passes;
+}
+
+namespace {
+
+// Serial fallback context: reads and writes the driver's master copies
+// directly; buffered updates apply immediately through the registered UDF.
+class SerialLoopContext : public LoopContext {
+ public:
+  SerialLoopContext(Driver* driver, const SharedDirectory* dir,
+                    std::map<DistArrayId, CellStore*>* stores, std::vector<f64>* accum,
+                    std::vector<AccumOp>* ops)
+      : driver_(driver), dir_(dir), stores_(stores), accum_(accum), ops_(ops) {}
+
+  const f32* Read(DistArrayId array, IdxSpan idx) override {
+    CellStore* store = StoreFor(array);
+    const f32* v = store->Get(driver_->Meta(array).key_space.EncodeUnchecked(idx));
+    if (v != nullptr) {
+      return v;
+    }
+    zeros_.assign(static_cast<size_t>(store->value_dim()), 0.0f);
+    return zeros_.data();
+  }
+
+  f32* Mutate(DistArrayId array, IdxSpan idx) override {
+    CellStore* store = StoreFor(array);
+    return store->GetOrCreate(driver_->Meta(array).key_space.EncodeUnchecked(idx));
+  }
+
+  void BufferUpdate(DistArrayId array, IdxSpan idx, const f32* update) override {
+    auto def = dir_->GetBufferDef(array);
+    ORION_CHECK(def != nullptr) << "BufferUpdate without a registered buffer";
+    CellStore* store = StoreFor(array);
+    def->apply(store->GetOrCreate(driver_->Meta(array).key_space.EncodeUnchecked(idx)),
+               update, store->value_dim());
+  }
+
+  void AccumulatorAdd(int slot, f64 delta) override {
+    ORION_CHECK(slot >= 0 && slot < static_cast<int>(accum_->size()));
+    f64& acc = (*accum_)[static_cast<size_t>(slot)];
+    acc = AccumCombine((*ops_)[static_cast<size_t>(slot)], acc, delta);
+  }
+
+ private:
+  CellStore* StoreFor(DistArrayId array) {
+    auto it = stores_->find(array);
+    ORION_CHECK(it != stores_->end()) << "array" << array << "not prepared for serial run";
+    return it->second;
+  }
+
+  Driver* driver_;
+  const SharedDirectory* dir_;
+  std::map<DistArrayId, CellStore*>* stores_;
+  std::vector<f64>* accum_;
+  std::vector<AccumOp>* ops_;
+  std::vector<f32> zeros_;
+};
+
+}  // namespace
+
+Status Driver::ExecuteSerial(const LoopSpec& spec, const LoopKernel& kernel) {
+  // Everything must be driver-resident.
+  std::map<DistArrayId, CellStore*> stores;
+  GatherToDriver(spec.iter_space);
+  for (const auto& a : spec.accesses) {
+    if (stores.count(a.array) == 0) {
+      GatherToDriver(a.array);
+      stores[a.array] = &Host(a.array).master;
+    }
+  }
+
+  ArrayHost& iter = Host(spec.iter_space);
+  const KeySpace& ks = iter.meta.key_space;
+  std::vector<i64> keys;
+  keys.reserve(static_cast<size_t>(std::max<i64>(iter.master.NumCells(), 0)));
+  iter.master.ForEachConst([&](i64 key, const f32*) { keys.push_back(key); });
+  if (spec.ordered) {
+    std::sort(keys.begin(), keys.end());
+  }
+
+  std::vector<f64> accum(accumulators_.size());
+  for (size_t i = 0; i < accum.size(); ++i) {
+    accum[i] = AccumIdentity(accumulator_ops_[i]);
+  }
+  SerialLoopContext ctx(this, &dir_, &stores, &accum, &accumulator_ops_);
+  std::vector<i64> idx(static_cast<size_t>(ks.num_dims()));
+  for (i64 key : keys) {
+    ks.DecodeInto(key, idx);
+    kernel(ctx, idx, iter.master.Get(key));
+  }
+  for (size_t i = 0; i < accum.size(); ++i) {
+    accumulators_[i] = AccumCombine(accumulator_ops_[i], accumulators_[i], accum[i]);
+  }
+  return Status::Ok();
+}
+
+Status Driver::Execute(i32 loop_id) {
+  auto it = loops_.find(loop_id);
+  if (it == loops_.end()) {
+    return Status::NotFound("unknown loop id");
+  }
+  const CompiledLoop& cl = *it->second;
+  EnsureScattered(cl);
+
+  const FabricStats before = fabric_->Stats();
+  Stopwatch sw;
+  for (int w = 0; w < config_.num_workers; ++w) {
+    Message m;
+    m.from = kMasterRank;
+    m.to = w;
+    m.kind = MsgKind::kControl;
+    m.payload = StartPass{loop_id, pass_counter_}.Encode();
+    fabric_->Send(std::move(m));
+  }
+  ++pass_counter_;
+  ServicePassMessages(cl);
+
+  const FabricStats after = fabric_->Stats();
+  last_metrics_.pass_wall_seconds = sw.ElapsedSeconds();
+  last_metrics_.bytes_sent = after.bytes_sent - before.bytes_sent;
+  last_metrics_.messages_sent = after.messages_sent - before.messages_sent;
+  last_metrics_.virtual_net_seconds = after.virtual_net_seconds - before.virtual_net_seconds;
+
+  if (auto_ckpt_every_ > 0 && pass_counter_ % auto_ckpt_every_ == 0) {
+    for (DistArrayId id : auto_ckpt_arrays_) {
+      const std::string path = auto_ckpt_dir_ + "/" + Host(id).meta.name + "." +
+                               std::to_string(pass_counter_) + ".ckpt";
+      ORION_RETURN_IF_ERROR(Checkpoint(id, path));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace orion

@@ -1,0 +1,207 @@
+// Driver: the user-facing entry point of the Orion runtime (paper Sec. 3).
+//
+// A Driver plays the role of the paper's driver program plus the Orion
+// master: it owns DistArray metadata and authoritative (driver-resident)
+// cell data, compiles parallel for-loops (dependence analysis + planning +
+// histogram-balanced partitioning + scatter), and orchestrates pass
+// execution, servicing prefetch requests and buffered-update flushes while
+// executors run.
+//
+// Typical usage:
+//
+//   Driver driver({.num_workers = 8});
+//   auto ratings = driver.CreateDistArray("ratings", {m, n}, 1, Density::kSparse);
+//   ...fill driver.MutableCells(ratings)...
+//   LoopSpec spec = ...;                     // declares accesses
+//   auto loop = driver.Compile(spec, kernel, options);   // plans + scatters
+//   for (int it = 0; it < kIters; ++it) driver.Execute(*loop);
+#ifndef ORION_SRC_RUNTIME_DRIVER_H_
+#define ORION_SRC_RUNTIME_DRIVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/dsm/checkpoint.h"
+#include "src/net/fabric.h"
+#include "src/runtime/compiled_loop.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/recipe.h"
+#include "src/runtime/shared_directory.h"
+
+namespace orion {
+
+struct DriverConfig {
+  int num_workers = 4;
+  NetCostModel net = NetCostModel::Unlimited();
+  double stats_bucket_seconds = 0.5;
+  u64 seed = 1;
+};
+
+class Driver {
+ public:
+  explicit Driver(const DriverConfig& config);
+  ~Driver();
+
+  Driver(const Driver&) = delete;
+  Driver& operator=(const Driver&) = delete;
+
+  int num_workers() const { return config_.num_workers; }
+
+  // ---- DistArray lifecycle ----
+
+  DistArrayId CreateDistArray(const std::string& name, std::vector<i64> dims, i32 value_dim,
+                              Density density);
+
+  const DistArrayMeta& Meta(DistArrayId id) const;
+
+  // Mutable access to the driver-resident cells (gathers first if the array
+  // currently lives on workers).
+  CellStore& MutableCells(DistArrayId id);
+  const CellStore& Cells(DistArrayId id) { return MutableCells(id); }
+
+  // Fills a dense array with N(0, scale) values (Orion.randn).
+  void FillRandomNormal(DistArrayId id, f32 scale, u64 seed);
+
+  // Applies fn to every driver-resident cell (Orion.map with map_values).
+  void MapCells(DistArrayId id, const std::function<void(i64 key, f32* value)>& fn);
+
+  // Remaps one dimension of a (sparse) array through a deterministic random
+  // permutation to smooth out skew (the DistArray `randomize` operation).
+  void RandomizeDim(DistArrayId id, int dim, u64 seed);
+
+  // Materializes a lazily-recorded recipe (text_file + fused maps, paper
+  // Sec. 3.1) into a new DistArray. Records whose indices fall outside
+  // `dims` make materialization fail.
+  StatusOr<DistArrayId> Materialize(const std::string& name, std::vector<i64> dims,
+                                    i32 value_dim, Density density, const ArrayRecipe& recipe);
+
+  // Eager groupBy (paper Sec. 3.1): reduces the cells of `src` along one of
+  // its dimensions into a new dense 1-D DistArray. `reduce` folds each
+  // source cell into the group's accumulator span.
+  using GroupReduceFn = std::function<void(f32* acc, const IndexVec& idx, const f32* value)>;
+  DistArrayId GroupByDim(DistArrayId src, int dim, const std::string& name, i32 out_value_dim,
+                         const GroupReduceFn& reduce);
+
+  // Checkpointing (paper Sec. 4.3 fault tolerance).
+  Status Checkpoint(DistArrayId id, const std::string& path);
+  Status Restore(DistArrayId id, const std::string& path);
+
+  // ---- Buffers and accumulators ----
+
+  // Registers the DistArray Buffer for `target`; kernels may then call
+  // LoopContext::BufferUpdate on it. Must be called before Compile of any
+  // loop whose kernel updates the buffer.
+  void RegisterBuffer(DistArrayId target, i32 update_dim, BufferApplyFn apply,
+                      BufferCombineFn combine = MakeAddCombineFn());
+
+  // Creates an accumulator with the given reduction operator (paper
+  // Sec. 3.4: worker-local instances combined with a commutative,
+  // associative operator).
+  int CreateAccumulator(AccumOp op = AccumOp::kSum);
+  f64 AccumulatorValue(int slot) const;
+  void ResetAccumulator(int slot);
+
+  // ---- Parallel for-loops ----
+
+  // Compiles the loop: dependence analysis, plan, grid, scatter. Fails with
+  // a Status carrying the planner's explanation when the loop cannot be
+  // parallelized while preserving dependences.
+  StatusOr<i32> Compile(LoopSpec spec, LoopKernel kernel, ParallelForOptions options = {});
+
+  // Compiles a loop whose body is given as a statement-level program
+  // (src/ir/stmt.h): the access declarations are *extracted* from the AST
+  // and the bulk-prefetch function is *synthesized* by slicing it — no
+  // hand-written AddAccess calls and no kernel-replay recording pass. The
+  // kernel still performs the numeric work at execution time.
+  StatusOr<i32> CompileBody(DistArrayId iter_space, std::vector<i64> iter_extents,
+                            bool ordered, const LoopBody& body, LoopKernel kernel,
+                            ParallelForOptions options = {});
+
+  // Runs one pass over the full iteration space.
+  Status Execute(i32 loop_id);
+
+  // Runs a loop serially on the driver against the master copies — the
+  // fallback when PlanLoop reports kSerial (and the gold standard for
+  // testing). Iterates the driver-resident cells of the iteration space in
+  // lexicographic order when `spec.ordered`, insertion order otherwise;
+  // buffered updates are applied immediately with the registered UDF.
+  Status ExecuteSerial(const LoopSpec& spec, const LoopKernel& kernel);
+
+  // Checkpoints `arrays` into `directory` (files named <name>.<pass>.ckpt)
+  // after every `every_n_passes` Execute() calls — the paper's fault-
+  // tolerance recipe (Sec. 4.3). Pass every_n_passes = 0 to disable.
+  void AutoCheckpoint(std::vector<DistArrayId> arrays, std::string directory,
+                      int every_n_passes);
+
+  // Convenience: compile (cached by site id) + execute.
+  const ParallelizationPlan& PlanOf(i32 loop_id) const;
+
+  // ---- Metrics ----
+
+  const LoopMetrics& last_metrics() const { return last_metrics_; }
+  FabricStats NetStats() const { return fabric_->Stats(); }
+  void ResetNetStats() { fabric_->ResetStats(); }
+
+ private:
+  struct ArrayHost {
+    DistArrayMeta meta;
+    CellStore master;
+    bool on_workers = false;
+    // Valid when on_workers: how and under which grid it was scattered.
+    ArrayPlacement placement;
+    SpaceTimeGrid grid;
+    bool iter_ordered = false;  // iteration-space cells shipped sorted
+  };
+
+  ArrayHost& Host(DistArrayId id);
+  const ArrayHost& Host(DistArrayId id) const;
+
+  // Master-side service handlers.
+  void ServicePassMessages(const CompiledLoop& cl);
+  void HandleParamRequest(const Message& msg);
+  void HandleParamUpdate(const CompiledLoop* cl, const Message& msg);
+  void BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array);
+
+  // Placement management.
+  void GatherToDriver(DistArrayId id);
+  void DropFromWorkers(DistArrayId id);
+  void EnsureScattered(const CompiledLoop& cl);
+  void ScatterIterSpace(const CompiledLoop& cl);
+  void ScatterArray(const CompiledLoop& cl, DistArrayId id, const ArrayPlacement& placement);
+  void SendParts(DistArrayId array, std::map<std::pair<int, int>, CellStore>* parts,
+                 PartDataMode mode);
+
+  static bool GridEquals(const SpaceTimeGrid& a, const SpaceTimeGrid& b);
+
+  DriverConfig config_;
+  std::unique_ptr<Fabric> fabric_;
+  SharedDirectory dir_;
+  std::vector<std::unique_ptr<Executor>> executors_;
+  std::vector<std::thread> threads_;
+
+  std::map<DistArrayId, std::unique_ptr<ArrayHost>> arrays_;
+  DistArrayId next_array_id_ = 0;
+  i32 next_loop_id_ = 0;
+  std::map<i32, std::shared_ptr<const CompiledLoop>> loops_;
+  std::vector<f64> accumulators_;
+  std::vector<AccumOp> accumulator_ops_;
+  Rng rng_;
+
+  std::vector<DistArrayId> auto_ckpt_arrays_;
+  std::string auto_ckpt_dir_;
+  int auto_ckpt_every_ = 0;
+
+  LoopMetrics last_metrics_;
+  std::map<DistArrayId, u32> last_replica_bcast_tag_;
+  int pass_counter_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_RUNTIME_DRIVER_H_

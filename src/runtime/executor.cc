@@ -1,0 +1,764 @@
+#include "src/runtime/executor.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace orion {
+
+namespace {
+
+// Tags for rotated-partition messages double as the time-partition index
+// (plus one so tag 0 stays "untagged").
+u32 PartTag(int tau) { return static_cast<u32>(tau + 1); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Loop contexts
+
+// Normal execution context: resolves each DistArray reference to the store
+// that holds it at the current time step.
+class WorkerLoopContext : public LoopContext {
+ public:
+  WorkerLoopContext(Executor* ex, const CompiledLoop* cl, int tau)
+      : ex_(ex), cl_(cl), tau_(tau) {}
+
+  const f32* Read(DistArrayId array, IdxSpan idx) override {
+    Resolved& r = Resolve(array);
+    const i64 key = r.st->meta.key_space.EncodeUnchecked(idx);
+    const f32* v = nullptr;
+    switch (r.scheme) {
+      case PartitionScheme::kRange:
+      case PartitionScheme::kSpaceTime:
+      case PartitionScheme::kReplicated:
+        v = r.store->Get(key);
+        break;
+      case PartitionScheme::kServer:
+        v = ReadServer(r, key);
+        break;
+      case PartitionScheme::kIterSpace:
+        v = ReadIterSpace(r, key);
+        break;
+      default:
+        ORION_CHECK(false) << "unreadable placement for array" << array;
+    }
+    return v != nullptr ? v : r.st->zeros.data();
+  }
+
+  f32* Mutate(DistArrayId array, IdxSpan idx) override {
+    Resolved& r = Resolve(array);
+    const i64 key = r.st->meta.key_space.EncodeUnchecked(idx);
+    switch (r.scheme) {
+      case PartitionScheme::kRange:
+      case PartitionScheme::kSpaceTime:
+        return r.store->GetOrCreate(key);
+      case PartitionScheme::kServer: {
+        // Copy-on-write from the prefetched value; flushed as an overwrite
+        // at the end of the step (wavefront/unimodular loops).
+        const bool existed = r.st->server_dirty.Contains(key);
+        f32* dirty = r.st->server_dirty.GetOrCreate(key);
+        if (!existed) {
+          const f32* cur = r.st->prefetch_cache.Get(key);
+          if (cur != nullptr) {
+            std::copy(cur, cur + r.st->meta.value_dim, dirty);
+          }
+        }
+        return dirty;
+      }
+      default:
+        ORION_CHECK(false) << "Mutate on array" << array
+                           << "which is not locally owned; use BufferUpdate";
+    }
+    return nullptr;
+  }
+
+  void BufferUpdate(DistArrayId array, IdxSpan idx, const f32* update) override {
+    Resolved& r = Resolve(array);
+    const i64 key = r.st->meta.key_space.EncodeUnchecked(idx);
+    DistArrayBuffer& buf = ex_->GetBuffer(array);
+    buf.Accumulate(key, update);
+    if (r.scheme == PartitionScheme::kReplicated) {
+      // Apply to the local replica immediately so this worker sees its own
+      // updates (the flush to the master happens at step end).
+      buf.apply_fn()(r.st->replica.GetOrCreate(key), update, r.st->meta.value_dim);
+    }
+  }
+
+  void AccumulatorAdd(int slot, f64 delta) override {
+    ORION_CHECK(slot >= 0 && slot < static_cast<int>(ex_->accum_.size()))
+        << "accumulator slot" << slot << "not registered before loop compilation";
+    f64& acc = ex_->accum_[static_cast<size_t>(slot)];
+    acc = AccumCombine(ex_->accum_ops_[static_cast<size_t>(slot)], acc, delta);
+  }
+
+ protected:
+  struct Resolved {
+    PartitionScheme scheme = PartitionScheme::kUnpartitioned;
+    Executor::ArrayState* st = nullptr;
+    CellStore* store = nullptr;
+  };
+
+  Resolved& Resolve(DistArrayId array) {
+    if (array >= 0 && array < static_cast<DistArrayId>(res_.size()) &&
+        res_[static_cast<size_t>(array)].st != nullptr) {
+      return res_[static_cast<size_t>(array)];
+    }
+    Resolved r;
+    r.st = &ex_->GetArray(array);
+    if (array == cl_->spec.iter_space) {
+      r.scheme = PartitionScheme::kIterSpace;
+      auto it = r.st->parts.find(tau_);
+      r.store = it != r.st->parts.end() ? &it->second : nullptr;
+    } else {
+      const ArrayPlacement& p = cl_->PlacementOf(array);
+      r.scheme = p.scheme;
+      switch (p.scheme) {
+        case PartitionScheme::kRange:
+          r.store = &r.st->range_store;
+          break;
+        case PartitionScheme::kSpaceTime: {
+          auto [it, inserted] = r.st->parts.try_emplace(
+              tau_, CellStore(r.st->meta.value_dim, CellStore::Layout::kHashed, 0));
+          r.store = &it->second;
+          break;
+        }
+        case PartitionScheme::kReplicated:
+          r.store = &r.st->replica;
+          break;
+        case PartitionScheme::kServer:
+          r.store = &r.st->prefetch_cache;
+          break;
+        default:
+          ORION_CHECK(false) << "bad placement";
+      }
+    }
+    if (array >= static_cast<DistArrayId>(res_.size())) {
+      res_.resize(static_cast<size_t>(array) + 1);
+    }
+    res_[static_cast<size_t>(array)] = r;
+    return res_[static_cast<size_t>(array)];
+  }
+
+  virtual const f32* ReadServer(Resolved& r, i64 key) {
+    // Dirty (written this step) wins over the prefetched snapshot.
+    const f32* dirty = r.st->server_dirty.Get(key);
+    if (dirty != nullptr) {
+      return dirty;
+    }
+    return r.st->prefetch_cache.Get(key);
+  }
+
+  virtual const f32* ReadIterSpace(Resolved& r, i64 key) {
+    return r.store != nullptr ? r.store->Get(key) : nullptr;
+  }
+
+  Executor* ex_;
+  const CompiledLoop* cl_;
+  int tau_;
+  std::vector<Resolved> res_;
+};
+
+// Access-recording context: the synthesized bulk-prefetch pass (paper
+// Sec. 4.4). Server-hosted reads record their key and return zeros; writes
+// and accumulators are inert; everything else reads real local data so that
+// data-dependent control flow (and data-dependent subscripts computed from
+// the iteration's own record) replays faithfully.
+class RecordingLoopContext : public WorkerLoopContext {
+ public:
+  RecordingLoopContext(Executor* ex, const CompiledLoop* cl, int tau,
+                       std::map<DistArrayId, std::vector<i64>>* recorded)
+      : WorkerLoopContext(ex, cl, tau), recorded_(recorded) {}
+
+  f32* Mutate(DistArrayId array, IdxSpan idx) override {
+    Resolved& r = Resolve(array);
+    if (ex_->mutate_scratch_.size() < static_cast<size_t>(r.st->meta.value_dim)) {
+      ex_->mutate_scratch_.resize(static_cast<size_t>(r.st->meta.value_dim));
+    }
+    return ex_->mutate_scratch_.data();
+  }
+
+  void BufferUpdate(DistArrayId array, IdxSpan idx, const f32* update) override {}
+  void AccumulatorAdd(int slot, f64 delta) override {}
+  bool recording() const override { return true; }
+
+ protected:
+  const f32* ReadServer(Resolved& r, i64 key) override {
+    (*recorded_)[r.st->meta.id].push_back(key);
+    return nullptr;  // caller substitutes the zero span
+  }
+
+ private:
+  std::map<DistArrayId, std::vector<i64>>* recorded_;
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+
+Executor::Executor(WorkerId rank, Fabric* fabric, const SharedDirectory* dir)
+    : rank_(rank), fabric_(fabric), dir_(dir) {}
+
+Executor::ArrayState& Executor::GetArray(DistArrayId id) {
+  auto it = arrays_.find(id);
+  if (it == arrays_.end()) {
+    it = arrays_.emplace(id, std::make_unique<ArrayState>(dir_->GetMeta(id))).first;
+  }
+  return *it->second;
+}
+
+DistArrayBuffer& Executor::GetBuffer(DistArrayId target) {
+  auto it = buffers_.find(target);
+  if (it == buffers_.end()) {
+    auto def = dir_->GetBufferDef(target);
+    ORION_CHECK(def != nullptr) << "BufferUpdate on array" << target
+                                << "without a registered DistArray Buffer";
+    it = buffers_
+             .emplace(target, std::make_unique<DistArrayBuffer>(target, def->update_dim,
+                                                                def->apply, def->combine))
+             .first;
+  }
+  return *it->second;
+}
+
+void Executor::Run() {
+  while (true) {
+    auto msg = fabric_->Recv(rank_);
+    if (!msg.has_value() || msg->kind == MsgKind::kShutdown) {
+      return;
+    }
+    switch (msg->kind) {
+      case MsgKind::kControl: {
+        const ControlOp op = PeekControlOp(msg->payload);
+        if (op == ControlOp::kStartPass) {
+          ByteReader r(msg->payload);
+          r.Get<u16>();
+          const i32 loop_id = r.Get<i32>();
+          const i32 pass = r.Get<i32>();
+          RunPass(loop_id, pass);
+        } else if (op == ControlOp::kGather) {
+          ByteReader r(msg->payload);
+          r.Get<u16>();
+          HandleGather(r.Get<i32>());
+        } else if (op == ControlOp::kDropArray) {
+          ByteReader r(msg->payload);
+          r.Get<u16>();
+          DropArray(r.Get<i32>());
+        } else {
+          ORION_CHECK(false) << "unexpected control op" << static_cast<int>(op);
+        }
+        break;
+      }
+      case MsgKind::kPartitionData:
+      case MsgKind::kParamReply:
+        HandleAsync(*msg);
+        break;
+      default:
+        ORION_CHECK(false) << "unexpected message kind" << static_cast<int>(msg->kind);
+    }
+  }
+}
+
+void Executor::InstallPartData(PartData pd, MsgKind kind) {
+  ArrayState& st = GetArray(pd.array);
+  if (kind == MsgKind::kParamReply) {
+    st.prefetch_cache.MergeAdd(pd.cells);  // cache starts empty: add == install
+    return;
+  }
+  switch (pd.mode) {
+    case PartDataMode::kInstallPart:
+      st.parts[pd.part] = std::move(pd.cells);
+      break;
+    case PartDataMode::kInstallRange:
+      st.range_store = std::move(pd.cells);
+      break;
+    case PartDataMode::kReplicaSnapshot: {
+      st.replica = std::move(pd.cells);
+      // Re-apply this worker's unflushed buffered updates so its own recent
+      // writes are not lost under the fresh snapshot.
+      auto it = buffers_.find(pd.array);
+      if (it != buffers_.end() && it->second->NumPending() > 0) {
+        // Peek without draining: drain into a copy and put it back.
+        CellStore pending = it->second->Drain();
+        DistArrayBuffer::ApplyTo(&st.replica, pending, it->second->apply_fn());
+        pending.ForEachConst([&](i64 key, const f32* v) { it->second->Accumulate(key, v); });
+      }
+      break;
+    }
+    default:
+      ORION_CHECK(false) << "unexpected PartData mode on worker";
+  }
+}
+
+void Executor::HandleAsync(const Message& msg) {
+  switch (msg.kind) {
+    case MsgKind::kPartitionData:
+    case MsgKind::kParamReply:
+      InstallPartData(PartData::Decode(msg.payload), msg.kind);
+      break;
+    default:
+      ORION_CHECK(false) << "unexpected async message kind" << static_cast<int>(msg.kind);
+  }
+}
+
+void Executor::DrainInbox() {
+  while (true) {
+    auto msg = fabric_->TryRecv(rank_);
+    if (!msg.has_value()) {
+      return;
+    }
+    HandleAsync(*msg);
+  }
+}
+
+std::optional<Message> Executor::WaitFor(const std::function<bool(const Message&)>& pred) {
+  Stopwatch sw;
+  while (true) {
+    auto msg = fabric_->Recv(rank_);
+    if (!msg.has_value()) {
+      wait_seconds_ += sw.ElapsedSeconds();
+      return std::nullopt;  // fabric shut down
+    }
+    if (pred(*msg)) {
+      wait_seconds_ += sw.ElapsedSeconds();
+      return msg;
+    }
+    HandleAsync(*msg);
+  }
+}
+
+void Executor::WaitForPart(DistArrayId array, int tau) {
+  ArrayState& st = GetArray(array);
+  while (st.parts.count(tau) == 0) {
+    auto msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kPartitionData; });
+    ORION_CHECK(msg.has_value()) << "fabric shut down while waiting for partition";
+    HandleAsync(*msg);
+  }
+}
+
+void Executor::Barrier(int step) {
+  Message m;
+  m.from = rank_;
+  m.to = kMasterRank;
+  m.kind = MsgKind::kBarrier;
+  m.tag = static_cast<u32>(step);
+  fabric_->Send(std::move(m));
+  auto go = WaitFor([&](const Message& msg) {
+    return msg.kind == MsgKind::kBarrier && msg.tag == static_cast<u32>(step);
+  });
+  ORION_CHECK(go.has_value()) << "fabric shut down at barrier";
+}
+
+void Executor::ExecuteCells(const CompiledLoop& cl, int tau, int chunk, int num_chunks) {
+  ArrayState& iter = GetArray(cl.spec.iter_space);
+  auto it = iter.parts.find(tau);
+  if (it == iter.parts.end() || it->second.NumCells() == 0) {
+    return;  // no data in this block
+  }
+  WorkerLoopContext ctx(this, &cl, tau);
+  const KeySpace& ks = iter.meta.key_space;
+  std::vector<i64> idx(static_cast<size_t>(ks.num_dims()));
+  CpuStopwatch sw;
+  const i64 flush_every = cl.options.buffer_flush_every;
+  i64 since_flush = 0;
+  auto body = [&](i64 key, f32* value) {
+    ks.DecodeInto(key, idx);
+    cl.kernel(ctx, idx, value);
+    if (flush_every > 0 && ++since_flush >= flush_every) {
+      since_flush = 0;
+      ApplyLocalBuffers(cl, tau);
+    }
+  };
+  if (num_chunks > 1) {
+    it->second.ForEachSlice(chunk, num_chunks, body);
+  } else {
+    it->second.ForEachFast(body);
+  }
+  compute_seconds_ += sw.ElapsedSeconds();
+}
+
+void Executor::Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, int num_chunks) {
+  // Collect the key lists, either from the per-loop cache or by running the
+  // synthesized recording pass over this block's iterations. `step` uniquely
+  // identifies the block within a pass (wavefront/rotation step, or sync
+  // round for chunked 1D loops), so it keys the cache.
+  std::map<DistArrayId, std::vector<i64>> recorded;
+  bool have_cached = cl.options.prefetch == PrefetchMode::kCached;
+  if (have_cached) {
+    for (const auto& [array, placement] : cl.plan.placements) {
+      if (placement.scheme != PartitionScheme::kServer) {
+        continue;
+      }
+      auto it = prefetch_key_cache_.find({cl.loop_id, step, array});
+      if (it == prefetch_key_cache_.end()) {
+        have_cached = false;
+        break;
+      }
+      recorded[array] = it->second;
+    }
+  }
+  if (!have_cached) {
+    CpuStopwatch record_sw;
+    ArrayState& iter = GetArray(cl.spec.iter_space);
+    auto it = iter.parts.find(tau);
+    if (it != iter.parts.end()) {
+      const KeySpace& ks = iter.meta.key_space;
+      std::vector<i64> idx(static_cast<size_t>(ks.num_dims()));
+      std::function<void(i64, f32*)> body;
+      if (cl.prefetch_program != nullptr && cl.prefetch_program->HasTargets()) {
+        // The synthesized access-pattern function (sliced from the loop
+        // body's AST) replaces kernel replay.
+        body = [&](i64 key, f32* value) {
+          ks.DecodeInto(key, idx);
+          cl.prefetch_program->Run(idx, value, iter.meta.value_dim,
+                                   cl.prefetch_key_spaces, &recorded);
+        };
+      } else {
+        body = [&, rctx = std::make_shared<RecordingLoopContext>(this, &cl, tau, &recorded)](
+                   i64 key, f32* value) {
+          ks.DecodeInto(key, idx);
+          cl.kernel(*rctx, idx, value);
+        };
+      }
+      if (num_chunks > 1) {
+        it->second.ForEachSlice(chunk, num_chunks, body);
+      } else {
+        it->second.ForEach(body);
+      }
+    }
+    for (auto& [array, keys] : recorded) {
+      std::sort(keys.begin(), keys.end());
+      keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+      if (cl.options.prefetch == PrefetchMode::kCached) {
+        prefetch_key_cache_[{cl.loop_id, step, array}] = keys;
+      }
+    }
+    compute_seconds_ += record_sw.ElapsedSeconds();
+  }
+
+  // Issue requests and install replies.
+  int expected_replies = 0;
+  for (const auto& [array, placement] : cl.plan.placements) {
+    if (placement.scheme != PartitionScheme::kServer) {
+      continue;
+    }
+    GetArray(array).prefetch_cache.Clear();
+    auto it = recorded.find(array);
+    const std::vector<i64> empty;
+    const std::vector<i64>& keys = it != recorded.end() ? it->second : empty;
+    if (cl.options.prefetch == PrefetchMode::kPerKey) {
+      // One request per key: models naive remote random access.
+      for (i64 key : keys) {
+        ParamRequest req{array, step, {key}};
+        Message m;
+        m.from = rank_;
+        m.to = kMasterRank;
+        m.kind = MsgKind::kParamRequest;
+        m.payload = req.Encode();
+        fabric_->Send(std::move(m));
+        ++expected_replies;
+      }
+    } else {
+      ParamRequest req{array, step, keys};
+      Message m;
+      m.from = rank_;
+      m.to = kMasterRank;
+      m.kind = MsgKind::kParamRequest;
+      m.payload = req.Encode();
+      fabric_->Send(std::move(m));
+      ++expected_replies;
+    }
+  }
+  for (int i = 0; i < expected_replies; ++i) {
+    auto msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
+    ORION_CHECK(msg.has_value()) << "fabric shut down during prefetch";
+    HandleAsync(*msg);
+  }
+}
+
+// Applies pending buffered updates whose targets this worker currently
+// owns (range partitions and the resident rotated partition).
+void Executor::ApplyLocalBuffers(const CompiledLoop& cl, int tau) {
+  for (auto& [target, buf] : buffers_) {
+    if (buf->NumPending() == 0) {
+      continue;
+    }
+    auto pit = cl.plan.placements.find(target);
+    if (pit == cl.plan.placements.end()) {
+      continue;
+    }
+    ArrayState& st = GetArray(target);
+    if (pit->second.scheme == PartitionScheme::kRange) {
+      CellStore updates = buf->Drain();
+      DistArrayBuffer::ApplyTo(&st.range_store, updates, buf->apply_fn());
+    } else if (pit->second.scheme == PartitionScheme::kSpaceTime) {
+      CellStore updates = buf->Drain();
+      auto it = st.parts.find(tau);
+      ORION_CHECK(it != st.parts.end()) << "buffered update to a non-resident rotated part";
+      DistArrayBuffer::ApplyTo(&it->second, updates, buf->apply_fn());
+    }
+  }
+}
+
+void Executor::StepFlush(const CompiledLoop& cl, int tau, int step) {
+  // Flush unbuffered server writes (wavefront loops) as overwrites.
+  for (const auto& [array, placement] : cl.plan.placements) {
+    if (placement.scheme != PartitionScheme::kServer) {
+      continue;
+    }
+    ArrayState& st = GetArray(array);
+    if (st.server_dirty.NumCells() == 0) {
+      continue;
+    }
+    PartData pd;
+    pd.array = array;
+    pd.part = -1;
+    pd.mode = PartDataMode::kOverwrite;
+    pd.cells = std::move(st.server_dirty);
+    st.server_dirty = CellStore(st.meta.value_dim, CellStore::Layout::kHashed, 0);
+    Message m;
+    m.from = rank_;
+    m.to = kMasterRank;
+    m.kind = MsgKind::kParamUpdate;
+    m.tag = static_cast<u32>(step);
+    m.payload = pd.Encode();
+    fabric_->Send(std::move(m));
+  }
+
+  // Flush buffered writes whose targets are locally applicable or replicated.
+  for (auto& [target, buf] : buffers_) {
+    if (buf->NumPending() == 0) {
+      continue;
+    }
+    auto pit = cl.plan.placements.find(target);
+    if (pit == cl.plan.placements.end()) {
+      continue;  // buffer targets an array not in this loop
+    }
+    ArrayState& st = GetArray(target);
+    switch (pit->second.scheme) {
+      case PartitionScheme::kRange: {
+        CellStore updates = buf->Drain();
+        DistArrayBuffer::ApplyTo(&st.range_store, updates, buf->apply_fn());
+        break;
+      }
+      case PartitionScheme::kSpaceTime: {
+        CellStore updates = buf->Drain();
+        auto it = st.parts.find(tau);
+        ORION_CHECK(it != st.parts.end()) << "buffered update to a non-resident rotated part";
+        DistArrayBuffer::ApplyTo(&it->second, updates, buf->apply_fn());
+        break;
+      }
+      case PartitionScheme::kReplicated: {
+        // Already applied locally at BufferUpdate time; ship the delta.
+        PartData pd;
+        pd.array = target;
+        pd.part = -1;
+        pd.mode = PartDataMode::kApplyBufferUdf;
+        pd.cells = buf->Drain();
+        Message m;
+        m.from = rank_;
+        m.to = kMasterRank;
+        m.kind = MsgKind::kParamUpdate;
+        m.tag = static_cast<u32>(step);
+        m.payload = pd.Encode();
+        fabric_->Send(std::move(m));
+        break;
+      }
+      case PartitionScheme::kServer:
+        break;  // flushed once per pass in PassEndFlush
+      default:
+        ORION_CHECK(false) << "buffered update to iteration space";
+    }
+  }
+}
+
+void Executor::PassEndFlush(const CompiledLoop& cl) { FlushServerBuffers(cl); }
+
+// Ships buffered updates whose targets are server-hosted. Called once per
+// pass by default, or once per sync round for chunked 1D loops (bounded
+// buffering delay, paper Sec. 3.3).
+void Executor::FlushServerBuffers(const CompiledLoop& cl) {
+  for (auto& [target, buf] : buffers_) {
+    if (buf->NumPending() == 0) {
+      continue;
+    }
+    auto pit = cl.plan.placements.find(target);
+    if (pit == cl.plan.placements.end() ||
+        pit->second.scheme != PartitionScheme::kServer) {
+      continue;
+    }
+    PartData pd;
+    pd.array = target;
+    pd.part = -1;
+    pd.mode = PartDataMode::kApplyBufferUdf;
+    pd.cells = buf->Drain();
+    Message m;
+    m.from = rank_;
+    m.to = kMasterRank;
+    m.kind = MsgKind::kParamUpdate;
+    m.payload = pd.Encode();
+    fabric_->Send(std::move(m));
+  }
+}
+
+void Executor::SendRotatedParts(const CompiledLoop& cl, int tau) {
+  WorkerId dest;
+  if (cl.UsesWavefront()) {
+    dest = cl.sched_wave.SendTo(rank_);
+  } else {
+    dest = cl.sched_rot.SendTo(rank_);
+  }
+  for (const auto& [array, placement] : cl.plan.placements) {
+    if (placement.scheme != PartitionScheme::kSpaceTime) {
+      continue;
+    }
+    ArrayState& st = GetArray(array);
+    auto it = st.parts.find(tau);
+    ORION_CHECK(it != st.parts.end()) << "rotated part" << tau << "vanished";
+    if (dest == kMasterRank && !cl.UsesWavefront()) {
+      continue;  // single worker: the part simply stays resident
+    }
+    PartData pd;
+    pd.array = array;
+    pd.part = tau;
+    pd.mode = PartDataMode::kInstallPart;
+    pd.cells = std::move(it->second);
+    st.parts.erase(it);
+    Message m;
+    m.from = rank_;
+    m.to = dest;
+    m.kind = MsgKind::kPartitionData;
+    m.tag = PartTag(tau);
+    m.payload = pd.Encode();
+    fabric_->Send(std::move(m));
+  }
+}
+
+void Executor::DrainReturningParts(const CompiledLoop& cl) {
+  // Unordered rotation: the last `pipeline_depth` partitions of each rotated
+  // array are still in flight back to their initial owners; pull them in so
+  // the next pass starts with the initial residency.
+  if (cl.num_workers == 1) {
+    return;
+  }
+  for (const auto& [array, placement] : cl.plan.placements) {
+    if (placement.scheme != PartitionScheme::kSpaceTime) {
+      continue;
+    }
+    ArrayState& st = GetArray(array);
+    for (int tau = 0; tau < cl.sched_rot.num_time_parts(); ++tau) {
+      if (cl.sched_rot.InitialOwner(tau) != rank_) {
+        continue;
+      }
+      while (st.parts.count(tau) == 0) {
+        auto msg =
+            WaitFor([](const Message& m) { return m.kind == MsgKind::kPartitionData; });
+        ORION_CHECK(msg.has_value()) << "fabric shut down while draining rotated parts";
+        HandleAsync(*msg);
+      }
+    }
+  }
+}
+
+void Executor::RunPass(i32 loop_id, i32 pass) {
+  auto cl = dir_->GetLoop(loop_id);
+  accum_ops_ = dir_->accumulator_ops();
+  accum_.resize(accum_ops_.size());
+  for (size_t i = 0; i < accum_.size(); ++i) {
+    accum_[i] = AccumIdentity(accum_ops_[i]);
+  }
+  compute_seconds_ = 0.0;
+  wait_seconds_ = 0.0;
+
+  bool has_server = false;
+  for (const auto& [array, placement] : cl->plan.placements) {
+    if (placement.scheme == PartitionScheme::kServer) {
+      has_server = true;
+    }
+  }
+
+  if (!cl->Is2D() && cl->options.server_sync_rounds > 1) {
+    // Chunked 1D pass: bounded buffering delay. Each round prefetches fresh
+    // server values, executes a slice of the local iterations, and flushes
+    // buffered updates so other workers' next rounds observe them.
+    const int rounds = cl->options.server_sync_rounds;
+    for (int round = 0; round < rounds; ++round) {
+      DrainInbox();
+      if (has_server) {
+        Prefetch(*cl, -1, round, round, rounds);
+      }
+      ExecuteCells(*cl, -1, round, rounds);
+      StepFlush(*cl, -1, round);
+      FlushServerBuffers(*cl);
+    }
+  } else {
+    const int steps = cl->NumSteps();
+    for (int step = 0; step < steps; ++step) {
+      DrainInbox();
+      const int tau = cl->Is2D() ? cl->TimePartAt(rank_, step) : -1;
+      const bool active = !cl->Is2D() || tau >= 0;
+      if (active) {
+        for (const auto& [array, placement] : cl->plan.placements) {
+          if (placement.scheme == PartitionScheme::kSpaceTime) {
+            WaitForPart(array, tau);
+          }
+        }
+        if (has_server) {
+          Prefetch(*cl, tau, step, 0, 1);
+        }
+        ExecuteCells(*cl, tau, 0, 1);
+        StepFlush(*cl, tau, step);
+        if (cl->Is2D() && !cl->UsesLockstep()) {
+          SendRotatedParts(*cl, tau);
+        }
+      }
+      if (cl->NeedsStepBarrier()) {
+        Barrier(step);
+      }
+    }
+  }
+  if (cl->UsesRotation()) {
+    DrainReturningParts(*cl);
+  }
+  PassEndFlush(*cl);
+
+  PassDone done;
+  done.loop_id = loop_id;
+  done.pass = pass;
+  done.compute_seconds = compute_seconds_;
+  done.wait_seconds = wait_seconds_;
+  done.accumulators = accum_;
+  Message m;
+  m.from = rank_;
+  m.to = kMasterRank;
+  m.kind = MsgKind::kControl;
+  m.payload = done.Encode();
+  fabric_->Send(std::move(m));
+}
+
+void Executor::HandleGather(DistArrayId array) {
+  ArrayState& st = GetArray(array);
+  CellStore merged(st.meta.value_dim, CellStore::Layout::kHashed, 0);
+  merged.MergeAdd(st.range_store);
+  for (const auto& [tau, cells] : st.parts) {
+    merged.MergeAdd(cells);
+  }
+  PartData pd;
+  pd.array = array;
+  pd.part = -1;
+  pd.mode = PartDataMode::kOverwrite;
+  pd.cells = std::move(merged);
+  Message m;
+  m.from = rank_;
+  m.to = kMasterRank;
+  m.kind = MsgKind::kParamUpdate;
+  m.payload = pd.Encode();
+  fabric_->Send(std::move(m));
+  DropArray(array);
+}
+
+void Executor::DropArray(DistArrayId array) {
+  arrays_.erase(array);
+  prefetch_key_cache_.clear();
+}
+
+}  // namespace orion

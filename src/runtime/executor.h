@@ -1,0 +1,111 @@
+// Executor: one logical worker of the distributed runtime.
+//
+// An executor owns the partitions assigned to it and exchanges all data with
+// the master and with ring neighbors through the fabric. One pass of a
+// compiled loop executes the schedule chosen by the planner:
+//
+//   1D        — run every local iteration, flush buffers, report done.
+//   rotation  — per step: (drain inbox) wait for the rotated partitions of
+//               this step's time index, prefetch server reads, run the
+//               block, apply/flush buffered writes, forward rotated
+//               partitions to the predecessor (paper Fig. 8).
+//   wavefront — like rotation but along the successor ring with a global
+//               barrier per step (ordered / unimodular loops); server-hosted
+//               writes are flushed each step so the next wavefront sees them.
+#ifndef ORION_SRC_RUNTIME_EXECUTOR_H_
+#define ORION_SRC_RUNTIME_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/dsm/dist_array_buffer.h"
+#include "src/net/fabric.h"
+#include "src/runtime/compiled_loop.h"
+#include "src/runtime/protocol.h"
+#include "src/runtime/shared_directory.h"
+
+namespace orion {
+
+class Executor {
+ public:
+  Executor(WorkerId rank, Fabric* fabric, const SharedDirectory* dir);
+
+  // Thread body; returns when the master sends kShutdown (or the fabric
+  // shuts down).
+  void Run();
+
+ private:
+  friend class WorkerLoopContext;
+  friend class RecordingLoopContext;
+
+  struct ArrayState {
+    DistArrayMeta meta;
+    CellStore range_store;             // kRange cells owned by this worker
+    std::map<int, CellStore> parts;    // rotated / iteration-space partitions
+    CellStore replica;                 // kReplicated full copy
+    CellStore prefetch_cache;          // kServer prefetched reads
+    CellStore server_dirty;            // kServer unbuffered writes (overwrite)
+    std::vector<f32> zeros;            // absent-cell read span
+
+    explicit ArrayState(const DistArrayMeta& m)
+        : meta(m),
+          range_store(m.value_dim, CellStore::Layout::kHashed, 0),
+          replica(m.value_dim, CellStore::Layout::kHashed, 0),
+          prefetch_cache(m.value_dim, CellStore::Layout::kHashed, 0),
+          server_dirty(m.value_dim, CellStore::Layout::kHashed, 0),
+          zeros(static_cast<size_t>(m.value_dim), 0.0f) {}
+  };
+
+  ArrayState& GetArray(DistArrayId id);
+  DistArrayBuffer& GetBuffer(DistArrayId target);
+
+  void RunPass(i32 loop_id, i32 pass);
+  void ExecuteCells(const CompiledLoop& cl, int tau, int chunk, int num_chunks);
+  void Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, int num_chunks);
+  void FlushServerBuffers(const CompiledLoop& cl);
+  void ApplyLocalBuffers(const CompiledLoop& cl, int tau);
+  void StepFlush(const CompiledLoop& cl, int tau, int step);
+  void PassEndFlush(const CompiledLoop& cl);
+  void SendRotatedParts(const CompiledLoop& cl, int tau);
+  void WaitForPart(DistArrayId array, int tau);
+  void Barrier(int step);
+  void DrainReturningParts(const CompiledLoop& cl);
+
+  void HandleGather(DistArrayId array);
+  void DropArray(DistArrayId array);
+
+  // Processes one asynchronous message (partition data, replica snapshot,
+  // prefetch reply).
+  void HandleAsync(const Message& msg);
+  // Non-blocking drain of queued asynchronous messages.
+  void DrainInbox();
+  // Blocking receive that handles async messages until `pred` matches.
+  std::optional<Message> WaitFor(const std::function<bool(const Message&)>& pred);
+
+  void InstallPartData(PartData pd, MsgKind kind);
+
+  WorkerId rank_;
+  Fabric* fabric_;
+  const SharedDirectory* dir_;
+
+  std::map<DistArrayId, std::unique_ptr<ArrayState>> arrays_;
+  std::map<DistArrayId, std::unique_ptr<DistArrayBuffer>> buffers_;
+  std::vector<f64> accum_;
+  std::vector<AccumOp> accum_ops_;
+  std::vector<f32> mutate_scratch_;
+
+  // Cached prefetch key lists: (loop, tau, array) -> keys.
+  std::map<std::tuple<i32, int, DistArrayId>, std::vector<i64>> prefetch_key_cache_;
+
+  double compute_seconds_ = 0.0;
+  double wait_seconds_ = 0.0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_RUNTIME_EXECUTOR_H_

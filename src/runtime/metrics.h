@@ -1,0 +1,20 @@
+// Per-pass metrics reported by Driver::Execute.
+#ifndef ORION_SRC_RUNTIME_METRICS_H_
+#define ORION_SRC_RUNTIME_METRICS_H_
+
+#include "src/common/types.h"
+
+namespace orion {
+
+struct LoopMetrics {
+  double pass_wall_seconds = 0.0;        // master-observed wall time
+  double max_worker_compute_seconds = 0.0;
+  double max_worker_wait_seconds = 0.0;
+  u64 bytes_sent = 0;                    // fabric traffic during the pass
+  u64 messages_sent = 0;
+  double virtual_net_seconds = 0.0;      // modeled network cost of the pass
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_RUNTIME_METRICS_H_

@@ -1,0 +1,140 @@
+// Wire protocol between the master (driver) and executors.
+//
+// Every payload is serialized with ByteWriter/ByteReader; the structs here
+// are the typed views. Control messages carry a leading ControlOp.
+#ifndef ORION_SRC_RUNTIME_PROTOCOL_H_
+#define ORION_SRC_RUNTIME_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/types.h"
+#include "src/dsm/cell_store.h"
+#include "src/net/message.h"
+
+namespace orion {
+
+enum class ControlOp : u16 {
+  kStartPass = 1,    // master -> worker: run one pass of a compiled loop
+  kPassDone = 2,     // worker -> master: pass finished (+ accumulators)
+  kGather = 3,       // master -> worker: ship array cells back, drop them
+  kDropArray = 4,    // master -> worker: drop local cells of an array
+  kStepBarrier = 5,  // worker -> master: wavefront step done
+  kStepGo = 6,       // master -> worker: proceed to next wavefront step
+};
+
+struct StartPass {
+  i32 loop_id = 0;
+  i32 pass = 0;
+
+  std::vector<u8> Encode() const {
+    ByteWriter w;
+    w.Put<u16>(static_cast<u16>(ControlOp::kStartPass));
+    w.Put<i32>(loop_id);
+    w.Put<i32>(pass);
+    return w.Take();
+  }
+};
+
+struct PassDone {
+  i32 loop_id = 0;
+  i32 pass = 0;
+  double compute_seconds = 0.0;
+  double wait_seconds = 0.0;
+  std::vector<f64> accumulators;
+
+  std::vector<u8> Encode() const {
+    ByteWriter w;
+    w.Put<u16>(static_cast<u16>(ControlOp::kPassDone));
+    w.Put<i32>(loop_id);
+    w.Put<i32>(pass);
+    w.Put<double>(compute_seconds);
+    w.Put<double>(wait_seconds);
+    w.PutVec(accumulators);
+    return w.Take();
+  }
+};
+
+// Header for kPartitionData messages: a chunk of DistArray cells.
+// `part` is the time-partition index for rotated partitions, -1 otherwise.
+enum class PartDataMode : u8 {
+  kInstallPart = 0,    // install into the receiver's partition map [part]
+  kInstallRange = 1,   // install as the receiver's range-partition cells
+  kOverwrite = 2,      // master-side: overwrite authoritative cells
+  kApplyAdd = 3,       // apply as additive deltas
+  kApplyBufferUdf = 4, // apply with the registered buffer UDF
+  kReplicaSnapshot = 5,// full replicated-array refresh
+};
+
+struct PartData {
+  DistArrayId array = kInvalidDistArrayId;
+  i32 part = -1;
+  PartDataMode mode = PartDataMode::kInstallPart;
+  CellStore cells;
+
+  std::vector<u8> Encode() const {
+    ByteWriter w;
+    w.Put<i32>(array);
+    w.Put<i32>(part);
+    w.Put<u8>(static_cast<u8>(mode));
+    cells.Serialize(&w);
+    return w.Take();
+  }
+
+  static PartData Decode(const std::vector<u8>& payload) {
+    ByteReader r(payload);
+    PartData p;
+    p.array = r.Get<i32>();
+    p.part = r.Get<i32>();
+    p.mode = static_cast<PartDataMode>(r.Get<u8>());
+    p.cells = CellStore::Deserialize(&r);
+    return p;
+  }
+};
+
+// Bulk-prefetch request: the synthesized access-pattern pass's key list.
+struct ParamRequest {
+  DistArrayId array = kInvalidDistArrayId;
+  i32 step = 0;
+  std::vector<i64> keys;
+
+  std::vector<u8> Encode() const {
+    ByteWriter w;
+    w.Put<i32>(array);
+    w.Put<i32>(step);
+    w.PutVec(keys);
+    return w.Take();
+  }
+
+  static ParamRequest Decode(const std::vector<u8>& payload) {
+    ByteReader r(payload);
+    ParamRequest p;
+    p.array = r.Get<i32>();
+    p.step = r.Get<i32>();
+    p.keys = r.GetVec<i64>();
+    return p;
+  }
+};
+
+// kGather / kDropArray control message.
+struct ArrayOp {
+  ControlOp op = ControlOp::kGather;
+  DistArrayId array = kInvalidDistArrayId;
+
+  std::vector<u8> Encode() const {
+    ByteWriter w;
+    w.Put<u16>(static_cast<u16>(op));
+    w.Put<i32>(array);
+    return w.Take();
+  }
+};
+
+inline ControlOp PeekControlOp(const std::vector<u8>& payload) {
+  ByteReader r(payload);
+  return static_cast<ControlOp>(r.Get<u16>());
+}
+
+}  // namespace orion
+
+#endif  // ORION_SRC_RUNTIME_PROTOCOL_H_

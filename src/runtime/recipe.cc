@@ -1,0 +1,42 @@
+#include "src/runtime/recipe.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace orion {
+
+LineParser MakeDelimitedParser(int num_dims, i32 value_dim) {
+  return [num_dims, value_dim](const std::string& line, IndexVec* idx,
+                               std::vector<f32>* value) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      return false;
+    }
+    // Accept spaces, tabs, or commas as separators.
+    std::string normalized = line;
+    for (char& c : normalized) {
+      if (c == ',' || c == '\t') {
+        c = ' ';
+      }
+    }
+    std::istringstream in(normalized);
+    idx->clear();
+    value->clear();
+    for (int d = 0; d < num_dims; ++d) {
+      i64 coord;
+      if (!(in >> coord)) {
+        return false;
+      }
+      idx->push_back(coord);
+    }
+    for (i32 v = 0; v < value_dim; ++v) {
+      f32 x;
+      if (!(in >> x)) {
+        return false;
+      }
+      value->push_back(x);
+    }
+    return true;
+  };
+}
+
+}  // namespace orion

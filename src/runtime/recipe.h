@@ -1,0 +1,69 @@
+// Lazily-evaluated DistArray construction (paper Sec. 3.1).
+//
+// Like Orion's Julia API, a DistArray can be built from a text file through
+// a user-defined parser, transformed with `map` operations, and only
+// evaluated when the driver calls Materialize. Because the recipe is a
+// recorded chain, materialization fuses the parser and every map into one
+// pass over the input — no intermediate DistArray is allocated. Set
+// operations that shuffle (GroupByDim) are evaluated eagerly, exactly as
+// the paper chooses for simplicity.
+#ifndef ORION_SRC_RUNTIME_RECIPE_H_
+#define ORION_SRC_RUNTIME_RECIPE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace orion {
+
+// Parses one input line into (index, value); returns false to skip the line
+// (comments, headers, malformed records).
+using LineParser =
+    std::function<bool(const std::string& line, IndexVec* idx, std::vector<f32>* value)>;
+
+// A fused transformation stage: may rewrite the index and/or the value of a
+// record in place.
+using RecordMap = std::function<void(IndexVec* idx, std::vector<f32>* value)>;
+
+class ArrayRecipe {
+ public:
+  // Records: load from a text file through `parser`.
+  static ArrayRecipe TextFile(std::string path, LineParser parser) {
+    ArrayRecipe r;
+    r.path_ = std::move(path);
+    r.parser_ = std::move(parser);
+    return r;
+  }
+
+  // Records a map stage (fused into the materialization pass).
+  ArrayRecipe&& Map(RecordMap fn) && {
+    maps_.push_back(std::move(fn));
+    return std::move(*this);
+  }
+
+  // Convenience: map over values only (paper's map_values=true).
+  ArrayRecipe&& MapValues(std::function<void(std::vector<f32>*)> fn) && {
+    maps_.push_back([fn = std::move(fn)](IndexVec*, std::vector<f32>* value) { fn(value); });
+    return std::move(*this);
+  }
+
+  const std::string& path() const { return path_; }
+  const LineParser& parser() const { return parser_; }
+  const std::vector<RecordMap>& maps() const { return maps_; }
+
+ private:
+  std::string path_;
+  LineParser parser_;
+  std::vector<RecordMap> maps_;
+};
+
+// A ready-made parser for whitespace/comma-separated "i j [k ...] value"
+// records with `num_dims` leading integer coordinates followed by
+// `value_dim` floats. Lines starting with '#' or '%' are skipped.
+LineParser MakeDelimitedParser(int num_dims, i32 value_dim);
+
+}  // namespace orion
+
+#endif  // ORION_SRC_RUNTIME_RECIPE_H_

@@ -1,0 +1,91 @@
+// Computation schedules (paper Sec. 4.3, Fig. 7).
+//
+// A schedule maps (worker, global step) to the iteration-space partition the
+// worker executes, plus the ring along which rotated DistArray partitions
+// travel. Three shapes:
+//
+//  - OneDSchedule (Fig. 7d): each worker owns one space partition; a single
+//    step per pass; workers synchronize only at pass end.
+//
+//  - WavefrontSchedule (Fig. 7e, ordered 2D): global steps t = 0..M+N-2;
+//    worker j executes time partition (t - j) when valid. Rotated partitions
+//    flow along the ring 0 -> 1 -> ... -> N-1. Preserves lexicographic
+//    dependence direction.
+//
+//  - RotationSchedule (Fig. 7f + Fig. 8, unordered 2D): the default. With N
+//    workers and pipeline depth P, there are M = N*P time partitions; at
+//    step t worker j executes partition (j*P + t) mod M. Each worker starts
+//    with P locally resident time partitions, forwards a partition to its
+//    predecessor right after executing it, and thus never idles waiting for
+//    data as long as the pipeline stays full. After the M steps of one pass
+//    every rotated partition is back at its initial owner.
+#ifndef ORION_SRC_SCHED_SCHEDULE_H_
+#define ORION_SRC_SCHED_SCHEDULE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+struct OneDSchedule {
+  int num_workers = 1;
+
+  int num_steps() const { return 1; }
+};
+
+struct WavefrontSchedule {
+  int num_workers = 1;
+  int num_time_parts = 1;
+
+  int num_steps() const { return num_workers + num_time_parts - 1; }
+
+  // Time partition worker j executes at step t, or -1 if idle.
+  int TimePartAt(int worker, int step) const {
+    const int tau = step - worker;
+    return (tau >= 0 && tau < num_time_parts) ? tau : -1;
+  }
+
+  // Ring neighbors for rotated-partition transfer (-1 = none).
+  WorkerId SendTo(int worker) const {
+    return worker + 1 < num_workers ? worker + 1 : kMasterRank;
+  }
+  WorkerId RecvFrom(int worker) const { return worker > 0 ? worker - 1 : kMasterRank; }
+
+  // Worker that holds time partition tau before the pass starts.
+  int InitialOwner(int tau) const { return 0; }
+};
+
+struct RotationSchedule {
+  int num_workers = 1;
+  int pipeline_depth = 1;  // P; time partitions per worker
+
+  int num_time_parts() const { return num_workers * pipeline_depth; }
+  int num_steps() const { return num_time_parts(); }
+
+  int TimePartAt(int worker, int step) const {
+    ORION_CHECK(step >= 0 && step < num_steps());
+    return (worker * pipeline_depth + step) % num_time_parts();
+  }
+
+  // Rotated partitions travel to the predecessor in the worker ring.
+  WorkerId SendTo(int worker) const {
+    return num_workers == 1 ? kMasterRank
+                            : static_cast<WorkerId>((worker + num_workers - 1) % num_workers);
+  }
+  WorkerId RecvFrom(int worker) const {
+    return num_workers == 1 ? kMasterRank : static_cast<WorkerId>((worker + 1) % num_workers);
+  }
+
+  // Worker that holds time partition tau before the pass starts.
+  int InitialOwner(int tau) const { return tau / pipeline_depth; }
+
+  // True if worker's partition for `step` is part of its initial residency
+  // (no receive needed).
+  bool InitiallyLocal(int step) const { return step < pipeline_depth; }
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_SCHED_SCHEDULE_H_

@@ -1,0 +1,125 @@
+// Baseline systems must reproduce the qualitative behaviors the paper's
+// comparisons rest on: data parallelism converges per-iteration worse than
+// dependence-aware schedules; managed communication narrows the gap at the
+// cost of bandwidth; STRADS-style manual model parallelism matches serial
+// convergence; mini-batch (TF-style) convergence degrades with batch size.
+#include <gtest/gtest.h>
+
+#include "src/apps/lda.h"
+#include "src/apps/sgd_mf.h"
+#include "src/baselines/bosen_ps.h"
+#include "src/baselines/strads_mp.h"
+#include "src/baselines/tf_minibatch.h"
+
+namespace orion {
+namespace {
+
+std::vector<RatingEntry> Data() {
+  RatingsConfig d;
+  d.rows = 400;
+  d.cols = 300;
+  d.nnz = 20000;
+  d.true_rank = 4;
+  d.seed = 7;
+  return GenerateRatings(d);
+}
+
+constexpr int kRank = 4;
+constexpr int kPasses = 8;
+
+TEST(Baselines, BosenPlainConvergesSlowerThanStrads) {
+  auto data = Data();
+
+  StradsConfig sc;
+  StradsMf strads(data, 400, 300, kRank, sc);
+  BosenConfig bc;
+  BosenMf bosen(data, 400, 300, kRank, bc);
+
+  const f64 loss0 = strads.EvalLoss();
+  for (int p = 0; p < kPasses; ++p) {
+    strads.RunPass();
+    bosen.RunPass();
+  }
+  const f64 strads_loss = strads.EvalLoss();
+  const f64 bosen_loss = bosen.EvalLoss();
+  EXPECT_LT(strads_loss, 0.2 * loss0);  // model parallelism converges well
+  EXPECT_LT(bosen_loss, loss0);         // data parallelism improves...
+  EXPECT_GT(bosen_loss, strads_loss);   // ...but lags per iteration
+}
+
+TEST(Baselines, ManagedCommImprovesBosenAtBandwidthCost) {
+  auto data = Data();
+
+  BosenConfig plain;
+  BosenMf bosen_plain(data, 400, 300, kRank, plain);
+  BosenConfig cm = plain;
+  cm.managed_comm = true;
+  cm.comm_intervals_per_pass = 16;
+  BosenMf bosen_cm(data, 400, 300, kRank, cm);
+
+  for (int p = 0; p < kPasses; ++p) {
+    bosen_plain.RunPass();
+    bosen_cm.RunPass();
+  }
+  EXPECT_LT(bosen_cm.EvalLoss(), bosen_plain.EvalLoss());
+  EXPECT_GT(bosen_cm.bytes_communicated(), bosen_plain.bytes_communicated());
+}
+
+TEST(Baselines, StradsMatchesSerialConvergence) {
+  auto data = Data();
+  SgdMfConfig mf;
+  mf.rank = kRank;
+  SerialSgdMf serial(data, 400, 300, mf);
+  StradsConfig sc;
+  StradsMf strads(data, 400, 300, kRank, sc);
+  for (int p = 0; p < kPasses; ++p) {
+    serial.RunPass();
+    strads.RunPass();
+  }
+  const f64 s = serial.EvalLoss();
+  const f64 m = strads.EvalLoss();
+  EXPECT_LT(m, 2.0 * s + 1e-6);
+  EXPECT_GT(m, 0.25 * s - 1e-6);
+}
+
+TEST(Baselines, TfLargeBatchConvergesSlowerPerEpoch) {
+  auto data = Data();
+  TfConfig small_batch;
+  small_batch.minibatch_size = 500;
+  TfConfig large_batch = small_batch;
+  large_batch.minibatch_size = 20000;  // the whole dataset per batch
+
+  TfMinibatchMf tf_small(data, 400, 300, kRank, small_batch);
+  TfMinibatchMf tf_large(data, 400, 300, kRank, large_batch);
+  for (int p = 0; p < kPasses; ++p) {
+    tf_small.RunPass();
+    tf_large.RunPass();
+  }
+  EXPECT_LT(tf_small.EvalLoss(), tf_large.EvalLoss());
+}
+
+TEST(Baselines, BosenLdaLagsStradsLda) {
+  CorpusConfig cc;
+  cc.num_docs = 300;
+  cc.vocab = 500;
+  cc.true_topics = 8;
+  cc.doc_length = 40;
+  cc.seed = 11;
+  auto corpus = GenerateCorpus(cc);
+
+  StradsConfig sc;
+  StradsLda strads(corpus, 300, 500, 8, sc);
+  BosenConfig bc;
+  BosenLda bosen(corpus, 300, 500, 8, bc);
+  const f64 ll0 = strads.EvalLogLikelihood();
+  for (int p = 0; p < 10; ++p) {
+    strads.RunPass();
+    bosen.RunPass();
+  }
+  EXPECT_GT(strads.EvalLogLikelihood(), ll0 + 0.1);
+  EXPECT_GT(bosen.EvalLogLikelihood(), ll0);  // improves, but...
+  EXPECT_GE(strads.EvalLogLikelihood(), bosen.EvalLogLikelihood() - 0.02);
+}
+
+}  // namespace
+}  // namespace orion

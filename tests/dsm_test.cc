@@ -1,0 +1,330 @@
+// DSM primitives: key spaces, cell stores (all three layouts), partitions,
+// buffers, randomize, checkpointing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/rng.h"
+#include "src/dsm/cell_store.h"
+#include "src/dsm/checkpoint.h"
+#include "src/dsm/dist_array_buffer.h"
+#include "src/dsm/key_space.h"
+#include "src/dsm/partition.h"
+#include "src/dsm/randomize.h"
+
+namespace orion {
+namespace {
+
+// ---- KeySpace ----
+
+TEST(KeySpace, EncodeDecodeRoundtrip) {
+  const KeySpace ks({4, 5, 6});
+  EXPECT_EQ(ks.total(), 120);
+  for (i64 a = 0; a < 4; ++a) {
+    for (i64 b = 0; b < 5; ++b) {
+      for (i64 c = 0; c < 6; ++c) {
+        const i64 key = ks.Encode(std::vector<i64>{a, b, c});
+        const auto idx = ks.Decode(key);
+        EXPECT_EQ(idx[0], a);
+        EXPECT_EQ(idx[1], b);
+        EXPECT_EQ(idx[2], c);
+        EXPECT_EQ(ks.Coord(key, 0), a);
+        EXPECT_EQ(ks.Coord(key, 1), b);
+        EXPECT_EQ(ks.Coord(key, 2), c);
+      }
+    }
+  }
+}
+
+TEST(KeySpace, LastDimContiguous) {
+  const KeySpace ks({3, 7});
+  EXPECT_EQ(ks.Encode(std::vector<i64>{0, 1}) - ks.Encode(std::vector<i64>{0, 0}), 1);
+}
+
+TEST(KeySpace, ContainsBounds) {
+  const KeySpace ks({3, 3});
+  EXPECT_TRUE(ks.Contains(std::vector<i64>{2, 2}));
+  EXPECT_FALSE(ks.Contains(std::vector<i64>{3, 0}));
+  EXPECT_FALSE(ks.Contains(std::vector<i64>{0, -1}));
+  EXPECT_FALSE(ks.Contains(std::vector<i64>{0}));
+}
+
+// ---- CellStore layouts (parameterized) ----
+
+enum class StoreKind { kHashed, kFullDense, kDenseRange };
+
+class CellStoreLayoutTest : public ::testing::TestWithParam<StoreKind> {
+ protected:
+  CellStore Make(i32 value_dim) const {
+    switch (GetParam()) {
+      case StoreKind::kHashed:
+        return CellStore(value_dim, CellStore::Layout::kHashed, 0);
+      case StoreKind::kFullDense:
+        return CellStore(value_dim, CellStore::Layout::kFullDense, 100);
+      case StoreKind::kDenseRange:
+        return CellStore::DenseRange(value_dim, 10, 109);
+    }
+    return CellStore();
+  }
+  i64 KeyFor(int i) const {
+    return GetParam() == StoreKind::kDenseRange ? 10 + i : i;
+  }
+};
+
+TEST_P(CellStoreLayoutTest, WriteReadBack) {
+  CellStore s = Make(3);
+  for (int i = 0; i < 50; ++i) {
+    f32* v = s.GetOrCreate(KeyFor(i));
+    v[0] = static_cast<f32>(i);
+    v[2] = static_cast<f32>(-i);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const f32* v = s.Get(KeyFor(i));
+    ASSERT_NE(v, nullptr);
+    EXPECT_FLOAT_EQ(v[0], static_cast<f32>(i));
+    EXPECT_FLOAT_EQ(v[2], static_cast<f32>(-i));
+  }
+}
+
+TEST_P(CellStoreLayoutTest, SerializeRoundtrip) {
+  CellStore s = Make(2);
+  for (int i = 0; i < 30; ++i) {
+    s.GetOrCreate(KeyFor(i))[1] = static_cast<f32>(i * i);
+  }
+  ByteWriter w;
+  s.Serialize(&w);
+  auto bytes = w.Take();
+  ByteReader r(bytes);
+  CellStore back = CellStore::Deserialize(&r);
+  EXPECT_EQ(back.layout(), s.layout());
+  EXPECT_EQ(back.NumCells(), s.NumCells());
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_FLOAT_EQ(back.Get(KeyFor(i))[1], static_cast<f32>(i * i));
+  }
+}
+
+TEST_P(CellStoreLayoutTest, ForEachVisitsEverythingOnce) {
+  CellStore s = Make(1);
+  for (int i = 0; i < 20; ++i) {
+    *s.GetOrCreate(KeyFor(i)) = 1.0f;
+  }
+  i64 visits = 0;
+  f64 sum = 0.0;
+  s.ForEach([&](i64, f32* v) {
+    ++visits;
+    sum += v[0];
+  });
+  EXPECT_EQ(visits, s.NumCells());
+  EXPECT_DOUBLE_EQ(sum, 20.0);  // untouched dense cells contribute zero
+}
+
+TEST_P(CellStoreLayoutTest, MergeAddAccumulates) {
+  CellStore a = Make(2);
+  CellStore b = Make(2);
+  for (int i = 0; i < 10; ++i) {
+    a.GetOrCreate(KeyFor(i))[0] = 1.0f;
+    b.GetOrCreate(KeyFor(i))[0] = 2.0f;
+  }
+  a.MergeAdd(b);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(a.Get(KeyFor(i))[0], 3.0f);
+  }
+}
+
+TEST_P(CellStoreLayoutTest, ClearZeroesOrEmpties) {
+  CellStore s = Make(1);
+  *s.GetOrCreate(KeyFor(3)) = 9.0f;
+  s.Clear();
+  if (GetParam() == StoreKind::kHashed) {
+    EXPECT_EQ(s.NumCells(), 0);
+  } else {
+    EXPECT_FLOAT_EQ(s.Get(KeyFor(3))[0], 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, CellStoreLayoutTest,
+                         ::testing::Values(StoreKind::kHashed, StoreKind::kFullDense,
+                                           StoreKind::kDenseRange));
+
+TEST(CellStore, HashedInsertionOrderIsStable) {
+  CellStore s(1, CellStore::Layout::kHashed, 0);
+  const std::vector<i64> keys = {42, 7, 99, 1, 13};
+  for (i64 k : keys) {
+    s.GetOrCreate(k);
+  }
+  std::vector<i64> seen;
+  s.ForEach([&](i64 k, f32*) { seen.push_back(k); });
+  EXPECT_EQ(seen, keys);
+}
+
+TEST(CellStore, SliceCoversExactlyOnce) {
+  CellStore s(1, CellStore::Layout::kHashed, 0);
+  for (i64 k = 0; k < 103; ++k) {
+    s.GetOrCreate(k * 7);
+  }
+  std::vector<int> visits(103, 0);
+  for (int chunk = 0; chunk < 8; ++chunk) {
+    s.ForEachSlice(chunk, 8, [&](i64 k, f32*) { ++visits[static_cast<size_t>(k / 7)]; });
+  }
+  for (int v : visits) {
+    EXPECT_EQ(v, 1);
+  }
+}
+
+// ---- RangeSplits / histograms ----
+
+TEST(RangeSplits, EqualWidthCoversRange) {
+  const auto s = RangeSplits::EqualWidth(100, 4);
+  EXPECT_EQ(s.PartOf(0), 0);
+  EXPECT_EQ(s.PartOf(24), 0);
+  EXPECT_EQ(s.PartOf(25), 1);
+  EXPECT_EQ(s.PartOf(99), 3);
+}
+
+TEST(RangeSplits, PartOfIsMonotone) {
+  DimHistogram hist(0, 999, 128);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    hist.Add(rng.NextZipf(1000, 0.9));
+  }
+  const auto s = RangeSplits::FromHistogram(hist, 7);
+  int prev = 0;
+  for (i64 c = 0; c < 1000; ++c) {
+    const int p = s.PartOf(c);
+    EXPECT_GE(p, prev);
+    EXPECT_LT(p, 7);
+    prev = p;
+  }
+}
+
+TEST(RangeSplits, HistogramBalancesSkew) {
+  DimHistogram hist(0, 9999, 512);
+  Rng rng(6);
+  std::vector<i64> coords;
+  for (int i = 0; i < 50000; ++i) {
+    coords.push_back(rng.NextZipf(10000, 1.0));
+    hist.Add(coords.back());
+  }
+  const int parts = 8;
+  const auto balanced = RangeSplits::FromHistogram(hist, parts);
+  const auto naive = RangeSplits::EqualWidth(10000, parts);
+  std::vector<i64> balanced_load(parts, 0);
+  std::vector<i64> naive_load(parts, 0);
+  for (i64 c : coords) {
+    ++balanced_load[static_cast<size_t>(balanced.PartOf(c))];
+    ++naive_load[static_cast<size_t>(naive.PartOf(c))];
+  }
+  const i64 balanced_max = *std::max_element(balanced_load.begin(), balanced_load.end());
+  const i64 naive_max = *std::max_element(naive_load.begin(), naive_load.end());
+  EXPECT_LT(balanced_max, naive_max / 2) << "histogram splits should halve the max load";
+}
+
+TEST(RangeSplits, SerializeRoundtrip) {
+  const auto s = RangeSplits::EqualWidth(1000, 5);
+  ByteWriter w;
+  s.Serialize(&w);
+  auto bytes = w.Take();
+  ByteReader r(bytes);
+  const auto back = RangeSplits::Deserialize(&r);
+  EXPECT_EQ(back.num_parts(), 5);
+  EXPECT_EQ(back.uppers(), s.uppers());
+}
+
+// ---- DistArray buffers ----
+
+TEST(Buffer, CoalescesAndApplies) {
+  DistArrayBuffer buf(7, 2, MakeAddApplyFn(), MakeAddCombineFn());
+  const f32 u1[2] = {1.0f, 2.0f};
+  const f32 u2[2] = {3.0f, 4.0f};
+  buf.Accumulate(5, u1);
+  buf.Accumulate(5, u2);
+  buf.Accumulate(9, u1);
+  EXPECT_EQ(buf.NumPending(), 2);
+  CellStore target(2, CellStore::Layout::kHashed, 0);
+  target.GetOrCreate(5)[0] = 10.0f;
+  CellStore drained = buf.Drain();
+  EXPECT_EQ(buf.NumPending(), 0);
+  DistArrayBuffer::ApplyTo(&target, drained, buf.apply_fn());
+  EXPECT_FLOAT_EQ(target.Get(5)[0], 14.0f);
+  EXPECT_FLOAT_EQ(target.Get(5)[1], 6.0f);
+  EXPECT_FLOAT_EQ(target.Get(9)[0], 1.0f);
+}
+
+TEST(Buffer, CustomApplyUdf) {
+  // Apply: cell[0] = max(cell[0], update[0]) — a non-additive UDF.
+  auto apply = [](f32* cell, const f32* update, i32) {
+    cell[0] = std::max(cell[0], update[0]);
+  };
+  DistArrayBuffer buf(7, 1, apply, MakeAddCombineFn());
+  const f32 u = 5.0f;
+  buf.Accumulate(1, &u);
+  CellStore target(1, CellStore::Layout::kHashed, 0);
+  target.GetOrCreate(1)[0] = 3.0f;
+  DistArrayBuffer::ApplyTo(&target, buf.Drain(), buf.apply_fn());
+  EXPECT_FLOAT_EQ(target.Get(1)[0], 5.0f);
+}
+
+// ---- Randomize ----
+
+TEST(Randomize, IsABijection) {
+  RandomPermutation perm(1000, 9);
+  std::vector<bool> hit(1000, false);
+  for (i64 x = 0; x < 1000; ++x) {
+    const i64 y = perm.Map(x);
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 1000);
+    EXPECT_FALSE(hit[static_cast<size_t>(y)]);
+    hit[static_cast<size_t>(y)] = true;
+    EXPECT_EQ(perm.Inverse(y), x);
+  }
+}
+
+TEST(Randomize, DeterministicInSeed) {
+  RandomPermutation a(100, 1);
+  RandomPermutation b(100, 1);
+  RandomPermutation c(100, 2);
+  bool differs = false;
+  for (i64 x = 0; x < 100; ++x) {
+    EXPECT_EQ(a.Map(x), b.Map(x));
+    differs = differs || a.Map(x) != c.Map(x);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---- Checkpointing ----
+
+TEST(Checkpoint, Roundtrip) {
+  CellStore s(3, CellStore::Layout::kHashed, 0);
+  for (i64 k = 0; k < 100; ++k) {
+    s.GetOrCreate(k * 13)[1] = static_cast<f32>(k);
+  }
+  const std::string path = ::testing::TempDir() + "/orion_ckpt_test.bin";
+  ASSERT_TRUE(CheckpointWrite(path, s).ok());
+  auto back = CheckpointRead(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumCells(), 100);
+  EXPECT_FLOAT_EQ(back->Get(13 * 7)[1], 7.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileFails) {
+  auto result = CheckpointRead("/nonexistent/orion.ckpt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(Checkpoint, CorruptMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/orion_bad_ckpt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+  auto result = CheckpointRead(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,107 @@
+// Subscript expression classification (paper Sec. 3.2: precise analysis for
+// `loop_index ± constant`, conservative otherwise).
+#include <gtest/gtest.h>
+
+#include "src/ir/expr.h"
+
+namespace orion {
+namespace {
+
+TEST(Expr, ConstantFolds) {
+  auto e = Expr::Add(Expr::Const(3), Expr::Mul(Expr::Const(2), Expr::Const(5)));
+  const Subscript s = ClassifySubscript(e);
+  EXPECT_EQ(s.kind, SubscriptKind::kConstant);
+  EXPECT_EQ(s.constant, 13);
+}
+
+TEST(Expr, PlainLoopIndex) {
+  const Subscript s = ClassifySubscript(Expr::LoopIndex(2));
+  EXPECT_EQ(s.kind, SubscriptKind::kLoopIndex);
+  EXPECT_EQ(s.loop_dim, 2);
+  EXPECT_EQ(s.constant, 0);
+}
+
+TEST(Expr, LoopIndexPlusConstant) {
+  const Subscript s = ClassifySubscript(Expr::Add(Expr::LoopIndex(0), Expr::Const(4)));
+  EXPECT_EQ(s.kind, SubscriptKind::kLoopIndex);
+  EXPECT_EQ(s.loop_dim, 0);
+  EXPECT_EQ(s.constant, 4);
+}
+
+TEST(Expr, ConstantMinusHandling) {
+  const Subscript s = ClassifySubscript(Expr::Sub(Expr::LoopIndex(1), Expr::Const(2)));
+  EXPECT_EQ(s.kind, SubscriptKind::kLoopIndex);
+  EXPECT_EQ(s.loop_dim, 1);
+  EXPECT_EQ(s.constant, -2);
+}
+
+TEST(Expr, IndexMinusItselfIsConstant) {
+  // i - i folds to the constant 0.
+  const Subscript s = ClassifySubscript(Expr::Sub(Expr::LoopIndex(0), Expr::LoopIndex(0)));
+  EXPECT_EQ(s.kind, SubscriptKind::kConstant);
+  EXPECT_EQ(s.constant, 0);
+}
+
+TEST(Expr, ScaledIndexIsConservative) {
+  // 2 * i: not of the form index + const -> range.
+  const Subscript s = ClassifySubscript(Expr::Mul(Expr::Const(2), Expr::LoopIndex(0)));
+  EXPECT_EQ(s.kind, SubscriptKind::kRange);
+}
+
+TEST(Expr, TwoIndicesAreConservative) {
+  const Subscript s = ClassifySubscript(Expr::Add(Expr::LoopIndex(0), Expr::LoopIndex(1)));
+  EXPECT_EQ(s.kind, SubscriptKind::kRange);
+}
+
+TEST(Expr, IndexTimesIndexIsConservative) {
+  const Subscript s = ClassifySubscript(Expr::Mul(Expr::LoopIndex(0), Expr::LoopIndex(1)));
+  EXPECT_EQ(s.kind, SubscriptKind::kRange);
+}
+
+TEST(Expr, RuntimeValuePropagates) {
+  const Subscript s =
+      ClassifySubscript(Expr::Add(Expr::Runtime("feature"), Expr::Const(1)));
+  EXPECT_EQ(s.kind, SubscriptKind::kRuntime);
+}
+
+TEST(Expr, RuntimeDominatesEverything) {
+  const Subscript s = ClassifySubscript(
+      Expr::Mul(Expr::LoopIndex(0), Expr::Runtime("v")));
+  EXPECT_EQ(s.kind, SubscriptKind::kRuntime);
+}
+
+TEST(Expr, CancellingCoefficients) {
+  // (i + 3) - i = 3.
+  auto e = Expr::Sub(Expr::Add(Expr::LoopIndex(0), Expr::Const(3)), Expr::LoopIndex(0));
+  const Subscript s = ClassifySubscript(e);
+  EXPECT_EQ(s.kind, SubscriptKind::kConstant);
+  EXPECT_EQ(s.constant, 3);
+}
+
+TEST(Expr, NestedAffine) {
+  // ((i - 1) + (2 * 3)) = i + 5.
+  auto e = Expr::Add(Expr::Sub(Expr::LoopIndex(0), Expr::Const(1)),
+                     Expr::Mul(Expr::Const(2), Expr::Const(3)));
+  const Subscript s = ClassifySubscript(e);
+  EXPECT_EQ(s.kind, SubscriptKind::kLoopIndex);
+  EXPECT_EQ(s.constant, 5);
+}
+
+TEST(Expr, ConstTimesIndexThenCancel) {
+  // 2*i - i = i (coefficient 1 after cancellation).
+  auto e = Expr::Sub(Expr::Mul(Expr::Const(2), Expr::LoopIndex(0)), Expr::LoopIndex(0));
+  const Subscript s = ClassifySubscript(e);
+  EXPECT_EQ(s.kind, SubscriptKind::kLoopIndex);
+  EXPECT_EQ(s.loop_dim, 0);
+}
+
+TEST(Expr, ToStringSmoke) {
+  auto e = Expr::Add(Expr::LoopIndex(0), Expr::Const(1));
+  EXPECT_EQ(e->ToString(), "(i0 + 1)");
+  EXPECT_EQ(ClassifySubscript(e).ToString(), "i0+1");
+  EXPECT_EQ(Subscript::MakeRange().ToString(), ":");
+  EXPECT_EQ(Subscript::MakeRuntime().ToString(), "?");
+}
+
+}  // namespace
+}  // namespace orion

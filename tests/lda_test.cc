@@ -1,0 +1,121 @@
+// LDA: planner derives 2D unordered with replicated topic totals; Gibbs
+// sampling must improve log-likelihood at a rate comparable to serial
+// (paper Fig. 9c).
+#include <gtest/gtest.h>
+
+#include "src/apps/lda.h"
+
+namespace orion {
+namespace {
+
+CorpusConfig SmallCorpus() {
+  CorpusConfig c;
+  c.num_docs = 300;
+  c.vocab = 500;
+  c.true_topics = 8;
+  c.doc_length = 40;
+  c.seed = 11;
+  return c;
+}
+
+LdaConfig SmallLda() {
+  LdaConfig l;
+  l.num_topics = 8;
+  return l;
+}
+
+TEST(Lda, PlannerPicks2DWithReplicatedTotals) {
+  DriverConfig cfg;
+  cfg.num_workers = 4;
+  Driver driver(cfg);
+  LdaApp app(&driver, SmallLda());
+  auto corpus = GenerateCorpus(SmallCorpus());
+  ASSERT_TRUE(app.Init(corpus, 300, 500).ok());
+
+  const auto& plan = app.train_plan();
+  EXPECT_EQ(plan.form, ParallelForm::k2D);
+  EXPECT_FALSE(plan.ordered);
+  EXPECT_EQ(plan.placements.at(app.topic_sum()).scheme, PartitionScheme::kReplicated);
+  // One of doc_topic / word_topic is local (space-aligned), the other
+  // rotates.
+  const auto dt = plan.placements.at(app.doc_topic()).scheme;
+  const auto wt = plan.placements.at(app.word_topic()).scheme;
+  EXPECT_TRUE((dt == PartitionScheme::kRange && wt == PartitionScheme::kSpaceTime) ||
+              (dt == PartitionScheme::kSpaceTime && wt == PartitionScheme::kRange));
+}
+
+TEST(Lda, ConvergesCloseToSerial) {
+  auto corpus = GenerateCorpus(SmallCorpus());
+
+  SerialLda serial(corpus, 300, 500, SmallLda());
+  const f64 ll0 = serial.EvalLogLikelihood();
+  for (int p = 0; p < 15; ++p) {
+    serial.RunPass();
+  }
+  const f64 serial_ll = serial.EvalLogLikelihood();
+  EXPECT_GT(serial_ll, ll0 + 0.1);  // log-likelihood must improve
+
+  DriverConfig cfg;
+  cfg.num_workers = 4;
+  Driver driver(cfg);
+  LdaApp app(&driver, SmallLda());
+  ASSERT_TRUE(app.Init(corpus, 300, 500).ok());
+  auto first = app.EvalLogLikelihood();
+  ASSERT_TRUE(first.ok());
+  EXPECT_NEAR(*first, ll0, 0.05);  // same initialization statistics
+  for (int p = 0; p < 15; ++p) {
+    ASSERT_TRUE(app.RunPass().ok());
+  }
+  auto last = app.EvalLogLikelihood();
+  ASSERT_TRUE(last.ok());
+  EXPECT_GT(*last, ll0 + 0.1);
+  // Dependence-aware parallel Gibbs should land near the serial quality.
+  EXPECT_GT(*last, serial_ll - 0.2);
+}
+
+TEST(Lda, CountsStayConsistent) {
+  // After several passes, doc_topic / word_topic / topic_sum must still sum
+  // to the token count (conservation under in-place updates + buffered
+  // totals).
+  auto corpus = GenerateCorpus(SmallCorpus());
+  i64 total = 0;
+  for (const auto& t : corpus) {
+    total += std::min<i32>(t.count, 7);
+  }
+
+  DriverConfig cfg;
+  cfg.num_workers = 3;
+  Driver driver(cfg);
+  LdaApp app(&driver, SmallLda());
+  ASSERT_TRUE(app.Init(corpus, 300, 500).ok());
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_TRUE(app.RunPass().ok());
+  }
+
+  f64 dt_sum = 0.0;
+  driver.MutableCells(app.doc_topic()).ForEach([&](i64, f32* v) {
+    for (int x = 0; x < 8; ++x) {
+      dt_sum += v[x];
+      EXPECT_GE(v[x], 0.0f);
+    }
+  });
+  f64 wt_sum = 0.0;
+  driver.MutableCells(app.word_topic()).ForEach([&](i64, f32* v) {
+    for (int x = 0; x < 8; ++x) {
+      wt_sum += v[x];
+      EXPECT_GE(v[x], 0.0f);
+    }
+  });
+  f64 ts_sum = 0.0;
+  driver.MutableCells(app.topic_sum()).ForEach([&](i64, f32* v) {
+    for (int x = 0; x < 8; ++x) {
+      ts_sum += v[x];
+    }
+  });
+  EXPECT_DOUBLE_EQ(dt_sum, static_cast<f64>(total));
+  EXPECT_DOUBLE_EQ(wt_sum, static_cast<f64>(total));
+  EXPECT_DOUBLE_EQ(ts_sum, static_cast<f64>(total));
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,98 @@
+// Planner edge cases: offset subscripts and alignment, worker-count cost
+// sensitivity, replication thresholds.
+#include <gtest/gtest.h>
+
+#include "src/analysis/plan.h"
+
+namespace orion {
+namespace {
+
+TEST(PlanEdge, OffsetSubscriptBreaksAlignment) {
+  // A[j + 1] read alongside A[j] write: distances differ by 1 so the array
+  // cannot be cleanly range/rotation-partitioned at split boundaries; the
+  // unbuffered write then rules the candidate out entirely.
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {100, 100};
+  spec.AddClassifiedAccess(1, "A", {Subscript::MakeLoopIndex(1, 1)}, false);
+  spec.AddClassifiedAccess(1, "A", {Subscript::MakeLoopIndex(1, 0)}, true);
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(spec, {{1, ArrayStats{100, 1}}}, options);
+  // dep: A[j] write vs A[j+1] read -> (0 at dim0? no: dim1 distance 1) ->
+  // vector (+inf could appear at dim0). Either way, no legal dependence-
+  // preserving placement exists for the write.
+  EXPECT_EQ(plan.form, ParallelForm::kSerial) << plan.ToString();
+}
+
+TEST(PlanEdge, OffsetReadOnlyArrayStillPlaceable) {
+  // Same offset read but the array is never written: read-only servers /
+  // replicas are fine, so the loop parallelizes.
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {100, 100};
+  spec.AddClassifiedAccess(1, "A", {Subscript::MakeLoopIndex(1, 1)}, false);
+  spec.AddClassifiedAccess(2, "B", {Subscript::MakeLoopIndex(0)}, true);
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan =
+      PlanLoop(spec, {{1, ArrayStats{100, 1}}, {2, ArrayStats{100, 1}}}, options);
+  EXPECT_EQ(plan.form, ParallelForm::k1D);
+  EXPECT_EQ(plan.placements.at(1).scheme, PartitionScheme::kReplicated);
+  EXPECT_EQ(plan.placements.at(2).scheme, PartitionScheme::kRange);
+}
+
+TEST(PlanEdge, WorkerCountShiftsReplicationDecision) {
+  // A read-only array slightly over nothing: replication costs |A| once;
+  // rotation costs N*|A|. Replication wins regardless of N, but the server
+  // option's cost (2*N*|A|) grows with N — check est_comm scales.
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000, 600};
+  spec.AddClassifiedAccess(1, "W", {Subscript::MakeLoopIndex(0)}, true);
+  spec.AddClassifiedAccess(2, "H", {Subscript::MakeLoopIndex(1)}, false);
+  std::map<DistArrayId, ArrayStats> stats = {{1, ArrayStats{1000, 4}},
+                                             {2, ArrayStats{600, 4}}};
+  PlannerOptions few;
+  few.num_workers = 2;
+  few.replicate_threshold_floats = 0;  // force server for H
+  PlannerOptions many = few;
+  many.num_workers = 16;
+  const auto plan_few = PlanLoop(spec, stats, few);
+  const auto plan_many = PlanLoop(spec, stats, many);
+  EXPECT_LT(plan_few.est_comm_floats, plan_many.est_comm_floats);
+}
+
+TEST(PlanEdge, ThresholdControlsReplication) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000};
+  spec.AddClassifiedAccess(1, "t", {Subscript::MakeConstant(0)}, false);
+  spec.AddClassifiedAccess(2, "out", {Subscript::MakeLoopIndex(0)}, true);
+  std::map<DistArrayId, ArrayStats> stats = {{1, ArrayStats{1, 64}},
+                                             {2, ArrayStats{1000, 1}}};
+  PlannerOptions yes;
+  yes.num_workers = 4;
+  yes.replicate_threshold_floats = 64;
+  PlannerOptions no = yes;
+  no.replicate_threshold_floats = 63;
+  EXPECT_EQ(PlanLoop(spec, stats, yes).placements.at(1).scheme, PartitionScheme::kReplicated);
+  EXPECT_EQ(PlanLoop(spec, stats, no).placements.at(1).scheme, PartitionScheme::kServer);
+}
+
+TEST(PlanEdge, ConstantSubscriptWriteUnbufferedIsSerial) {
+  // Every iteration writes cell 0 without a buffer: a genuine serialization
+  // point (the paper's accumulator/totals cases must buffer).
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000};
+  spec.AddClassifiedAccess(1, "t", {Subscript::MakeConstant(0)}, false);
+  spec.AddClassifiedAccess(1, "t", {Subscript::MakeConstant(0)}, true);
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(spec, {{1, ArrayStats{1, 4}}}, options);
+  EXPECT_EQ(plan.form, ParallelForm::kSerial);
+}
+
+}  // namespace
+}  // namespace orion

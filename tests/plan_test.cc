@@ -1,0 +1,222 @@
+// Parallelization planning (paper Sec. 4.3): candidate enumeration,
+// communication-cost placement, application overrides, and fallbacks.
+#include <gtest/gtest.h>
+
+#include "src/analysis/plan.h"
+
+namespace orion {
+namespace {
+
+DepVec V2(DepEntry a, DepEntry b) {
+  DepVec d(2);
+  d[0] = a;
+  d[1] = b;
+  return d;
+}
+
+TEST(Candidates, OneDimensional) {
+  const auto deps = {V2(DepEntry::Value(0), DepEntry::PosInf())};
+  const auto c = Find1DCandidates({deps.begin(), deps.end()}, 2);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], 0);
+}
+
+TEST(Candidates, NoDepsMeansEveryDimIs1D) {
+  const auto c = Find1DCandidates({}, 3);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Candidates, TwoDimensionalOrCondition) {
+  std::vector<DepVec> deps = {V2(DepEntry::Value(0), DepEntry::PosInf()),
+                              V2(DepEntry::PosInf(), DepEntry::Value(0))};
+  EXPECT_TRUE(Find1DCandidates(deps, 2).empty());
+  const auto c = Find2DCandidates(deps, 2);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (std::pair<int, int>{0, 1}));
+}
+
+TEST(Candidates, BothNonZeroKills2D) {
+  std::vector<DepVec> deps = {V2(DepEntry::Value(1), DepEntry::Value(1))};
+  EXPECT_TRUE(Find2DCandidates(deps, 2).empty());
+}
+
+// ---- Whole-loop planning ----
+
+LoopSpec MfSpec(bool buffered_writes = false) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000, 600};
+  spec.AddClassifiedAccess(1, "W", {Subscript::MakeLoopIndex(0)}, false);
+  spec.AddClassifiedAccess(2, "H", {Subscript::MakeLoopIndex(1)}, false);
+  spec.AddClassifiedAccess(1, "W", {Subscript::MakeLoopIndex(0)}, true, buffered_writes);
+  spec.AddClassifiedAccess(2, "H", {Subscript::MakeLoopIndex(1)}, true, buffered_writes);
+  return spec;
+}
+
+std::map<DistArrayId, ArrayStats> MfStats() {
+  return {{1, ArrayStats{1000, 8}}, {2, ArrayStats{600, 8}}};
+}
+
+TEST(Plan, MfPicks2DAndRotatesTheSmallerArray) {
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(MfSpec(), MfStats(), options);
+  EXPECT_EQ(plan.form, ParallelForm::k2D);
+  EXPECT_EQ(plan.space_dim, 0);  // W (larger) stays put
+  EXPECT_EQ(plan.time_dim, 1);   // H (smaller) rotates
+  EXPECT_EQ(plan.placements.at(1).scheme, PartitionScheme::kRange);
+  EXPECT_EQ(plan.placements.at(2).scheme, PartitionScheme::kSpaceTime);
+}
+
+TEST(Plan, OrientationFollowsArraySizes) {
+  // Make W much smaller than H: now W should rotate (space over dim 1).
+  auto stats = MfStats();
+  stats[1] = ArrayStats{50, 8};
+  stats[2] = ArrayStats{5000, 8};
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(MfSpec(), stats, options);
+  EXPECT_EQ(plan.form, ParallelForm::k2D);
+  EXPECT_EQ(plan.space_dim, 1);
+  EXPECT_EQ(plan.time_dim, 0);
+}
+
+TEST(Plan, ForcedDimsRespected) {
+  PlannerOptions options;
+  options.num_workers = 4;
+  options.force_space_dim = 1;
+  options.force_time_dim = 0;
+  const auto plan = PlanLoop(MfSpec(), MfStats(), options);
+  EXPECT_EQ(plan.space_dim, 1);
+  EXPECT_EQ(plan.time_dim, 0);
+}
+
+TEST(Plan, ReadOnlyLoopPrefersCheapestLayout) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000, 600};
+  spec.AddClassifiedAccess(1, "W", {Subscript::MakeLoopIndex(0)}, false);
+  spec.AddClassifiedAccess(2, "H", {Subscript::MakeLoopIndex(1)}, false);
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(spec, MfStats(), options);
+  // 1D over dim 0 with H replicated read-only costs |H| — cheaper than
+  // rotating H (N*|H|).
+  EXPECT_EQ(plan.form, ParallelForm::k1D);
+  EXPECT_EQ(plan.placements.at(2).scheme, PartitionScheme::kReplicated);
+}
+
+TEST(Plan, Prefer2dOverrides) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000, 600};
+  spec.AddClassifiedAccess(1, "W", {Subscript::MakeLoopIndex(0)}, false);
+  spec.AddClassifiedAccess(2, "H", {Subscript::MakeLoopIndex(1)}, false);
+  PlannerOptions options;
+  options.num_workers = 4;
+  options.prefer_2d = true;
+  const auto plan = PlanLoop(spec, MfStats(), options);
+  EXPECT_EQ(plan.form, ParallelForm::k2D);
+}
+
+TEST(Plan, UnbufferedUnalignedWriteFallsToSerial) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000};
+  spec.AddClassifiedAccess(1, "w", {Subscript::MakeRuntime()}, false);
+  spec.AddClassifiedAccess(1, "w", {Subscript::MakeRuntime()}, true);  // NOT buffered
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(spec, {{1, ArrayStats{100, 1}}}, options);
+  EXPECT_EQ(plan.form, ParallelForm::kSerial);
+  EXPECT_NE(plan.explanation.find("Buffer"), std::string::npos) << plan.explanation;
+}
+
+TEST(Plan, BufferingTheWriteEnablesDataParallel1D) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000};
+  spec.AddClassifiedAccess(1, "w", {Subscript::MakeRuntime()}, false);
+  spec.AddClassifiedAccess(1, "w", {Subscript::MakeRuntime()}, true, /*buffered=*/true);
+  PlannerOptions options;
+  options.num_workers = 4;
+  options.replicate_threshold_floats = 0;
+  const auto plan = PlanLoop(spec, {{1, ArrayStats{100, 1}}}, options);
+  EXPECT_EQ(plan.form, ParallelForm::k1D);
+  EXPECT_EQ(plan.placements.at(1).scheme, PartitionScheme::kServer);
+}
+
+TEST(Plan, SmallBufferedTargetReplicates) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {1000, 600};
+  spec.AddClassifiedAccess(1, "W", {Subscript::MakeLoopIndex(0)}, false);
+  spec.AddClassifiedAccess(1, "W", {Subscript::MakeLoopIndex(0)}, true);
+  spec.AddClassifiedAccess(3, "totals", {Subscript::MakeConstant(0)}, false);
+  spec.AddClassifiedAccess(3, "totals", {Subscript::MakeConstant(0)}, true, /*buffered=*/true);
+  PlannerOptions options;
+  options.num_workers = 4;
+  auto stats = MfStats();
+  stats[3] = ArrayStats{1, 20};
+  const auto plan = PlanLoop(spec, stats, options);
+  EXPECT_NE(plan.form, ParallelForm::kSerial);
+  EXPECT_EQ(plan.placements.at(3).scheme, PartitionScheme::kReplicated);
+}
+
+TEST(Plan, StencilGoesUnimodular) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {100, 100};
+  spec.AddClassifiedAccess(1, "A",
+                           {Subscript::MakeLoopIndex(0), Subscript::MakeLoopIndex(1)}, true);
+  spec.AddClassifiedAccess(
+      1, "A", {Subscript::MakeLoopIndex(0, -1), Subscript::MakeLoopIndex(1)}, false);
+  spec.AddClassifiedAccess(
+      1, "A", {Subscript::MakeLoopIndex(0), Subscript::MakeLoopIndex(1, -1)}, false);
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(spec, {{1, ArrayStats{10000, 1}}}, options);
+  EXPECT_EQ(plan.form, ParallelForm::k2DUnimodular);
+  EXPECT_FALSE(plan.transform.IsIdentity());
+  EXPECT_EQ(plan.placements.at(1).scheme, PartitionScheme::kServer);
+}
+
+TEST(Plan, UnimodularCanBeDisabled) {
+  LoopSpec spec;
+  spec.iter_space = 0;
+  spec.iter_extents = {100, 100};
+  spec.AddClassifiedAccess(1, "A",
+                           {Subscript::MakeLoopIndex(0), Subscript::MakeLoopIndex(1)}, true);
+  spec.AddClassifiedAccess(
+      1, "A", {Subscript::MakeLoopIndex(0, -1), Subscript::MakeLoopIndex(1)}, false);
+  spec.AddClassifiedAccess(
+      1, "A", {Subscript::MakeLoopIndex(0), Subscript::MakeLoopIndex(1, -1)}, false);
+  PlannerOptions options;
+  options.num_workers = 4;
+  options.allow_unimodular = false;
+  const auto plan = PlanLoop(spec, {{1, ArrayStats{10000, 1}}}, options);
+  EXPECT_EQ(plan.form, ParallelForm::kSerial);
+}
+
+TEST(Plan, OrderedFlagCarriesThrough) {
+  LoopSpec spec = MfSpec();
+  spec.ordered = true;
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(spec, MfStats(), options);
+  EXPECT_TRUE(plan.ordered);
+  // Ordered loops keep write-write dependences; MF's write-write pairs are
+  // same-distance so the plan is unchanged.
+  EXPECT_EQ(plan.form, ParallelForm::k2D);
+}
+
+TEST(Plan, ExplanationMentionsDeps) {
+  PlannerOptions options;
+  options.num_workers = 4;
+  const auto plan = PlanLoop(MfSpec(), MfStats(), options);
+  EXPECT_NE(plan.explanation.find("deps={"), std::string::npos);
+  EXPECT_NE(plan.ToString().find("2D"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orion

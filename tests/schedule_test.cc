@@ -1,0 +1,135 @@
+// Schedule-shape properties (paper Fig. 7 / Fig. 8), parameterized over
+// worker counts and pipeline depths.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sched/schedule.h"
+
+namespace orion {
+namespace {
+
+class RotationTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RotationTest, EveryWorkerVisitsEveryPartExactlyOnce) {
+  const auto [workers, depth] = GetParam();
+  RotationSchedule sched{workers, depth};
+  for (int w = 0; w < workers; ++w) {
+    std::set<int> seen;
+    for (int t = 0; t < sched.num_steps(); ++t) {
+      seen.insert(sched.TimePartAt(w, t));
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), sched.num_time_parts());
+  }
+}
+
+TEST_P(RotationTest, NoTwoWorkersShareAPartInAStep) {
+  const auto [workers, depth] = GetParam();
+  RotationSchedule sched{workers, depth};
+  for (int t = 0; t < sched.num_steps(); ++t) {
+    std::set<int> used;
+    for (int w = 0; w < workers; ++w) {
+      EXPECT_TRUE(used.insert(sched.TimePartAt(w, t)).second)
+          << "collision at step " << t;
+    }
+  }
+}
+
+TEST_P(RotationTest, InitialResidencyCoversFirstDepthSteps) {
+  const auto [workers, depth] = GetParam();
+  RotationSchedule sched{workers, depth};
+  for (int w = 0; w < workers; ++w) {
+    for (int t = 0; t < depth; ++t) {
+      EXPECT_EQ(sched.InitialOwner(sched.TimePartAt(w, t)), w)
+          << "step " << t << " should use an initially-local partition";
+    }
+  }
+}
+
+TEST_P(RotationTest, PartFlowsAlongThePredecessorRing) {
+  const auto [workers, depth] = GetParam();
+  if (workers == 1) {
+    return;
+  }
+  RotationSchedule sched{workers, depth};
+  // If worker w executes part p at step t, its predecessor executes p at
+  // step t + depth (so a part sent right after execution arrives with
+  // `depth` steps of slack — the pipelining of Fig. 8).
+  for (int w = 0; w < workers; ++w) {
+    const int pred = static_cast<int>(sched.SendTo(w));
+    for (int t = 0; t + depth < sched.num_steps(); ++t) {
+      EXPECT_EQ(sched.TimePartAt(pred, t + depth), sched.TimePartAt(w, t));
+    }
+  }
+}
+
+TEST_P(RotationTest, RingIsConsistent) {
+  const auto [workers, depth] = GetParam();
+  RotationSchedule sched{workers, depth};
+  if (workers == 1) {
+    EXPECT_EQ(sched.SendTo(0), kMasterRank);
+    return;
+  }
+  for (int w = 0; w < workers; ++w) {
+    EXPECT_EQ(sched.RecvFrom(static_cast<int>(sched.SendTo(w))), w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RotationTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 16),
+                                            ::testing::Values(1, 2, 3)));
+
+class WavefrontTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WavefrontTest, EveryCellExecutedExactlyOnce) {
+  const auto [workers, parts] = GetParam();
+  WavefrontSchedule sched{workers, parts};
+  std::set<std::pair<int, int>> executed;
+  for (int t = 0; t < sched.num_steps(); ++t) {
+    for (int w = 0; w < workers; ++w) {
+      const int tau = sched.TimePartAt(w, t);
+      if (tau >= 0) {
+        EXPECT_TRUE(executed.insert({w, tau}).second);
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(executed.size()), workers * parts);
+}
+
+TEST_P(WavefrontTest, DiagonalOrderRespectsDependences) {
+  // (w, tau) must run strictly after (w-1, tau) and after (w, tau-1).
+  const auto [workers, parts] = GetParam();
+  WavefrontSchedule sched{workers, parts};
+  auto step_of = [&](int w, int tau) { return w + tau; };
+  for (int w = 0; w < workers; ++w) {
+    for (int tau = 0; tau < parts; ++tau) {
+      if (w > 0) {
+        EXPECT_GT(step_of(w, tau), step_of(w - 1, tau));
+      }
+      if (tau > 0) {
+        EXPECT_GT(step_of(w, tau), step_of(w, tau - 1));
+      }
+    }
+  }
+}
+
+TEST_P(WavefrontTest, AtMostOnePartPerWorkerPerStep) {
+  const auto [workers, parts] = GetParam();
+  WavefrontSchedule sched{workers, parts};
+  for (int t = 0; t < sched.num_steps(); ++t) {
+    std::set<int> used;
+    for (int w = 0; w < workers; ++w) {
+      const int tau = sched.TimePartAt(w, t);
+      if (tau >= 0) {
+        EXPECT_TRUE(used.insert(tau).second);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WavefrontTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,133 @@
+// Serializability property tests: randomly generated loop bodies with
+// dependence-carrying accesses must produce, under every schedule the
+// planner picks, exactly the result of a serial execution.
+//
+// The kernels use *commutative-per-cell* updates (addition and independent
+// per-cell multiplication), so every serialization yields the same final
+// state — making "equals some serial order" checkable as exact equality.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/runtime/driver.h"
+
+namespace orion {
+namespace {
+
+struct Shape {
+  int workers;
+  bool ordered;
+  int pipeline_depth;
+};
+
+class SerializabilityTest : public ::testing::TestWithParam<std::tuple<int, bool, int, int>> {};
+
+TEST_P(SerializabilityTest, ParallelEqualsSerial) {
+  const auto [workers, ordered, depth, seed] = GetParam();
+
+  // Random sparse 2-D iteration space.
+  Rng rng(static_cast<u64>(seed) * 2654435761u + 17);
+  const i64 rows = 20 + static_cast<i64>(rng.NextBounded(60));
+  const i64 cols = 20 + static_cast<i64>(rng.NextBounded(60));
+  const i64 nnz = 200 + static_cast<i64>(rng.NextBounded(800));
+  std::map<i64, f32> entries;
+  for (i64 n = 0; n < nnz; ++n) {
+    const i64 i = rng.NextZipf(rows, 0.5);
+    const i64 j = rng.NextZipf(cols, 0.5);
+    entries[i * cols + j] = 0.25f + 0.5f * static_cast<f32>(rng.NextDouble());
+  }
+
+  DriverConfig cfg;
+  cfg.num_workers = workers;
+  cfg.seed = static_cast<u64>(seed) + 1;
+  Driver driver(cfg);
+  auto data = driver.CreateDistArray("data", {rows, cols}, 1, Density::kSparse);
+  auto row_acc = driver.CreateDistArray("row_acc", {rows}, 2, Density::kDense);
+  auto col_acc = driver.CreateDistArray("col_acc", {cols}, 2, Density::kDense);
+  {
+    CellStore& cells = driver.MutableCells(data);
+    for (const auto& [key, v] : entries) {
+      *cells.GetOrCreate(key) = v;
+    }
+    // row_acc/col_acc cell = [sum, product], product starts at 1.
+    driver.MapCells(row_acc, [](i64, f32* v) { v[1] = 1.0f; });
+    driver.MapCells(col_acc, [](i64, f32* v) { v[1] = 1.0f; });
+  }
+
+  LoopSpec spec;
+  spec.iter_space = data;
+  spec.iter_extents = {rows, cols};
+  spec.ordered = ordered;
+  spec.AddAccess(row_acc, "row_acc", {Expr::LoopIndex(0)}, false);
+  spec.AddAccess(row_acc, "row_acc", {Expr::LoopIndex(0)}, true);
+  spec.AddAccess(col_acc, "col_acc", {Expr::LoopIndex(1)}, false);
+  spec.AddAccess(col_acc, "col_acc", {Expr::LoopIndex(1)}, true);
+
+  int acc = driver.CreateAccumulator();
+  LoopKernel kernel = [&, acc](LoopContext& ctx, IdxSpan idx, const f32* value) {
+    const i64 ki[1] = {idx[0]};
+    const i64 kj[1] = {idx[1]};
+    f32* r = ctx.Mutate(row_acc, ki);
+    f32* c = ctx.Mutate(col_acc, kj);
+    r[0] += value[0];
+    r[1] *= 1.0f + value[0] * 0.125f;
+    c[0] += 2.0f * value[0];
+    c[1] *= 1.0f + value[0] * 0.0625f;
+    ctx.AccumulatorAdd(acc, static_cast<f64>(value[0]));
+  };
+
+  ParallelForOptions options;
+  options.ordered = ordered;
+  options.pipeline_depth = depth;
+  auto loop = driver.Compile(spec, kernel, options);
+  ASSERT_TRUE(loop.ok()) << loop.status();
+  const int passes = 2;
+  for (int p = 0; p < passes; ++p) {
+    ASSERT_TRUE(driver.Execute(*loop).ok());
+  }
+
+  // Serial reference over the same entries (any order works because cell
+  // updates commute).
+  std::map<i64, std::pair<f64, f64>> want_row;
+  std::map<i64, std::pair<f64, f64>> want_col;
+  f64 want_acc = 0.0;
+  for (int p = 0; p < passes; ++p) {
+    for (const auto& [key, v] : entries) {
+      const i64 i = key / cols;
+      const i64 j = key % cols;
+      auto& r = want_row.try_emplace(i, 0.0, 1.0).first->second;
+      auto& c = want_col.try_emplace(j, 0.0, 1.0).first->second;
+      r.first += v;
+      r.second *= 1.0 + static_cast<f64>(v) * 0.125;
+      c.first += 2.0 * v;
+      c.second *= 1.0 + static_cast<f64>(v) * 0.0625;
+      want_acc += v;
+    }
+  }
+
+  const CellStore& rstore = driver.Cells(row_acc);
+  for (const auto& [i, rc] : want_row) {
+    const f32* v = rstore.Get(i);
+    ASSERT_NE(v, nullptr);
+    EXPECT_NEAR(v[0], rc.first, 1e-3 * std::abs(rc.first) + 1e-4) << "row " << i;
+    EXPECT_NEAR(v[1], rc.second, 1e-3 * std::abs(rc.second) + 1e-4) << "row " << i;
+  }
+  const CellStore& cstore = driver.Cells(col_acc);
+  for (const auto& [j, cc] : want_col) {
+    const f32* v = cstore.Get(j);
+    ASSERT_NE(v, nullptr);
+    EXPECT_NEAR(v[0], cc.first, 1e-3 * std::abs(cc.first) + 1e-4) << "col " << j;
+    EXPECT_NEAR(v[1], cc.second, 1e-3 * std::abs(cc.second) + 1e-4) << "col " << j;
+  }
+  EXPECT_NEAR(driver.AccumulatorValue(acc), want_acc, 1e-6 * want_acc + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesAndSeeds, SerializabilityTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 5),   // workers
+                       ::testing::Values(false, true),  // ordered
+                       ::testing::Values(1, 2, 3),      // pipeline depth
+                       ::testing::Values(0, 1, 2)));    // data seed
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,163 @@
+// Unimodular transformation search (paper Sec. 4.3) — algebra, search
+// outcomes, and a property sweep: any found transform really carries every
+// dependence on the outer loop and is invertible over the integers.
+#include <gtest/gtest.h>
+
+#include "src/analysis/unimodular.h"
+#include "src/common/rng.h"
+
+namespace orion {
+namespace {
+
+DepVec V(i64 a, i64 b) {
+  DepVec d(2);
+  d[0] = DepEntry::Value(a);
+  d[1] = DepEntry::Value(b);
+  return d;
+}
+
+TEST(Unimodular, TransformAlgebra) {
+  const Unimodular2x2 skew{1, 1, 0, 1};
+  const DepVec d = V(0, 1);
+  const DepVec t = TransformDepVec(skew, d);
+  EXPECT_EQ(t[0], DepEntry::Value(1));
+  EXPECT_EQ(t[1], DepEntry::Value(1));
+}
+
+TEST(Unimodular, InfinityArithmetic) {
+  const Unimodular2x2 skew{1, 1, 0, 1};
+  DepVec d(2);
+  d[0] = DepEntry::Value(2);
+  d[1] = DepEntry::PosInf();
+  const DepVec t = TransformDepVec(skew, d);
+  EXPECT_EQ(t[0], DepEntry::PosInf());  // 2 + inf
+  EXPECT_EQ(t[1], DepEntry::PosInf());
+}
+
+TEST(Unimodular, NegativeCoefficientFlipsInfinity) {
+  const Unimodular2x2 rev{-1, 0, 0, 1};
+  DepVec d(2);
+  d[0] = DepEntry::PosInf();
+  d[1] = DepEntry::Value(0);
+  const DepVec t = TransformDepVec(rev, d);
+  EXPECT_EQ(t[0], DepEntry::NegInf());
+}
+
+TEST(Unimodular, PosPlusNegInfIsAny) {
+  const Unimodular2x2 sum{1, 1, 0, 1};
+  DepVec d(2);
+  d[0] = DepEntry::PosInf();
+  d[1] = DepEntry::NegInf();
+  const DepVec t = TransformDepVec(sum, d);
+  EXPECT_EQ(t[0], DepEntry::Any());
+}
+
+TEST(Unimodular, IdentityPreferredWhenItWorks) {
+  // All deps already carried by the outer loop.
+  auto t = FindOuterCarryingTransform({V(1, 1), V(2, -1)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->IsIdentity());
+}
+
+TEST(Unimodular, StencilNeedsSkew) {
+  auto t = FindOuterCarryingTransform({V(1, 0), V(0, 1)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->IsIdentity());
+  for (const auto& d : {V(1, 0), V(0, 1)}) {
+    EXPECT_TRUE(FirstComponentPositive(TransformDepVec(*t, d)));
+  }
+}
+
+TEST(Unimodular, InterchangeCase) {
+  // Only dep (0, 1): inner-carried; interchange (or skew) fixes it.
+  auto t = FindOuterCarryingTransform({V(0, 1)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(FirstComponentPositive(TransformDepVec(*t, V(0, 1))));
+}
+
+TEST(Unimodular, AnyEntryRejected) {
+  DepVec d(2);
+  d[0] = DepEntry::Value(1);
+  d[1] = DepEntry::Any();
+  EXPECT_FALSE(FindOuterCarryingTransform({d}).has_value());
+}
+
+TEST(Unimodular, NegInfEntryRejected) {
+  DepVec d(2);
+  d[0] = DepEntry::Value(1);
+  d[1] = DepEntry::NegInf();
+  EXPECT_FALSE(FindOuterCarryingTransform({d}).has_value());
+}
+
+TEST(Unimodular, PosInfEntriesAccepted) {
+  DepVec d(2);
+  d[0] = DepEntry::Value(0);
+  d[1] = DepEntry::PosInf();
+  auto t = FindOuterCarryingTransform({d});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(FirstComponentPositive(TransformDepVec(*t, d)));
+}
+
+TEST(Unimodular, ThreeDeepRejected) {
+  DepVec d(3);
+  d[0] = DepEntry::Value(1);
+  d[1] = DepEntry::Value(0);
+  d[2] = DepEntry::Value(0);
+  EXPECT_FALSE(FindOuterCarryingTransform({d}).has_value());
+}
+
+TEST(Unimodular, InverseRoundtrip) {
+  for (const Unimodular2x2& t :
+       {Unimodular2x2{1, 1, 0, 1}, Unimodular2x2{0, 1, 1, 0}, Unimodular2x2{2, 1, 1, 1},
+        Unimodular2x2{-1, 0, 0, 1}, Unimodular2x2{3, 2, 1, 1}}) {
+    const Unimodular2x2 inv = InverseOf(t);
+    for (i64 p0 : {-3, 0, 7}) {
+      for (i64 p1 : {-2, 0, 5}) {
+        auto [q0, q1] = t.Apply(p0, p1);
+        auto [r0, r1] = inv.Apply(q0, q1);
+        EXPECT_EQ(r0, p0);
+        EXPECT_EQ(r1, p1);
+      }
+    }
+  }
+}
+
+// Property sweep: random finite dependence sets (lexicographically positive)
+// — whenever a transform is found, it must carry every vector on the outer
+// loop; and the transform must be unimodular.
+class UnimodularPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnimodularPropertyTest, FoundTransformsAreValid) {
+  Rng rng(static_cast<u64>(GetParam()) * 7919 + 3);
+  const int num_deps = 1 + static_cast<int>(rng.NextBounded(4));
+  std::vector<DepVec> deps;
+  for (int i = 0; i < num_deps; ++i) {
+    DepVec d(2);
+    d[0] = DepEntry::Value(static_cast<i64>(rng.NextBounded(7)) - 3);
+    d[1] = DepEntry::Value(static_cast<i64>(rng.NextBounded(7)) - 3);
+    if (!d.CorrectLexPositive()) {
+      continue;  // all-zero: not loop-carried
+    }
+    deps.push_back(d);
+  }
+  auto t = FindOuterCarryingTransform(deps);
+  if (!t.has_value()) {
+    return;  // nothing to check; search may legitimately fail
+  }
+  EXPECT_TRUE(t->Det() == 1 || t->Det() == -1);
+  for (const auto& d : deps) {
+    EXPECT_TRUE(FirstComponentPositive(TransformDepVec(*t, d)))
+        << "T=" << t->ToString() << " d=" << d.ToString();
+  }
+  // The inverse must also be integral and round-trip.
+  const Unimodular2x2 inv = InverseOf(*t);
+  auto [q0, q1] = t->Apply(11, -4);
+  auto [r0, r1] = inv.Apply(q0, q1);
+  EXPECT_EQ(r0, 11);
+  EXPECT_EQ(r1, -4);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDeps, UnimodularPropertyTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace orion
