@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vs_bosen_mf.dir/bench_fig10_vs_bosen_mf.cc.o"
+  "CMakeFiles/bench_fig10_vs_bosen_mf.dir/bench_fig10_vs_bosen_mf.cc.o.d"
+  "bench_fig10_vs_bosen_mf"
+  "bench_fig10_vs_bosen_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vs_bosen_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

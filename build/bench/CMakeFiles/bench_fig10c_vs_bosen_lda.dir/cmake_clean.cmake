@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_vs_bosen_lda.dir/bench_fig10c_vs_bosen_lda.cc.o"
+  "CMakeFiles/bench_fig10c_vs_bosen_lda.dir/bench_fig10c_vs_bosen_lda.cc.o.d"
+  "bench_fig10c_vs_bosen_lda"
+  "bench_fig10c_vs_bosen_lda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_vs_bosen_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

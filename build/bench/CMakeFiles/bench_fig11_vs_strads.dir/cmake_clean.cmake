@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vs_strads.dir/bench_fig11_vs_strads.cc.o"
+  "CMakeFiles/bench_fig11_vs_strads.dir/bench_fig11_vs_strads.cc.o.d"
+  "bench_fig11_vs_strads"
+  "bench_fig11_vs_strads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vs_strads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_vs_tensorflow.dir/bench_fig13_vs_tensorflow.cc.o"
+  "CMakeFiles/bench_fig13_vs_tensorflow.dir/bench_fig13_vs_tensorflow.cc.o.d"
+  "bench_fig13_vs_tensorflow"
+  "bench_fig13_vs_tensorflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_vs_tensorflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefetch_slr.dir/bench_prefetch_slr.cc.o"
+  "CMakeFiles/bench_prefetch_slr.dir/bench_prefetch_slr.cc.o.d"
+  "bench_prefetch_slr"
+  "bench_prefetch_slr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefetch_slr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ordered_vs_unordered.dir/bench_table3_ordered_vs_unordered.cc.o"
+  "CMakeFiles/bench_table3_ordered_vs_unordered.dir/bench_table3_ordered_vs_unordered.cc.o.d"
+  "bench_table3_ordered_vs_unordered"
+  "bench_table3_ordered_vs_unordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ordered_vs_unordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosted_trees.dir/boosted_trees.cpp.o"
+  "CMakeFiles/boosted_trees.dir/boosted_trees.cpp.o.d"
+  "boosted_trees"
+  "boosted_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosted_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

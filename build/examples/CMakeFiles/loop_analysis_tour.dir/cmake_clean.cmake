@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_analysis_tour.dir/loop_analysis_tour.cpp.o"
+  "CMakeFiles/loop_analysis_tour.dir/loop_analysis_tour.cpp.o.d"
+  "loop_analysis_tour"
+  "loop_analysis_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_analysis_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_mf.dir/recommender_mf.cpp.o"
+  "CMakeFiles/recommender_mf.dir/recommender_mf.cpp.o.d"
+  "recommender_mf"
+  "recommender_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_logreg.dir/sparse_logreg.cpp.o"
+  "CMakeFiles/sparse_logreg.dir/sparse_logreg.cpp.o.d"
+  "sparse_logreg"
+  "sparse_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_modeling_lda.dir/topic_modeling_lda.cpp.o"
+  "CMakeFiles/topic_modeling_lda.dir/topic_modeling_lda.cpp.o.d"
+  "topic_modeling_lda"
+  "topic_modeling_lda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_modeling_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

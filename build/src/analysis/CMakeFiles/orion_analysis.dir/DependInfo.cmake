@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dep_vector.cc" "src/analysis/CMakeFiles/orion_analysis.dir/dep_vector.cc.o" "gcc" "src/analysis/CMakeFiles/orion_analysis.dir/dep_vector.cc.o.d"
+  "/root/repo/src/analysis/dependence.cc" "src/analysis/CMakeFiles/orion_analysis.dir/dependence.cc.o" "gcc" "src/analysis/CMakeFiles/orion_analysis.dir/dependence.cc.o.d"
+  "/root/repo/src/analysis/plan.cc" "src/analysis/CMakeFiles/orion_analysis.dir/plan.cc.o" "gcc" "src/analysis/CMakeFiles/orion_analysis.dir/plan.cc.o.d"
+  "/root/repo/src/analysis/unimodular.cc" "src/analysis/CMakeFiles/orion_analysis.dir/unimodular.cc.o" "gcc" "src/analysis/CMakeFiles/orion_analysis.dir/unimodular.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/orion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/orion_dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

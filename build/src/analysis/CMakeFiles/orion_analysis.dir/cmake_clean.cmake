@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_analysis.dir/dep_vector.cc.o"
+  "CMakeFiles/orion_analysis.dir/dep_vector.cc.o.d"
+  "CMakeFiles/orion_analysis.dir/dependence.cc.o"
+  "CMakeFiles/orion_analysis.dir/dependence.cc.o.d"
+  "CMakeFiles/orion_analysis.dir/plan.cc.o"
+  "CMakeFiles/orion_analysis.dir/plan.cc.o.d"
+  "CMakeFiles/orion_analysis.dir/unimodular.cc.o"
+  "CMakeFiles/orion_analysis.dir/unimodular.cc.o.d"
+  "liborion_analysis.a"
+  "liborion_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_apps.dir/datagen.cc.o"
+  "CMakeFiles/orion_apps.dir/datagen.cc.o.d"
+  "CMakeFiles/orion_apps.dir/gbt.cc.o"
+  "CMakeFiles/orion_apps.dir/gbt.cc.o.d"
+  "CMakeFiles/orion_apps.dir/lda.cc.o"
+  "CMakeFiles/orion_apps.dir/lda.cc.o.d"
+  "CMakeFiles/orion_apps.dir/sgd_mf.cc.o"
+  "CMakeFiles/orion_apps.dir/sgd_mf.cc.o.d"
+  "CMakeFiles/orion_apps.dir/slr.cc.o"
+  "CMakeFiles/orion_apps.dir/slr.cc.o.d"
+  "liborion_apps.a"
+  "liborion_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_baselines.dir/bosen_ps.cc.o"
+  "CMakeFiles/orion_baselines.dir/bosen_ps.cc.o.d"
+  "CMakeFiles/orion_baselines.dir/strads_mp.cc.o"
+  "CMakeFiles/orion_baselines.dir/strads_mp.cc.o.d"
+  "CMakeFiles/orion_baselines.dir/tf_minibatch.cc.o"
+  "CMakeFiles/orion_baselines.dir/tf_minibatch.cc.o.d"
+  "liborion_baselines.a"
+  "liborion_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_common.dir/histogram.cc.o"
+  "CMakeFiles/orion_common.dir/histogram.cc.o.d"
+  "CMakeFiles/orion_common.dir/logging.cc.o"
+  "CMakeFiles/orion_common.dir/logging.cc.o.d"
+  "CMakeFiles/orion_common.dir/status.cc.o"
+  "CMakeFiles/orion_common.dir/status.cc.o.d"
+  "CMakeFiles/orion_common.dir/thread_pool.cc.o"
+  "CMakeFiles/orion_common.dir/thread_pool.cc.o.d"
+  "liborion_common.a"
+  "liborion_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

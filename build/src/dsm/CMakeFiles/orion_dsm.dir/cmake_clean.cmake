@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_dsm.dir/checkpoint.cc.o"
+  "CMakeFiles/orion_dsm.dir/checkpoint.cc.o.d"
+  "CMakeFiles/orion_dsm.dir/dist_array_buffer.cc.o"
+  "CMakeFiles/orion_dsm.dir/dist_array_buffer.cc.o.d"
+  "liborion_dsm.a"
+  "liborion_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

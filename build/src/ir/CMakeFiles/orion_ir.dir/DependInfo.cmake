@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analyze_body.cc" "src/ir/CMakeFiles/orion_ir.dir/analyze_body.cc.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/analyze_body.cc.o.d"
+  "/root/repo/src/ir/expr.cc" "src/ir/CMakeFiles/orion_ir.dir/expr.cc.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/expr.cc.o.d"
+  "/root/repo/src/ir/loop_spec.cc" "src/ir/CMakeFiles/orion_ir.dir/loop_spec.cc.o" "gcc" "src/ir/CMakeFiles/orion_ir.dir/loop_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/orion_dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

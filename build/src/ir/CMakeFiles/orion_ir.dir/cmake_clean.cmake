@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_ir.dir/analyze_body.cc.o"
+  "CMakeFiles/orion_ir.dir/analyze_body.cc.o.d"
+  "CMakeFiles/orion_ir.dir/expr.cc.o"
+  "CMakeFiles/orion_ir.dir/expr.cc.o.d"
+  "CMakeFiles/orion_ir.dir/loop_spec.cc.o"
+  "CMakeFiles/orion_ir.dir/loop_spec.cc.o.d"
+  "liborion_ir.a"
+  "liborion_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_net.dir/fabric.cc.o"
+  "CMakeFiles/orion_net.dir/fabric.cc.o.d"
+  "liborion_net.a"
+  "liborion_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_runtime.dir/driver.cc.o"
+  "CMakeFiles/orion_runtime.dir/driver.cc.o.d"
+  "CMakeFiles/orion_runtime.dir/executor.cc.o"
+  "CMakeFiles/orion_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/orion_runtime.dir/recipe.cc.o"
+  "CMakeFiles/orion_runtime.dir/recipe.cc.o.d"
+  "liborion_runtime.a"
+  "liborion_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

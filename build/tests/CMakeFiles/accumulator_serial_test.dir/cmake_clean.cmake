@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accumulator_serial_test.dir/accumulator_serial_test.cc.o"
+  "CMakeFiles/accumulator_serial_test.dir/accumulator_serial_test.cc.o.d"
+  "accumulator_serial_test"
+  "accumulator_serial_test.pdb"
+  "accumulator_serial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accumulator_serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

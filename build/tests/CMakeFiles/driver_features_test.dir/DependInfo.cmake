@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/driver_features_test.cc" "tests/CMakeFiles/driver_features_test.dir/driver_features_test.cc.o" "gcc" "tests/CMakeFiles/driver_features_test.dir/driver_features_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/orion_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/orion_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/orion_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/orion_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/orion_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/orion_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/orion_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

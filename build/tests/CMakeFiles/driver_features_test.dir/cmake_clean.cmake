@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_features_test.dir/driver_features_test.cc.o"
+  "CMakeFiles/driver_features_test.dir/driver_features_test.cc.o.d"
+  "driver_features_test"
+  "driver_features_test.pdb"
+  "driver_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lda_test.dir/lda_test.cc.o"
+  "CMakeFiles/lda_test.dir/lda_test.cc.o.d"
+  "lda_test"
+  "lda_test.pdb"
+  "lda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_smoke_test.dir/runtime_smoke_test.cc.o"
+  "CMakeFiles/runtime_smoke_test.dir/runtime_smoke_test.cc.o.d"
+  "runtime_smoke_test"
+  "runtime_smoke_test.pdb"
+  "runtime_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

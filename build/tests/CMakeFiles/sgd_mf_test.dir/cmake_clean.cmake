@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgd_mf_test.dir/sgd_mf_test.cc.o"
+  "CMakeFiles/sgd_mf_test.dir/sgd_mf_test.cc.o.d"
+  "sgd_mf_test"
+  "sgd_mf_test.pdb"
+  "sgd_mf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgd_mf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stmt_ir_test.dir/stmt_ir_test.cc.o"
+  "CMakeFiles/stmt_ir_test.dir/stmt_ir_test.cc.o.d"
+  "stmt_ir_test"
+  "stmt_ir_test.pdb"
+  "stmt_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stmt_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unimodular_exec_test.dir/unimodular_exec_test.cc.o"
+  "CMakeFiles/unimodular_exec_test.dir/unimodular_exec_test.cc.o.d"
+  "unimodular_exec_test"
+  "unimodular_exec_test.pdb"
+  "unimodular_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unimodular_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

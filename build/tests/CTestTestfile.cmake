@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/accumulator_serial_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dependence_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_features_test[1]_include.cmake")
+include("/root/repo/build/tests/dsm_test[1]_include.cmake")
+include("/root/repo/build/tests/expr_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/gbt_test[1]_include.cmake")
+include("/root/repo/build/tests/lda_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/schedule_test[1]_include.cmake")
+include("/root/repo/build/tests/serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/sgd_mf_test[1]_include.cmake")
+include("/root/repo/build/tests/slr_test[1]_include.cmake")
+include("/root/repo/build/tests/stmt_ir_test[1]_include.cmake")
+include("/root/repo/build/tests/transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/unimodular_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/unimodular_test[1]_include.cmake")
