@@ -2,6 +2,7 @@
 #ifndef ORION_SRC_COMMON_BLOCKING_QUEUE_H_
 #define ORION_SRC_COMMON_BLOCKING_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -13,12 +14,18 @@ namespace orion {
 template <typename T>
 class BlockingQueue {
  public:
-  void Push(T item) {
+  // Enqueues item; returns false (and drops the item) if the queue has been
+  // closed — a closed queue accepts no further work.
+  bool Push(T item) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) {
+        return false;
+      }
       queue_.push_back(std::move(item));
     }
     cv_.notify_one();
+    return true;
   }
 
   // Blocks until an item is available or the queue is closed.
@@ -26,6 +33,21 @@ class BlockingQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  // Blocks until an item is available, the queue is closed, or `timeout`
+  // elapses. Returns nullopt on timeout and on closed-and-drained; callers
+  // that need to distinguish the two check closed().
+  template <typename Rep, typename Period>
+  std::optional<T> PopWithTimeout(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
     if (queue_.empty()) {
       return std::nullopt;
     }

@@ -7,6 +7,7 @@
 #define ORION_SRC_COMMON_SERDE_H_
 
 #include <cstring>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -95,6 +96,36 @@ class ByteReader {
       std::memcpy(v.data(), data_ + pos_, n * sizeof(T));
     }
     pos_ += n * sizeof(T);
+    return v;
+  }
+
+  // Non-aborting variants for parsing untrusted bytes (e.g. checkpoint files
+  // that may be truncated or corrupt): return nullopt instead of CHECKing.
+  template <typename T>
+  std::optional<T> TryGet() {
+    static_assert(std::is_trivially_copyable_v<T>, "TryGet requires a trivially copyable type");
+    if (pos_ + sizeof(T) > size_) {
+      return std::nullopt;
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  template <typename T>
+  std::optional<std::vector<T>> TryGetVec() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "TryGetVec requires a trivially copyable type");
+    const auto n = TryGet<u64>();
+    if (!n.has_value() || *n > (size_ - pos_) / sizeof(T)) {
+      return std::nullopt;
+    }
+    std::vector<T> v(static_cast<size_t>(*n));
+    if (*n > 0) {
+      std::memcpy(v.data(), data_ + pos_, static_cast<size_t>(*n) * sizeof(T));
+    }
+    pos_ += static_cast<size_t>(*n) * sizeof(T);
     return v;
   }
 

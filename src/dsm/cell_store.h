@@ -199,6 +199,59 @@ class CellStore {
     return s;
   }
 
+  // Bounds-checked deserialization for untrusted bytes (checkpoint files):
+  // returns a descriptive Status instead of CHECK-aborting on truncated or
+  // internally inconsistent input. The fabric keeps using Deserialize, whose
+  // CHECKs guard against programming errors, not corrupt media.
+  static StatusOr<CellStore> TryDeserialize(ByteReader* r) {
+    const auto value_dim = r->TryGet<i32>();
+    const auto layout_byte = r->TryGet<u8>();
+    if (!value_dim.has_value() || !layout_byte.has_value()) {
+      return Status::InvalidArgument("cell store header truncated");
+    }
+    if (*value_dim <= 0) {
+      return Status::InvalidArgument("cell store has non-positive value_dim");
+    }
+    if (*layout_byte > static_cast<u8>(Layout::kDenseRange)) {
+      return Status::InvalidArgument("cell store has unknown layout");
+    }
+    const Layout layout = static_cast<Layout>(*layout_byte);
+    if (layout != Layout::kHashed) {
+      const auto lo = r->TryGet<i64>();
+      const auto hi = r->TryGet<i64>();
+      if (!lo.has_value() || !hi.has_value() || *hi < *lo - 1) {
+        return Status::InvalidArgument("cell store dense range truncated or inverted");
+      }
+      auto values = r->TryGetVec<f32>();
+      if (!values.has_value()) {
+        return Status::InvalidArgument("cell store dense values truncated");
+      }
+      if (static_cast<i64>(values->size()) != (*hi - *lo + 1) * *value_dim) {
+        return Status::InvalidArgument("cell store dense value count mismatch");
+      }
+      CellStore s = DenseRange(*value_dim, *lo, *hi);
+      s.layout_ = layout;
+      s.values_ = std::move(*values);
+      return s;
+    }
+    auto keys = r->TryGetVec<i64>();
+    auto values = keys.has_value() ? r->TryGetVec<f32>() : std::nullopt;
+    if (!keys.has_value() || !values.has_value()) {
+      return Status::InvalidArgument("cell store cells truncated");
+    }
+    if (values->size() != keys->size() * static_cast<size_t>(*value_dim)) {
+      return Status::InvalidArgument("cell store key/value count mismatch");
+    }
+    CellStore s(*value_dim, Layout::kHashed, 0);
+    s.keys_ = std::move(*keys);
+    s.values_ = std::move(*values);
+    s.index_.reserve(s.keys_.size());
+    for (size_t i = 0; i < s.keys_.size(); ++i) {
+      s.index_.emplace(s.keys_[i], i * static_cast<size_t>(*value_dim));
+    }
+    return s;
+  }
+
   // Adds every cell of `other` into this store (cell-wise +=). Used to merge
   // buffered updates with the default additive apply.
   void MergeAdd(const CellStore& other) {

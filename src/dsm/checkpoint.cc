@@ -10,14 +10,32 @@ namespace orion {
 
 namespace {
 constexpr u32 kMagic = 0x4f52434b;  // "ORCK"
-constexpr u32 kVersion = 2;
+// Version 3 adds a payload-size field and an FNV-1a checksum so torn or
+// bit-flipped files are rejected with a Status instead of feeding garbage
+// into the deserializer.
+constexpr u32 kVersion = 3;
+
+u64 Fnv1a(const u8* data, size_t n) {
+  u64 h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 }  // namespace
 
 Status CheckpointWrite(const std::string& path, const CellStore& store) {
+  ByteWriter payload;
+  store.Serialize(&payload);
+  const auto& body = payload.bytes();
+
   ByteWriter w;
   w.Put<u32>(kMagic);
   w.Put<u32>(kVersion);
-  store.Serialize(&w);
+  w.Put<u64>(static_cast<u64>(body.size()));
+  w.Put<u64>(Fnv1a(body.data(), body.size()));
+  w.PutBytes(body.data(), body.size());
 
   const std::string tmp = path + ".tmp";
   {
@@ -50,14 +68,31 @@ StatusOr<CellStore> CheckpointRead(const std::string& path) {
   if (!in) {
     return Status::IoError("short read from " + path);
   }
+
   ByteReader r(bytes);
-  if (r.Get<u32>() != kMagic) {
+  const auto magic = r.TryGet<u32>();
+  if (!magic.has_value() || *magic != kMagic) {
     return Status::InvalidArgument(path + " is not an Orion checkpoint");
   }
-  if (r.Get<u32>() != kVersion) {
+  const auto version = r.TryGet<u32>();
+  if (!version.has_value() || *version != kVersion) {
     return Status::InvalidArgument(path + " has an unsupported checkpoint version");
   }
-  return CellStore::Deserialize(&r);
+  const auto payload_size = r.TryGet<u64>();
+  const auto checksum = r.TryGet<u64>();
+  if (!payload_size.has_value() || !checksum.has_value() ||
+      *payload_size != r.remaining()) {
+    return Status::InvalidArgument(path + " is truncated");
+  }
+  const u8* body = bytes.data() + (bytes.size() - r.remaining());
+  if (Fnv1a(body, static_cast<size_t>(*payload_size)) != *checksum) {
+    return Status::InvalidArgument(path + " failed checksum verification");
+  }
+  auto store = CellStore::TryDeserialize(&r);
+  if (!store.ok()) {
+    return Status::InvalidArgument(path + ": " + store.status().message());
+  }
+  return store;
 }
 
 }  // namespace orion

@@ -24,7 +24,7 @@ BlockingQueue<Message>& Fabric::InboxFor(WorkerId rank) {
   return *inboxes_[static_cast<size_t>(rank + 1)];
 }
 
-void Fabric::Send(Message msg) {
+void Fabric::MeterAndDeliver(Message msg) {
   const size_t wire = msg.WireSize();
   const double cost = cost_model_.CostSeconds(wire);
   {
@@ -44,7 +44,42 @@ void Fabric::Send(Message msg) {
   InboxFor(msg.to).Push(std::move(msg));
 }
 
+void Fabric::Send(Message msg) {
+  if (injector_ != nullptr && injector_->plan().HasMessageFaults()) {
+    // Metering happens at the sender (the cost was paid even if the message
+    // is then lost in transit), so the original is charged exactly once and
+    // injector-produced duplicates/releases are delivered for free.
+    const size_t wire = msg.WireSize();
+    const double cost = cost_model_.CostSeconds(wire);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++messages_sent_;
+      bytes_sent_ += wire;
+      virtual_net_seconds_ += cost;
+      const auto bucket = static_cast<size_t>(clock_.ElapsedSeconds() / bucket_seconds_);
+      if (bytes_per_bucket_.size() <= bucket) {
+        bytes_per_bucket_.resize(bucket + 1, 0);
+      }
+      bytes_per_bucket_[bucket] += wire;
+    }
+    if (cost_model_.charge_real_time && cost > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(cost));
+    }
+    for (Message& m : injector_->Process(std::move(msg))) {
+      InboxFor(m.to).Push(std::move(m));
+    }
+    return;
+  }
+  MeterAndDeliver(std::move(msg));
+}
+
+void Fabric::SendReliable(Message msg) { MeterAndDeliver(std::move(msg)); }
+
 std::optional<Message> Fabric::Recv(WorkerId rank) { return InboxFor(rank).Pop(); }
+
+std::optional<Message> Fabric::RecvWithTimeout(WorkerId rank, double seconds) {
+  return InboxFor(rank).PopWithTimeout(std::chrono::duration<double>(seconds));
+}
 
 std::optional<Message> Fabric::TryRecv(WorkerId rank) { return InboxFor(rank).TryPop(); }
 

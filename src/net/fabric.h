@@ -20,6 +20,7 @@
 #include "src/common/timer.h"
 #include "src/common/types.h"
 #include "src/net/cost_model.h"
+#include "src/net/fault_injector.h"
 #include "src/net/message.h"
 
 namespace orion {
@@ -45,14 +46,35 @@ class Fabric {
   int num_workers() const { return num_workers_; }
   const NetCostModel& cost_model() const { return cost_model_; }
 
-  // Sends msg to msg.to (may be kMasterRank). Thread-safe.
+  // Sends msg to msg.to (may be kMasterRank). Thread-safe. Subject to the
+  // installed fault injector, if any.
   void Send(Message msg);
+
+  // Like Send, but bypasses the fault injector. Used for supervision traffic
+  // whose volume is timing-dependent (heartbeats, retransmits) and for the
+  // recovery protocol itself — keeping those out of the injector makes the
+  // injected-fault sequence a pure function of the plan seed.
+  void SendReliable(Message msg);
 
   // Blocking receive on the given endpoint. Returns nullopt after Shutdown().
   std::optional<Message> Recv(WorkerId rank);
 
+  // Blocking receive with a timeout; nullopt on timeout or after Shutdown().
+  std::optional<Message> RecvWithTimeout(WorkerId rank, double seconds);
+
   // Non-blocking receive.
   std::optional<Message> TryRecv(WorkerId rank);
+
+  // True once Shutdown() has closed the endpoint's inbox (lets receivers
+  // using RecvWithTimeout tell "timed out" from "shut down").
+  bool Closed(WorkerId rank) { return InboxFor(rank).closed(); }
+
+  // Installs a fault injector consulted by every Send. Call before any
+  // traffic flows; pass nullptr to remove.
+  void SetInjector(std::shared_ptr<FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+  FaultInjector* injector() const { return injector_.get(); }
 
   // Closes all inboxes; receivers drain then observe nullopt.
   void Shutdown();
@@ -65,7 +87,9 @@ class Fabric {
 
  private:
   BlockingQueue<Message>& InboxFor(WorkerId rank);
+  void MeterAndDeliver(Message msg);
 
+  std::shared_ptr<FaultInjector> injector_;
   int num_workers_;
   NetCostModel cost_model_;
   double bucket_seconds_;

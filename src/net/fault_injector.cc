@@ -1,0 +1,137 @@
+#include "src/net/fault_injector.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace orion {
+
+namespace {
+
+// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+u64 Mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+u64 LinkKey(WorkerId from, WorkerId to) {
+  // Ranks start at kMasterRank == -1; shift into non-negative space.
+  return (static_cast<u64>(static_cast<u32>(from + 1)) << 32) |
+         static_cast<u32>(to + 1);
+}
+
+}  // namespace
+
+bool FaultInjector::Faultable(const Message& msg) const {
+  if (msg.kind == MsgKind::kBarrier) {
+    return plan_.fault_barrier_msgs;
+  }
+  if (msg.kind != MsgKind::kControl || msg.payload.size() < sizeof(u16)) {
+    return false;
+  }
+  u16 op;
+  std::memcpy(&op, msg.payload.data(), sizeof(op));
+  return std::find(plan_.faultable_control_ops.begin(), plan_.faultable_control_ops.end(),
+                   op) != plan_.faultable_control_ops.end();
+}
+
+double FaultInjector::U01(WorkerId from, WorkerId to, u64 seq) const {
+  const u64 h = Mix64(plan_.seed ^ Mix64(LinkKey(from, to)) ^ Mix64(seq));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::vector<Message> FaultInjector::Process(Message msg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Message> out;
+  const WorkerId dest = msg.to;
+
+  // Each send toward a destination ages the holdbacks that *preceded* it (the
+  // message being processed must not age its own holdback); expired ones are
+  // released after the triggering message below — that is the reorder.
+  std::vector<Message> released;
+  auto it = holdbacks_.find(dest);
+  if (it != holdbacks_.end()) {
+    auto& held = it->second;
+    for (size_t i = 0; i < held.size();) {
+      if (--held[i].remaining <= 0) {
+        ++stats_.released;
+        events_.push_back(
+            {FaultEvent::Kind::kRelease, held[i].msg.from, dest, held[i].link_seq});
+        released.push_back(std::move(held[i].msg));
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (held.empty()) {
+      holdbacks_.erase(it);
+    }
+  }
+
+  if (plan_.HasMessageFaults() && Faultable(msg)) {
+    const u64 seq = link_seq_[LinkKey(msg.from, dest)]++;
+    const double u = U01(msg.from, dest, seq);
+    if (u < plan_.drop_prob) {
+      ++stats_.dropped;
+      events_.push_back({FaultEvent::Kind::kDrop, msg.from, dest, seq});
+    } else if (u < plan_.drop_prob + plan_.dup_prob) {
+      ++stats_.duplicated;
+      events_.push_back({FaultEvent::Kind::kDuplicate, msg.from, dest, seq});
+      out.push_back(msg);
+      out.push_back(std::move(msg));
+    } else if (u < plan_.drop_prob + plan_.dup_prob + plan_.delay_prob) {
+      ++stats_.delayed;
+      events_.push_back({FaultEvent::Kind::kDelay, msg.from, dest, seq});
+      holdbacks_[dest].push_back(
+          Held{std::move(msg), std::max(1, plan_.delay_release_after), seq});
+    } else {
+      out.push_back(std::move(msg));
+    }
+  } else {
+    out.push_back(std::move(msg));
+  }
+
+  for (Message& m : released) {
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+bool FaultInjector::ShouldCrash(int rank, i32 pass, i32 step) {
+  if (plan_.crashes.empty()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  crash_fired_.resize(plan_.crashes.size(), false);
+  for (size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const CrashPoint& c = plan_.crashes[i];
+    if (!crash_fired_[i] && c.rank == rank && c.pass == pass && c.step == step) {
+      crash_fired_[i] = true;
+      ++stats_.crashes_triggered;
+      events_.push_back({FaultEvent::Kind::kCrash, rank, rank, 0, pass, step});
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::ClearHoldbacks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [dest, held] : holdbacks_) {
+    stats_.holdbacks_cleared += held.size();
+  }
+  holdbacks_.clear();
+}
+
+InjectorStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<FaultEvent> FaultInjector::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+}  // namespace orion

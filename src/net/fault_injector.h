@@ -1,0 +1,126 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// A FaultPlan describes which faults to inject — per-link message drop,
+// duplication, and delay (reordering), plus scheduled worker crashes — and a
+// FaultInjector executes it. Every decision is a pure hash of
+// (seed, from, to, per-link sequence number), so the same plan produces the
+// same fault sequence on every run. Per-link sequence numbers are
+// deterministic because each link has a single sender thread and only
+// schedule-driven traffic is eligible: timing-driven traffic (heartbeats,
+// supervision retransmits) must be sent via Fabric::SendReliable, which
+// bypasses the injector entirely.
+#ifndef ORION_SRC_NET_FAULT_INJECTOR_H_
+#define ORION_SRC_NET_FAULT_INJECTOR_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/message.h"
+
+namespace orion {
+
+// One scheduled worker crash: the executor thread exits when worker `rank`
+// reaches `pass` (step == -1: at pass start; step >= 0: at that wavefront
+// step boundary). One-shot — a replayed pass after recovery does not
+// re-fire, and a retired worker's slot is never crashed again.
+struct CrashPoint {
+  int rank = 0;
+  i32 pass = 0;
+  i32 step = -1;
+};
+
+struct FaultPlan {
+  u64 seed = 1;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  // A delayed message is held back and released (i.e. reordered) after this
+  // many subsequent sends toward the same destination.
+  int delay_release_after = 3;
+  // ControlOp values (see src/runtime/protocol.h) eligible for injection when
+  // the message kind is kControl. Defaults to kStartPass=1 / kPassDone=2 —
+  // the supervised, retransmittable ops. Everything else on the control
+  // plane (gather, retire, shutdown) stays reliable by design: the fault
+  // model covers the per-pass protocol, not the recovery protocol itself.
+  std::vector<u16> faultable_control_ops = {1, 2};
+  // Whether kBarrier messages (wavefront step barriers) are eligible.
+  bool fault_barrier_msgs = true;
+  std::vector<CrashPoint> crashes;
+
+  bool HasMessageFaults() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0;
+  }
+  bool Active() const { return HasMessageFaults() || !crashes.empty(); }
+};
+
+struct InjectorStats {
+  u64 dropped = 0;
+  u64 duplicated = 0;
+  u64 delayed = 0;
+  u64 released = 0;
+  u64 holdbacks_cleared = 0;
+  u64 crashes_triggered = 0;
+};
+
+// One injected fault, recorded in order. The log is the determinism witness:
+// two runs with the same plan must produce identical logs.
+struct FaultEvent {
+  enum class Kind : u8 { kDrop, kDuplicate, kDelay, kRelease, kCrash };
+  Kind kind = Kind::kDrop;
+  WorkerId from = 0;
+  WorkerId to = 0;
+  u64 link_seq = 0;  // per-link faultable-message sequence number
+  i32 pass = -1;     // kCrash only
+  i32 step = -1;     // kCrash only
+
+  friend bool operator==(const FaultEvent& a, const FaultEvent& b) {
+    return a.kind == b.kind && a.from == b.from && a.to == b.to &&
+           a.link_seq == b.link_seq && a.pass == b.pass && a.step == b.step;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  // Applies the plan to one outbound message and returns the messages to
+  // deliver now, in order: zero (dropped or held back), one, or more (a
+  // duplicate and/or holdbacks whose release countdown expired). Thread-safe.
+  std::vector<Message> Process(Message msg);
+
+  // True exactly once for each matching CrashPoint. Thread-safe.
+  bool ShouldCrash(int rank, i32 pass, i32 step);
+
+  // Discards all held-back messages (recovery start: anything the injector is
+  // still sitting on predates the reset and must not be replayed into the
+  // new configuration).
+  void ClearHoldbacks();
+
+  InjectorStats stats() const;
+  std::vector<FaultEvent> events() const;
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct Held {
+    Message msg;
+    int remaining;  // sends to the same destination until release
+    u64 link_seq;
+  };
+
+  bool Faultable(const Message& msg) const;
+  double U01(WorkerId from, WorkerId to, u64 seq) const;
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::unordered_map<u64, u64> link_seq_;            // link key -> next seq
+  std::unordered_map<WorkerId, std::vector<Held>> holdbacks_;  // by destination
+  std::vector<bool> crash_fired_;  // parallel to plan_.crashes
+  InjectorStats stats_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_NET_FAULT_INJECTOR_H_

@@ -1,6 +1,8 @@
 #include "src/runtime/driver.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <set>
 
 #include "src/common/histogram.h"
 #include "src/common/logging.h"
@@ -18,9 +20,20 @@ u32 PartTag(int tau) { return static_cast<u32>(tau + 1); }
 Driver::Driver(const DriverConfig& config)
     : config_(config),
       fabric_(std::make_unique<Fabric>(config.num_workers, config.net,
-                                       config.stats_bucket_seconds)),
-      rng_(config.seed) {
+                                       config.stats_bucket_seconds)) {
   ORION_CHECK(config.num_workers > 0);
+  // Fault injection requires supervision: without retransmits and heartbeats
+  // a single dropped control message would hang the run.
+  if (config_.fault_plan.Active()) {
+    injector_ = std::make_shared<FaultInjector>(config_.fault_plan);
+    fabric_->SetInjector(injector_);
+    config_.supervisor.enabled = true;
+  }
+  dir_.SetSupervisor(config_.supervisor);
+  live_ranks_.resize(static_cast<size_t>(config.num_workers));
+  for (int w = 0; w < config.num_workers; ++w) {
+    live_ranks_[static_cast<size_t>(w)] = w;
+  }
   executors_.reserve(static_cast<size_t>(config.num_workers));
   threads_.reserve(static_cast<size_t>(config.num_workers));
   for (int w = 0; w < config.num_workers; ++w) {
@@ -35,12 +48,16 @@ Driver::~Driver() {
     m.from = kMasterRank;
     m.to = w;
     m.kind = MsgKind::kShutdown;
-    fabric_->Send(std::move(m));
+    fabric_->SendReliable(std::move(m));
   }
   for (auto& t : threads_) {
     t.join();
   }
   fabric_->Shutdown();
+}
+
+bool Driver::IsLive(WorkerId physical) const {
+  return std::find(live_ranks_.begin(), live_ranks_.end(), physical) != live_ranks_.end();
 }
 
 // ---------------------------------------------------------------------------
@@ -226,12 +243,26 @@ void Driver::ResetAccumulator(int slot) {
 // Compilation
 
 StatusOr<i32> Driver::Compile(LoopSpec spec, LoopKernel kernel, ParallelForOptions options) {
+  auto cl = std::make_shared<CompiledLoop>();
+  cl->loop_id = next_loop_id_++;
+  cl->spec = std::move(spec);
+  cl->kernel = std::move(kernel);
+  cl->options = options;
+  ORION_RETURN_IF_ERROR(BuildLoop(cl.get()));
+  dir_.PutLoop(cl);
+  loops_[cl->loop_id] = cl;
+  EnsureScattered(*cl);
+  return cl->loop_id;
+}
+
+Status Driver::BuildLoop(CompiledLoop* cl) {
+  const int active = ActiveWorkers();
   // Everything the planner and the histogram pass need must be
   // driver-resident.
-  GatherToDriver(spec.iter_space);
+  GatherToDriver(cl->spec.iter_space);
   std::map<DistArrayId, ArrayStats> stats;
-  for (const auto& a : spec.accesses) {
-    if (a.array == spec.iter_space || stats.count(a.array) > 0) {
+  for (const auto& a : cl->spec.accesses) {
+    if (a.array == cl->spec.iter_space || stats.count(a.array) > 0) {
       continue;
     }
     GatherToDriver(a.array);
@@ -242,22 +273,18 @@ StatusOr<i32> Driver::Compile(LoopSpec spec, LoopKernel kernel, ParallelForOptio
     stats[a.array] = s;
   }
 
-  options.planner.num_workers = config_.num_workers;
-  ParallelizationPlan plan = PlanLoop(spec, stats, options.planner);
+  cl->options.planner.num_workers = active;
+  ParallelizationPlan plan = PlanLoop(cl->spec, stats, cl->options.planner);
   if (plan.form == ParallelForm::kSerial) {
     return Status::FailedPrecondition(plan.explanation);
   }
+  const ParallelForOptions& options = cl->options;
 
-  auto cl = std::make_shared<CompiledLoop>();
-  cl->loop_id = next_loop_id_++;
-  cl->spec = std::move(spec);
-  cl->kernel = std::move(kernel);
-  cl->options = options;
   cl->plan = std::move(plan);
-  cl->num_workers = config_.num_workers;
-  cl->sched_1d = OneDSchedule{config_.num_workers};
-  cl->sched_wave = WavefrontSchedule{config_.num_workers, config_.num_workers};
-  cl->sched_rot = RotationSchedule{config_.num_workers, options.pipeline_depth};
+  cl->num_workers = active;
+  cl->sched_1d = OneDSchedule{active};
+  cl->sched_wave = WavefrontSchedule{active, active};
+  cl->sched_rot = RotationSchedule{active, options.pipeline_depth};
 
   // Histogram-balanced splits over the iteration space (schedule coords).
   const ArrayHost& iter = Host(cl->spec.iter_space);
@@ -330,10 +357,9 @@ StatusOr<i32> Driver::Compile(LoopSpec spec, LoopKernel kernel, ParallelForOptio
   cl->grid.space_dim = space_dim;
   cl->grid.time_dim = time_dim;
   if (options.equal_width_partitions) {
-    cl->grid.space_splits = RangeSplits::EqualWidth(space_hi - space_lo + 1,
-                                                    config_.num_workers);
+    cl->grid.space_splits = RangeSplits::EqualWidth(space_hi - space_lo + 1, active);
   } else {
-    cl->grid.space_splits = RangeSplits::FromHistogram(space_hist, config_.num_workers);
+    cl->grid.space_splits = RangeSplits::FromHistogram(space_hist, active);
   }
   if (transformed) {
     // Transformed loops carry dependences on the outer (time) dimension with
@@ -357,11 +383,19 @@ StatusOr<i32> Driver::Compile(LoopSpec spec, LoopKernel kernel, ParallelForOptio
       cl->grid.time_splits = RangeSplits::FromHistogram(time_hist, time_parts);
     }
   }
+  return Status::Ok();
+}
 
-  dir_.PutLoop(cl);
-  loops_[cl->loop_id] = cl;
-  EnsureScattered(*cl);
-  return cl->loop_id;
+Status Driver::RecompileLoops() {
+  for (auto& [id, cl_const] : loops_) {
+    // Copy the immutable inputs (spec, kernel, options, prefetch program) and
+    // rebuild everything derived from the worker count.
+    auto cl = std::make_shared<CompiledLoop>(*cl_const);
+    ORION_RETURN_IF_ERROR(BuildLoop(cl.get()));
+    dir_.PutLoop(cl);
+    loops_[id] = cl;
+  }
+  return Status::Ok();
 }
 
 StatusOr<i32> Driver::CompileBody(DistArrayId iter_space, std::vector<i64> iter_extents,
@@ -419,18 +453,24 @@ void Driver::GatherToDriver(DistArrayId id) {
     h.on_workers = false;
     return;
   }
-  for (int w = 0; w < config_.num_workers; ++w) {
+  for (int w : live_ranks_) {
     Message m;
     m.from = kMasterRank;
     m.to = w;
     m.kind = MsgKind::kControl;
     m.payload = ArrayOp{ControlOp::kGather, id}.Encode();
-    fabric_->Send(std::move(m));
+    fabric_->SendReliable(std::move(m));
   }
   int replies = 0;
-  while (replies < config_.num_workers) {
+  while (replies < ActiveWorkers()) {
     auto msg = fabric_->Recv(kMasterRank);
     ORION_CHECK(msg.has_value()) << "fabric shut down during gather";
+    if (msg->kind == MsgKind::kControl || msg->kind == MsgKind::kBarrier ||
+        !IsLive(msg->from)) {
+      // Stragglers from a faulty pass: duplicated PassDone / barrier
+      // arrivals, or traffic from a retired rank. Harmless here.
+      continue;
+    }
     ORION_CHECK(msg->kind == MsgKind::kParamUpdate)
         << "unexpected message during gather:" << static_cast<int>(msg->kind);
     PartData pd = PartData::Decode(msg->payload);
@@ -445,20 +485,20 @@ void Driver::GatherToDriver(DistArrayId id) {
 }
 
 void Driver::DropFromWorkers(DistArrayId id) {
-  for (int w = 0; w < config_.num_workers; ++w) {
+  for (int w : live_ranks_) {
     Message m;
     m.from = kMasterRank;
     m.to = w;
     m.kind = MsgKind::kControl;
     m.payload = ArrayOp{ControlOp::kDropArray, id}.Encode();
-    fabric_->Send(std::move(m));
+    fabric_->SendReliable(std::move(m));
   }
 }
 
 void Driver::SendParts(DistArrayId array, std::map<std::pair<int, int>, CellStore>* parts,
                        PartDataMode mode) {
   for (auto& [key, cells] : *parts) {
-    const auto [worker, tau] = key;
+    const auto [worker, tau] = key;  // `worker` is a logical (schedule) index
     PartData pd;
     pd.array = array;
     pd.part = tau;
@@ -466,7 +506,7 @@ void Driver::SendParts(DistArrayId array, std::map<std::pair<int, int>, CellStor
     pd.cells = std::move(cells);
     Message m;
     m.from = kMasterRank;
-    m.to = worker;
+    m.to = PhysicalOf(worker);
     m.kind = MsgKind::kPartitionData;
     m.tag = PartTag(tau);
     m.payload = pd.Encode();
@@ -486,8 +526,11 @@ void Driver::ScatterIterSpace(const CompiledLoop& cl) {
   if (cl.spec.ordered) {
     std::sort(keys.begin(), keys.end());
   } else {
+    // Seeded per array, not from a driver-lifetime stream: a re-scatter after
+    // recovery must reproduce the same execution order.
+    Rng rng(config_.seed * 0x9e3779b97f4a7c15ull + static_cast<u64>(h.meta.id) + 1);
     for (size_t i = keys.size(); i-- > 1;) {
-      std::swap(keys[i], keys[rng_.NextBounded(i + 1)]);
+      std::swap(keys[i], keys[rng.NextBounded(i + 1)]);
     }
   }
 
@@ -554,7 +597,7 @@ void Driver::ScatterArray(const CompiledLoop& cl, DistArrayId id,
     return;
   }
   if (placement.scheme == PartitionScheme::kReplicated) {
-    for (int w = 0; w < config_.num_workers; ++w) {
+    for (int w : live_ranks_) {
       PartData pd;
       pd.array = id;
       pd.part = -1;
@@ -671,7 +714,7 @@ void Driver::HandleParamRequest(const Message& msg) {
 
 void Driver::BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array) {
   ArrayHost& h = Host(array);
-  for (int w = 0; w < config_.num_workers; ++w) {
+  for (int w : live_ranks_) {
     PartData pd;
     pd.array = array;
     pd.part = -1;
@@ -723,26 +766,121 @@ void Driver::HandleParamUpdate(const CompiledLoop* cl, const Message& msg) {
   }
 }
 
-void Driver::ServicePassMessages(const CompiledLoop& cl) {
-  int done = 0;
-  int barrier_count = 0;
+Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass) {
+  const SupervisorConfig& sup = config_.supervisor;
+  const int active = ActiveWorkers();
   last_metrics_.max_worker_compute_seconds = 0.0;
   last_metrics_.max_worker_wait_seconds = 0.0;
   std::vector<DistArrayId> returned;
 
-  while (done < config_.num_workers) {
-    auto msg = fabric_->Recv(kMasterRank);
-    ORION_CHECK(msg.has_value()) << "fabric shut down during pass";
+  // Per-physical-rank supervision state. `started` means we have evidence
+  // the worker received this pass's kStartPass (any pass message, or a
+  // heartbeat pong whose watermark covers the pass); until then the master
+  // retransmits kStartPass with exponential backoff.
+  std::map<int, bool> done;
+  std::map<int, bool> started;
+  std::map<int, double> last_heard;
+  std::map<int, double> next_ping;
+  std::map<int, double> next_retry;
+  std::map<int, double> retry_delay;
+  std::map<int, int> retries;
+  Stopwatch clock;
+  for (int w : live_ranks_) {
+    done[w] = false;
+    started[w] = false;
+    last_heard[w] = 0.0;
+    next_ping[w] = sup.heartbeat_interval_seconds;
+    next_retry[w] = sup.retry_initial_seconds;
+    retry_delay[w] = sup.retry_initial_seconds;
+    retries[w] = 0;
+  }
+  // Barrier bookkeeping per step tag: which live ranks arrived, and whether
+  // the release went out. A worker whose arrival (or release) was lost
+  // resends; arrivals after the release get an individual re-release.
+  std::map<u32, std::set<int>> barrier_arrived;
+  std::map<u32, bool> barrier_released;
+  u32 hb_seq = 0;
+  int num_done = 0;
+  const double poll = std::min(0.01, sup.heartbeat_interval_seconds / 4.0);
+
+  auto send_release = [&](u32 tag, int to, bool reliable) {
+    Message go;
+    go.from = kMasterRank;
+    go.to = to;
+    go.kind = MsgKind::kBarrier;
+    go.tag = tag;
+    go.payload = BarrierMsg{pass, /*release=*/true}.Encode();
+    if (reliable) {
+      fabric_->SendReliable(std::move(go));
+    } else {
+      fabric_->Send(std::move(go));
+    }
+  };
+
+  while (num_done < active) {
+    std::optional<Message> msg;
+    if (sup.enabled) {
+      msg = fabric_->RecvWithTimeout(kMasterRank, poll);
+      const double now = clock.ElapsedSeconds();
+      for (int w : live_ranks_) {
+        if (done[w]) {
+          continue;
+        }
+        if (now - last_heard[w] > sup.death_timeout_seconds) {
+          return {false, w};
+        }
+        if (!started[w] && now >= next_retry[w]) {
+          if (retries[w] >= sup.max_retries) {
+            return {false, w};
+          }
+          ++retries[w];
+          ++runtime_metrics_.retransmits;
+          Message m;
+          m.from = kMasterRank;
+          m.to = w;
+          m.kind = MsgKind::kControl;
+          m.payload = StartPass{cl.loop_id, pass}.Encode();
+          fabric_->SendReliable(std::move(m));
+          retry_delay[w] *= sup.retry_backoff_factor;
+          next_retry[w] = now + retry_delay[w];
+        }
+        if (now >= next_ping[w]) {
+          ++runtime_metrics_.heartbeats_sent;
+          Message m;
+          m.from = kMasterRank;
+          m.to = w;
+          m.kind = MsgKind::kControl;
+          m.payload = Heartbeat{/*is_reply=*/false, ++hb_seq}.Encode();
+          fabric_->SendReliable(std::move(m));
+          next_ping[w] = now + sup.heartbeat_interval_seconds;
+        }
+      }
+      if (!msg.has_value()) {
+        ORION_CHECK(!fabric_->Closed(kMasterRank)) << "fabric shut down during pass";
+        continue;
+      }
+    } else {
+      msg = fabric_->Recv(kMasterRank);
+      ORION_CHECK(msg.has_value()) << "fabric shut down during pass";
+    }
+    if (!IsLive(msg->from)) {
+      continue;  // zombie traffic from a retired rank
+    }
+    last_heard[msg->from] = clock.ElapsedSeconds();
+
     switch (msg->kind) {
       case MsgKind::kParamRequest:
+        started[msg->from] = true;
         HandleParamRequest(*msg);
         break;
       case MsgKind::kParamUpdate:
+        started[msg->from] = true;
         HandleParamUpdate(&cl, *msg);
         break;
       case MsgKind::kPartitionData: {
         // Wavefront loops: the last worker in the ring returns rotated
         // partitions to the master.
+        started[msg->from] = true;
         PartData pd = PartData::Decode(msg->payload);
         ArrayHost& h = Host(pd.array);
         pd.cells.ForEachConst([&](i64 key, const f32* v) {
@@ -753,26 +891,58 @@ void Driver::ServicePassMessages(const CompiledLoop& cl) {
         break;
       }
       case MsgKind::kBarrier: {
-        ++barrier_count;
-        if (barrier_count == config_.num_workers) {
-          barrier_count = 0;
-          for (int w = 0; w < config_.num_workers; ++w) {
-            Message go;
-            go.from = kMasterRank;
-            go.to = w;
-            go.kind = MsgKind::kBarrier;
-            go.tag = msg->tag;
-            fabric_->Send(std::move(go));
+        const BarrierMsg b = BarrierMsg::Decode(msg->payload);
+        if (b.pass != pass || b.release) {
+          break;  // stale arrival from an earlier attempt
+        }
+        started[msg->from] = true;
+        auto& arrived = barrier_arrived[msg->tag];
+        bool& released = barrier_released[msg->tag];
+        arrived.insert(msg->from);
+        if (released) {
+          // This worker's release was lost (or its arrival was duplicated);
+          // re-release individually.
+          send_release(msg->tag, msg->from, /*reliable=*/true);
+        } else if (static_cast<int>(arrived.size()) == active) {
+          released = true;
+          for (int w : live_ranks_) {
+            send_release(msg->tag, w, /*reliable=*/false);
           }
         }
         break;
       }
       case MsgKind::kControl: {
-        ORION_CHECK(PeekControlOp(msg->payload) == ControlOp::kPassDone);
+        const ControlOp op = PeekControlOp(msg->payload);
+        if (op == ControlOp::kHeartbeat) {
+          const Heartbeat hb = Heartbeat::Decode(msg->payload);
+          if (hb.is_reply && hb.last_started_pass >= pass) {
+            started[msg->from] = true;
+          }
+          if (hb.is_reply && hb.last_completed_pass >= pass && !done[msg->from]) {
+            // The worker finished the pass but its kPassDone was lost in
+            // flight; a retransmitted kStartPass makes it resend the cached
+            // report.
+            ++runtime_metrics_.retransmits;
+            Message m;
+            m.from = kMasterRank;
+            m.to = msg->from;
+            m.kind = MsgKind::kControl;
+            m.payload = StartPass{cl.loop_id, pass}.Encode();
+            fabric_->SendReliable(std::move(m));
+          }
+          break;
+        }
+        if (op != ControlOp::kPassDone) {
+          break;  // stray control traffic (e.g. a late retire ack)
+        }
         ByteReader r(msg->payload);
         r.Get<u16>();
-        r.Get<i32>();  // loop id
-        r.Get<i32>();  // pass
+        const i32 done_loop = r.Get<i32>();
+        const i32 done_pass = r.Get<i32>();
+        if (done_pass != pass || done[msg->from]) {
+          break;  // duplicate or stale PassDone
+        }
+        (void)done_loop;
         const double compute = r.Get<double>();
         const double wait = r.Get<double>();
         auto acc = r.GetVec<f64>();
@@ -783,7 +953,9 @@ void Driver::ServicePassMessages(const CompiledLoop& cl) {
             std::max(last_metrics_.max_worker_compute_seconds, compute);
         last_metrics_.max_worker_wait_seconds =
             std::max(last_metrics_.max_worker_wait_seconds, wait);
-        ++done;
+        started[msg->from] = true;
+        done[msg->from] = true;
+        ++num_done;
         break;
       }
       default:
@@ -795,6 +967,7 @@ void Driver::ServicePassMessages(const CompiledLoop& cl) {
   for (DistArrayId id : returned) {
     Host(id).on_workers = false;
   }
+  return {true, -1};
 }
 
 void Driver::AutoCheckpoint(std::vector<DistArrayId> arrays, std::string directory,
@@ -802,6 +975,148 @@ void Driver::AutoCheckpoint(std::vector<DistArrayId> arrays, std::string directo
   auto_ckpt_arrays_ = std::move(arrays);
   auto_ckpt_dir_ = std::move(directory);
   auto_ckpt_every_ = every_n_passes;
+}
+
+void Driver::EnableRecovery(std::vector<DistArrayId> arrays, std::string directory,
+                            int every_n_passes) {
+  recover_arrays_ = std::move(arrays);
+  recover_dir_ = std::move(directory);
+  recover_every_ = every_n_passes;
+  recovery_enabled_ = true;
+  baseline_ckpt_done_ = false;
+  // Best-effort: an uncreatable directory surfaces as a descriptive IO_ERROR
+  // Status at the first checkpoint write, not here.
+  std::error_code ec;
+  std::filesystem::create_directories(recover_dir_, ec);
+}
+
+std::string Driver::RecoveryPath(DistArrayId id) const {
+  return recover_dir_ + "/" + Host(id).meta.name + ".ckpt";
+}
+
+Status Driver::WriteRecoveryCheckpoint() {
+  Stopwatch sw;
+  for (DistArrayId id : recover_arrays_) {
+    ORION_RETURN_IF_ERROR(CheckpointWrite(RecoveryPath(id), MutableCells(id)));
+  }
+  ckpt_accumulators_ = accumulators_;
+  pass_log_.clear();
+  baseline_ckpt_done_ = true;
+  ++runtime_metrics_.checkpoints_written;
+  runtime_metrics_.checkpoint_seconds += sw.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status Driver::Recover(int lost_physical_rank) {
+  Stopwatch sw;
+  ++runtime_metrics_.workers_lost;
+  ++runtime_metrics_.recoveries;
+  if (injector_ != nullptr) {
+    // Anything the injector still holds back predates the failure and must
+    // not leak into the new configuration.
+    injector_->ClearHoldbacks();
+  }
+  live_ranks_.erase(std::remove(live_ranks_.begin(), live_ranks_.end(), lost_physical_rank),
+                    live_ranks_.end());
+  if (live_ranks_.empty()) {
+    return Status::Internal("all workers lost; cannot recover");
+  }
+
+  // Two-phase retire. Phase 0: every survivor adopts the new logical rank /
+  // ring and unwinds its in-flight pass; because links are FIFO, once a
+  // survivor's ack is in, no pre-failure message from it is still queued.
+  // Phase 1 (sent only after all phase-0 acks): survivors drop all DistArray
+  // state and caches so the master can re-scatter from the checkpoint.
+  for (i32 phase = 0; phase < 2; ++phase) {
+    for (size_t logical = 0; logical < live_ranks_.size(); ++logical) {
+      Retire r;
+      r.phase = phase;
+      r.is_ack = false;
+      r.logical_rank = static_cast<i32>(logical);
+      r.ring.assign(live_ranks_.begin(), live_ranks_.end());
+      Message m;
+      m.from = kMasterRank;
+      m.to = live_ranks_[logical];
+      m.kind = MsgKind::kControl;
+      m.payload = r.Encode();
+      fabric_->SendReliable(std::move(m));
+    }
+    if (phase == 0) {
+      // Best-effort retire of the lost rank too: if it was a false-positive
+      // death (still running), this unwinds it and stops it interfering.
+      Retire r;
+      r.phase = 0;
+      r.is_ack = false;
+      r.logical_rank = -2;  // not a ring member
+      r.ring.assign(live_ranks_.begin(), live_ranks_.end());
+      Message m;
+      m.from = kMasterRank;
+      m.to = lost_physical_rank;
+      m.kind = MsgKind::kControl;
+      m.payload = r.Encode();
+      fabric_->SendReliable(std::move(m));
+    }
+    std::set<int> acked;
+    while (static_cast<int>(acked.size()) < ActiveWorkers()) {
+      auto msg = fabric_->Recv(kMasterRank);
+      if (!msg.has_value()) {
+        return Status::Internal("fabric shut down during recovery");
+      }
+      // Drain everything else: in-flight pass traffic, duplicated control
+      // messages, acks from the retired rank.
+      if (msg->kind != MsgKind::kControl || !IsLive(msg->from) ||
+          PeekControlOp(msg->payload) != ControlOp::kRetire) {
+        continue;
+      }
+      const Retire ack = Retire::Decode(msg->payload);
+      if (ack.is_ack && ack.phase == phase) {
+        acked.insert(msg->from);
+      }
+    }
+  }
+
+  // Worker-resident placements are gone; the master copies (about to be
+  // overwritten from the checkpoint) are authoritative again.
+  for (auto& [id, host] : arrays_) {
+    host->on_workers = false;
+  }
+  last_replica_bcast_tag_.clear();
+
+  for (DistArrayId id : recover_arrays_) {
+    ORION_RETURN_IF_ERROR(Restore(id, RecoveryPath(id)));
+  }
+  accumulators_ = ckpt_accumulators_;
+
+  ORION_RETURN_IF_ERROR(RecompileLoops());
+
+  // Replay the passes committed since the restored checkpoint, in order.
+  // Terminates: crashes are one-shot, so nested recoveries are bounded by
+  // the number of scheduled crash points.
+  auto log = std::move(pass_log_);
+  pass_log_.clear();
+  runtime_metrics_.passes_replayed += log.size();
+  for (const auto& [loop_id, pass] : log) {
+    (void)pass;
+    ORION_RETURN_IF_ERROR(Execute(loop_id));
+  }
+  runtime_metrics_.recovery_seconds += sw.ElapsedSeconds();
+  return Status::Ok();
+}
+
+RuntimeMetrics Driver::runtime_metrics() const {
+  RuntimeMetrics m = runtime_metrics_;
+  if (injector_ != nullptr) {
+    const InjectorStats s = injector_->stats();
+    m.faults_dropped = s.dropped;
+    m.faults_duplicated = s.duplicated;
+    m.faults_delayed = s.delayed;
+    m.crashes_triggered = s.crashes_triggered;
+  }
+  return m;
+}
+
+std::vector<FaultEvent> Driver::fault_events() const {
+  return injector_ != nullptr ? injector_->events() : std::vector<FaultEvent>{};
 }
 
 namespace {
@@ -898,40 +1213,74 @@ Status Driver::ExecuteSerial(const LoopSpec& spec, const LoopKernel& kernel) {
 }
 
 Status Driver::Execute(i32 loop_id) {
-  auto it = loops_.find(loop_id);
-  if (it == loops_.end()) {
+  if (loops_.find(loop_id) == loops_.end()) {
     return Status::NotFound("unknown loop id");
   }
+  if (recovery_enabled_ && !baseline_ckpt_done_) {
+    // Baseline checkpoint: without it a pass-0 failure has nothing to
+    // restore from.
+    ORION_RETURN_IF_ERROR(WriteRecoveryCheckpoint());
+  }
+  const int max_attempts =
+      recovery_enabled_ ? std::max(1, config_.supervisor.max_recovery_attempts) : 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const PassOutcome out = RunPassOnce(loop_id);
+    if (out.completed) {
+      if (recovery_enabled_ && recover_every_ > 0 &&
+          static_cast<int>(pass_log_.size()) >= recover_every_) {
+        ORION_RETURN_IF_ERROR(WriteRecoveryCheckpoint());
+      }
+      if (auto_ckpt_every_ > 0 && pass_counter_ % auto_ckpt_every_ == 0) {
+        for (DistArrayId id : auto_ckpt_arrays_) {
+          const std::string path = auto_ckpt_dir_ + "/" + Host(id).meta.name + "." +
+                                   std::to_string(pass_counter_) + ".ckpt";
+          ORION_RETURN_IF_ERROR(Checkpoint(id, path));
+        }
+      }
+      return Status::Ok();
+    }
+    if (!recovery_enabled_) {
+      return Status::Internal("worker " + std::to_string(out.lost_rank) +
+                              " lost and recovery is not enabled");
+    }
+    ORION_RETURN_IF_ERROR(Recover(out.lost_rank));
+  }
+  return Status::Internal("recovery attempts exhausted");
+}
+
+Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
+  // Re-look the loop up each attempt: recovery recompiles it for the
+  // degraded worker count.
+  auto it = loops_.find(loop_id);
+  ORION_CHECK(it != loops_.end());
   const CompiledLoop& cl = *it->second;
   EnsureScattered(cl);
 
   const FabricStats before = fabric_->Stats();
   Stopwatch sw;
-  for (int w = 0; w < config_.num_workers; ++w) {
+  const i32 pass = pass_counter_++;
+  for (int w : live_ranks_) {
     Message m;
     m.from = kMasterRank;
     m.to = w;
     m.kind = MsgKind::kControl;
-    m.payload = StartPass{loop_id, pass_counter_}.Encode();
+    m.payload = StartPass{loop_id, pass}.Encode();
     fabric_->Send(std::move(m));
   }
-  ++pass_counter_;
-  ServicePassMessages(cl);
+  const PassOutcome out = ServicePassMessages(cl, pass);
+  if (!out.completed) {
+    return out;
+  }
 
   const FabricStats after = fabric_->Stats();
   last_metrics_.pass_wall_seconds = sw.ElapsedSeconds();
   last_metrics_.bytes_sent = after.bytes_sent - before.bytes_sent;
   last_metrics_.messages_sent = after.messages_sent - before.messages_sent;
   last_metrics_.virtual_net_seconds = after.virtual_net_seconds - before.virtual_net_seconds;
-
-  if (auto_ckpt_every_ > 0 && pass_counter_ % auto_ckpt_every_ == 0) {
-    for (DistArrayId id : auto_ckpt_arrays_) {
-      const std::string path = auto_ckpt_dir_ + "/" + Host(id).meta.name + "." +
-                               std::to_string(pass_counter_) + ".ckpt";
-      ORION_RETURN_IF_ERROR(Checkpoint(id, path));
-    }
+  if (recovery_enabled_) {
+    pass_log_.emplace_back(loop_id, pass);
   }
-  return Status::Ok();
+  return out;
 }
 
 }  // namespace orion

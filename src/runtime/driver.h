@@ -41,6 +41,12 @@ struct DriverConfig {
   NetCostModel net = NetCostModel::Unlimited();
   double stats_bucket_seconds = 0.5;
   u64 seed = 1;
+  // Faults to inject into the fabric (inactive by default). An active plan
+  // forces supervision on.
+  FaultPlan fault_plan{};
+  // Heartbeat / retry / death-timeout parameters. Supervision can also be
+  // enabled without a fault plan to harden against real failures.
+  SupervisorConfig supervisor{};
 };
 
 class Driver {
@@ -139,6 +145,16 @@ class Driver {
   void AutoCheckpoint(std::vector<DistArrayId> arrays, std::string directory,
                       int every_n_passes);
 
+  // Integrated checkpoint/recovery (paper Sec. 4.3): checkpoints `arrays`
+  // (every mutable array must be listed — arrays not listed are assumed
+  // immutable during training) into `directory` every `every_n_passes`
+  // passes, plus a baseline checkpoint before the first pass. When a worker
+  // is lost mid-pass, Execute() transparently retires the dead rank, degrades
+  // to the surviving workers, restores the last checkpoint, replays the
+  // passes since, and retries the failed pass.
+  void EnableRecovery(std::vector<DistArrayId> arrays, std::string directory,
+                      int every_n_passes);
+
   // Convenience: compile (cached by site id) + execute.
   const ParallelizationPlan& PlanOf(i32 loop_id) const;
 
@@ -147,6 +163,14 @@ class Driver {
   const LoopMetrics& last_metrics() const { return last_metrics_; }
   FabricStats NetStats() const { return fabric_->Stats(); }
   void ResetNetStats() { fabric_->ResetStats(); }
+
+  // Fault-tolerance counters, with the injector's live stats folded in.
+  RuntimeMetrics runtime_metrics() const;
+  // The injected-fault event log (empty without a fault plan) — the
+  // determinism witness for chaos tests.
+  std::vector<FaultEvent> fault_events() const;
+  // Physical ranks still part of the configuration.
+  const std::vector<int>& live_ranks() const { return live_ranks_; }
 
  private:
   struct ArrayHost {
@@ -162,9 +186,26 @@ class Driver {
   ArrayHost& Host(DistArrayId id);
   const ArrayHost& Host(DistArrayId id) const;
 
+  int ActiveWorkers() const { return static_cast<int>(live_ranks_.size()); }
+  WorkerId PhysicalOf(int logical) const {
+    return static_cast<WorkerId>(live_ranks_[static_cast<size_t>(logical)]);
+  }
+  bool IsLive(WorkerId physical) const;
+
   // Master-side service handlers.
-  void ServicePassMessages(const CompiledLoop& cl);
+  struct PassOutcome {
+    bool completed = true;
+    int lost_rank = -1;  // physical rank declared dead when !completed
+  };
+  PassOutcome ServicePassMessages(const CompiledLoop& cl, i32 pass);
+  PassOutcome RunPassOnce(i32 loop_id);  // one supervised pass attempt
   void HandleParamRequest(const Message& msg);
+
+  // Recovery machinery.
+  Status WriteRecoveryCheckpoint();
+  std::string RecoveryPath(DistArrayId id) const;
+  Status Recover(int lost_physical_rank);
+  Status RecompileLoops();
   void HandleParamUpdate(const CompiledLoop* cl, const Message& msg);
   void BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array);
 
@@ -179,7 +220,12 @@ class Driver {
 
   static bool GridEquals(const SpaceTimeGrid& a, const SpaceTimeGrid& b);
 
+  // Rebuilds `cl`'s plan, grid, and schedules for the current active worker
+  // count (shared by Compile and post-failure recompilation).
+  Status BuildLoop(CompiledLoop* cl);
+
   DriverConfig config_;
+  std::shared_ptr<FaultInjector> injector_;  // null without a fault plan
   std::unique_ptr<Fabric> fabric_;
   SharedDirectory dir_;
   std::vector<std::unique_ptr<Executor>> executors_;
@@ -191,13 +237,25 @@ class Driver {
   std::map<i32, std::shared_ptr<const CompiledLoop>> loops_;
   std::vector<f64> accumulators_;
   std::vector<AccumOp> accumulator_ops_;
-  Rng rng_;
 
   std::vector<DistArrayId> auto_ckpt_arrays_;
   std::string auto_ckpt_dir_;
   int auto_ckpt_every_ = 0;
 
+  // Cluster membership: live_ranks_[logical] == physical rank.
+  std::vector<int> live_ranks_;
+
+  // Integrated recovery state (EnableRecovery).
+  std::vector<DistArrayId> recover_arrays_;
+  std::string recover_dir_;
+  int recover_every_ = 0;
+  bool recovery_enabled_ = false;
+  bool baseline_ckpt_done_ = false;
+  std::vector<std::pair<i32, i32>> pass_log_;  // (loop_id, pass) since last checkpoint
+  std::vector<f64> ckpt_accumulators_;
+
   LoopMetrics last_metrics_;
+  RuntimeMetrics runtime_metrics_;
   std::map<DistArrayId, u32> last_replica_bcast_tag_;
   int pass_counter_ = 0;
 };

@@ -196,7 +196,12 @@ class RecordingLoopContext : public WorkerLoopContext {
 // Executor
 
 Executor::Executor(WorkerId rank, Fabric* fabric, const SharedDirectory* dir)
-    : rank_(rank), fabric_(fabric), dir_(dir) {}
+    : rank_(rank), fabric_(fabric), dir_(dir), logical_rank_(rank) {
+  ring_.resize(static_cast<size_t>(fabric->num_workers()));
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    ring_[i] = static_cast<i32>(i);
+  }
+}
 
 Executor::ArrayState& Executor::GetArray(DistArrayId id) {
   auto it = arrays_.find(id);
@@ -221,40 +226,143 @@ DistArrayBuffer& Executor::GetBuffer(DistArrayId target) {
 }
 
 void Executor::Run() {
-  while (true) {
-    auto msg = fabric_->Recv(rank_);
-    if (!msg.has_value() || msg->kind == MsgKind::kShutdown) {
-      return;
-    }
-    switch (msg->kind) {
-      case MsgKind::kControl: {
-        const ControlOp op = PeekControlOp(msg->payload);
-        if (op == ControlOp::kStartPass) {
+  sup_ = dir_->supervisor();
+  try {
+    while (true) {
+      auto msg = fabric_->Recv(rank_);
+      if (!msg.has_value()) {
+        return;  // fabric shut down
+      }
+      try {
+        if (msg->kind == MsgKind::kControl &&
+            PeekControlOp(msg->payload) == ControlOp::kStartPass) {
           ByteReader r(msg->payload);
           r.Get<u16>();
           const i32 loop_id = r.Get<i32>();
           const i32 pass = r.Get<i32>();
-          RunPass(loop_id, pass);
-        } else if (op == ControlOp::kGather) {
-          ByteReader r(msg->payload);
-          r.Get<u16>();
-          HandleGather(r.Get<i32>());
-        } else if (op == ControlOp::kDropArray) {
-          ByteReader r(msg->payload);
-          r.Get<u16>();
-          DropArray(r.Get<i32>());
-        } else {
-          ORION_CHECK(false) << "unexpected control op" << static_cast<int>(op);
+          if (pass > last_completed_pass_) {
+            RunPass(loop_id, pass);
+            continue;
+          }
+          // Retransmit of an already-finished pass: fall through to the
+          // dedupe path, which re-answers with the cached PassDone.
         }
-        break;
+        Dispatch(*msg);
+      } catch (const RetireSignal&) {
+        // Reconfigured mid-pass; the abandoned pass reports nothing.
       }
-      case MsgKind::kPartitionData:
-      case MsgKind::kParamReply:
-        HandleAsync(*msg);
-        break;
-      default:
-        ORION_CHECK(false) << "unexpected message kind" << static_cast<int>(msg->kind);
     }
+  } catch (const HaltSignal&) {
+    // Injected crash, kShutdown, or fabric shutdown while mid-pass.
+  }
+}
+
+void Executor::MaybeCrash(i32 pass, i32 step) {
+  FaultInjector* inj = fabric_->injector();
+  if (inj != nullptr && inj->ShouldCrash(rank_, pass, step)) {
+    throw HaltSignal{};
+  }
+}
+
+void Executor::ProcessRetire(const Message& msg) {
+  const Retire t = Retire::Decode(msg.payload);
+  if (t.phase == 0) {
+    // Adopt the post-failure configuration. Schedule math now runs in the
+    // compacted logical space; physical addressing goes through ring_.
+    logical_rank_ = t.logical_rank;
+    ring_ = t.ring;
+  } else {
+    // Full reset: everything local predates the checkpoint the driver is
+    // about to restore, so drop it and wait for the re-scatter.
+    arrays_.clear();
+    buffers_.clear();
+    prefetch_key_cache_.clear();
+    current_pass_ = -1;
+    last_completed_pass_ = -1;
+    cached_pass_done_.reset();
+  }
+  Retire ack;
+  ack.phase = t.phase;
+  ack.is_ack = true;
+  ack.logical_rank = logical_rank_;
+  Message m;
+  m.from = rank_;
+  m.to = kMasterRank;
+  m.kind = MsgKind::kControl;
+  m.payload = ack.Encode();
+  fabric_->SendReliable(std::move(m));
+}
+
+void Executor::Dispatch(const Message& msg) {
+  switch (msg.kind) {
+    case MsgKind::kShutdown:
+      throw HaltSignal{};
+    case MsgKind::kPartitionData:
+    case MsgKind::kParamReply:
+      // Drop data from workers outside the current configuration (a zombie
+      // sender after a false-positive death declaration).
+      if (msg.from != kMasterRank &&
+          std::find(ring_.begin(), ring_.end(), static_cast<i32>(msg.from)) == ring_.end()) {
+        return;
+      }
+      InstallPartData(PartData::Decode(msg.payload), msg.kind);
+      return;
+    case MsgKind::kBarrier:
+      return;  // stale barrier traffic from an earlier pass or step
+    case MsgKind::kControl:
+      break;
+    default:
+      ORION_CHECK(false) << "unexpected message kind" << static_cast<int>(msg.kind);
+  }
+  switch (PeekControlOp(msg.payload)) {
+    case ControlOp::kHeartbeat: {
+      const Heartbeat ping = Heartbeat::Decode(msg.payload);
+      if (ping.is_reply) {
+        return;  // replies are master-bound; ignore strays
+      }
+      Heartbeat pong;
+      pong.is_reply = true;
+      pong.seq = ping.seq;
+      pong.last_started_pass = current_pass_ >= 0 ? current_pass_ : last_completed_pass_;
+      pong.last_completed_pass = last_completed_pass_;
+      Message m;
+      m.from = rank_;
+      m.to = kMasterRank;
+      m.kind = MsgKind::kControl;
+      m.payload = pong.Encode();
+      fabric_->SendReliable(std::move(m));
+      return;
+    }
+    case ControlOp::kStartPass: {
+      // Duplicate or retransmit: if it names the pass we last completed, the
+      // PassDone was lost — answer it again.
+      ByteReader r(msg.payload);
+      r.Get<u16>();
+      r.Get<i32>();  // loop id
+      const i32 pass = r.Get<i32>();
+      if (pass == last_completed_pass_ && cached_pass_done_.has_value()) {
+        fabric_->SendReliable(*cached_pass_done_);
+      }
+      return;
+    }
+    case ControlOp::kRetire:
+      ProcessRetire(msg);
+      throw RetireSignal{};
+    case ControlOp::kGather: {
+      ByteReader r(msg.payload);
+      r.Get<u16>();
+      HandleGather(r.Get<i32>());
+      return;
+    }
+    case ControlOp::kDropArray: {
+      ByteReader r(msg.payload);
+      r.Get<u16>();
+      DropArray(r.Get<i32>());
+      return;
+    }
+    default:
+      ORION_CHECK(false) << "unexpected control op"
+                         << static_cast<int>(PeekControlOp(msg.payload));
   }
 }
 
@@ -289,63 +397,100 @@ void Executor::InstallPartData(PartData pd, MsgKind kind) {
   }
 }
 
-void Executor::HandleAsync(const Message& msg) {
-  switch (msg.kind) {
-    case MsgKind::kPartitionData:
-    case MsgKind::kParamReply:
-      InstallPartData(PartData::Decode(msg.payload), msg.kind);
-      break;
-    default:
-      ORION_CHECK(false) << "unexpected async message kind" << static_cast<int>(msg.kind);
-  }
-}
-
 void Executor::DrainInbox() {
   while (true) {
     auto msg = fabric_->TryRecv(rank_);
     if (!msg.has_value()) {
       return;
     }
-    HandleAsync(*msg);
+    Dispatch(*msg);
   }
 }
 
-std::optional<Message> Executor::WaitFor(const std::function<bool(const Message&)>& pred) {
+Message Executor::WaitFor(const std::function<bool(const Message&)>& pred) {
   Stopwatch sw;
   while (true) {
     auto msg = fabric_->Recv(rank_);
     if (!msg.has_value()) {
       wait_seconds_ += sw.ElapsedSeconds();
-      return std::nullopt;  // fabric shut down
+      throw HaltSignal{};  // fabric shut down
+    }
+    if (pred(*msg)) {
+      wait_seconds_ += sw.ElapsedSeconds();
+      return *std::move(msg);
+    }
+    Dispatch(*msg);
+  }
+}
+
+std::optional<Message> Executor::WaitForTimeout(
+    const std::function<bool(const Message&)>& pred, double seconds) {
+  Stopwatch sw;
+  while (true) {
+    const double left = seconds - sw.ElapsedSeconds();
+    if (left <= 0.0) {
+      wait_seconds_ += sw.ElapsedSeconds();
+      return std::nullopt;
+    }
+    auto msg = fabric_->RecvWithTimeout(rank_, left);
+    if (!msg.has_value()) {
+      if (fabric_->Closed(rank_)) {
+        throw HaltSignal{};
+      }
+      continue;  // timed out; the deadline check above decides
     }
     if (pred(*msg)) {
       wait_seconds_ += sw.ElapsedSeconds();
       return msg;
     }
-    HandleAsync(*msg);
+    Dispatch(*msg);
   }
 }
 
 void Executor::WaitForPart(DistArrayId array, int tau) {
   ArrayState& st = GetArray(array);
   while (st.parts.count(tau) == 0) {
-    auto msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kPartitionData; });
-    ORION_CHECK(msg.has_value()) << "fabric shut down while waiting for partition";
-    HandleAsync(*msg);
+    Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kPartitionData; });
+    Dispatch(msg);
   }
 }
 
-void Executor::Barrier(int step) {
+void Executor::Barrier(i32 pass, int step) {
   Message m;
   m.from = rank_;
   m.to = kMasterRank;
   m.kind = MsgKind::kBarrier;
   m.tag = static_cast<u32>(step);
+  m.payload = BarrierMsg{pass, false}.Encode();
   fabric_->Send(std::move(m));
-  auto go = WaitFor([&](const Message& msg) {
-    return msg.kind == MsgKind::kBarrier && msg.tag == static_cast<u32>(step);
-  });
-  ORION_CHECK(go.has_value()) << "fabric shut down at barrier";
+  auto matches = [&](const Message& msg) {
+    if (msg.kind != MsgKind::kBarrier || msg.tag != static_cast<u32>(step)) {
+      return false;
+    }
+    const BarrierMsg b = BarrierMsg::Decode(msg.payload);
+    return b.release && b.pass == pass;
+  };
+  if (!sup_.enabled) {
+    WaitFor(matches);
+    return;
+  }
+  // Supervised: either our arrival or the master's release can be lost, so
+  // resend (reliably) with backoff until the release for this exact
+  // (pass, step) arrives. The master re-releases on duplicate arrivals.
+  double backoff = sup_.retry_initial_seconds;
+  while (true) {
+    if (WaitForTimeout(matches, backoff).has_value()) {
+      return;
+    }
+    Message again;
+    again.from = rank_;
+    again.to = kMasterRank;
+    again.kind = MsgKind::kBarrier;
+    again.tag = static_cast<u32>(step);
+    again.payload = BarrierMsg{pass, false}.Encode();
+    fabric_->SendReliable(std::move(again));
+    backoff *= sup_.retry_backoff_factor;
+  }
 }
 
 void Executor::ExecuteCells(const CompiledLoop& cl, int tau, int chunk, int num_chunks) {
@@ -469,9 +614,8 @@ void Executor::Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, in
     }
   }
   for (int i = 0; i < expected_replies; ++i) {
-    auto msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
-    ORION_CHECK(msg.has_value()) << "fabric shut down during prefetch";
-    HandleAsync(*msg);
+    Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
+    Dispatch(msg);
   }
 }
 
@@ -603,10 +747,11 @@ void Executor::FlushServerBuffers(const CompiledLoop& cl) {
 void Executor::SendRotatedParts(const CompiledLoop& cl, int tau) {
   WorkerId dest;
   if (cl.UsesWavefront()) {
-    dest = cl.sched_wave.SendTo(rank_);
+    dest = cl.sched_wave.SendTo(logical_rank_);
   } else {
-    dest = cl.sched_rot.SendTo(rank_);
+    dest = cl.sched_rot.SendTo(logical_rank_);
   }
+  dest = Physical(dest);
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kSpaceTime) {
       continue;
@@ -646,20 +791,21 @@ void Executor::DrainReturningParts(const CompiledLoop& cl) {
     }
     ArrayState& st = GetArray(array);
     for (int tau = 0; tau < cl.sched_rot.num_time_parts(); ++tau) {
-      if (cl.sched_rot.InitialOwner(tau) != rank_) {
+      if (cl.sched_rot.InitialOwner(tau) != logical_rank_) {
         continue;
       }
       while (st.parts.count(tau) == 0) {
-        auto msg =
+        Message msg =
             WaitFor([](const Message& m) { return m.kind == MsgKind::kPartitionData; });
-        ORION_CHECK(msg.has_value()) << "fabric shut down while draining rotated parts";
-        HandleAsync(*msg);
+        Dispatch(msg);
       }
     }
   }
 }
 
 void Executor::RunPass(i32 loop_id, i32 pass) {
+  current_pass_ = pass;
+  MaybeCrash(pass, -1);
   auto cl = dir_->GetLoop(loop_id);
   accum_ops_ = dir_->accumulator_ops();
   accum_.resize(accum_ops_.size());
@@ -682,6 +828,7 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
     // buffered updates so other workers' next rounds observe them.
     const int rounds = cl->options.server_sync_rounds;
     for (int round = 0; round < rounds; ++round) {
+      MaybeCrash(pass, round);
       DrainInbox();
       if (has_server) {
         Prefetch(*cl, -1, round, round, rounds);
@@ -693,8 +840,9 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
   } else {
     const int steps = cl->NumSteps();
     for (int step = 0; step < steps; ++step) {
+      MaybeCrash(pass, step);
       DrainInbox();
-      const int tau = cl->Is2D() ? cl->TimePartAt(rank_, step) : -1;
+      const int tau = cl->Is2D() ? cl->TimePartAt(logical_rank_, step) : -1;
       const bool active = !cl->Is2D() || tau >= 0;
       if (active) {
         for (const auto& [array, placement] : cl->plan.placements) {
@@ -712,7 +860,7 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
         }
       }
       if (cl->NeedsStepBarrier()) {
-        Barrier(step);
+        Barrier(pass, step);
       }
     }
   }
@@ -732,6 +880,9 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
   m.to = kMasterRank;
   m.kind = MsgKind::kControl;
   m.payload = done.Encode();
+  cached_pass_done_ = m;  // re-answer if the master retransmits kStartPass
+  last_completed_pass_ = pass;
+  current_pass_ = -1;
   fabric_->Send(std::move(m));
 }
 

@@ -31,12 +31,21 @@
 
 namespace orion {
 
+// Thrown to unwind out of an in-flight pass when the master reconfigures the
+// cluster after a worker loss. Caught in Run(); the abandoned pass sends no
+// PassDone.
+struct RetireSignal {};
+
+// Thrown when this worker must exit: injected crash, kShutdown, or fabric
+// shutdown. Caught at the top of Run(); the thread returns.
+struct HaltSignal {};
+
 class Executor {
  public:
   Executor(WorkerId rank, Fabric* fabric, const SharedDirectory* dir);
 
   // Thread body; returns when the master sends kShutdown (or the fabric
-  // shuts down).
+  // shuts down), or when an injected crash fires.
   void Run();
 
  private:
@@ -73,25 +82,55 @@ class Executor {
   void PassEndFlush(const CompiledLoop& cl);
   void SendRotatedParts(const CompiledLoop& cl, int tau);
   void WaitForPart(DistArrayId array, int tau);
-  void Barrier(int step);
+  void Barrier(i32 pass, int step);
   void DrainReturningParts(const CompiledLoop& cl);
 
   void HandleGather(DistArrayId array);
   void DropArray(DistArrayId array);
 
-  // Processes one asynchronous message (partition data, replica snapshot,
-  // prefetch reply).
-  void HandleAsync(const Message& msg);
+  // Exits the thread (via HaltSignal) if the fault plan schedules a crash of
+  // this worker at (pass, step).
+  void MaybeCrash(i32 pass, i32 step);
+
+  // Processes one message that is not what the caller is waiting for:
+  // installs async data, answers heartbeat pings, dedupes retransmitted
+  // kStartPass, discards stale barrier traffic, and throws RetireSignal /
+  // HaltSignal on kRetire / kShutdown.
+  void Dispatch(const Message& msg);
+  void ProcessRetire(const Message& msg);
   // Non-blocking drain of queued asynchronous messages.
   void DrainInbox();
-  // Blocking receive that handles async messages until `pred` matches.
-  std::optional<Message> WaitFor(const std::function<bool(const Message&)>& pred);
+  // Blocking receive that dispatches messages until `pred` matches. Throws
+  // HaltSignal if the fabric shuts down.
+  Message WaitFor(const std::function<bool(const Message&)>& pred);
+  // Like WaitFor but gives up after `seconds` (nullopt on timeout).
+  std::optional<Message> WaitForTimeout(const std::function<bool(const Message&)>& pred,
+                                        double seconds);
 
   void InstallPartData(PartData pd, MsgKind kind);
 
-  WorkerId rank_;
+  // Maps a schedule-space (logical) worker id to the physical rank holding
+  // that slot in the current configuration.
+  WorkerId Physical(WorkerId logical) const {
+    return logical == kMasterRank ? kMasterRank
+                                  : static_cast<WorkerId>(ring_[static_cast<size_t>(logical)]);
+  }
+
+  WorkerId rank_;           // physical rank: fabric endpoint, never changes
   Fabric* fabric_;
   const SharedDirectory* dir_;
+  SupervisorConfig sup_;
+
+  // Post-failure configuration (kRetire phase 0). Initially logical == rank_
+  // and ring_ == {0..N-1}; after a loss, surviving workers get compacted
+  // logical ranks and schedule math runs in logical space while messages are
+  // addressed to physical ranks.
+  WorkerId logical_rank_;
+  std::vector<i32> ring_;   // physical rank by logical index
+
+  i32 current_pass_ = -1;        // pass being executed, -1 when idle
+  i32 last_completed_pass_ = -1;
+  std::optional<Message> cached_pass_done_;  // resent when kStartPass is retransmitted
 
   std::map<DistArrayId, std::unique_ptr<ArrayState>> arrays_;
   std::map<DistArrayId, std::unique_ptr<DistArrayBuffer>> buffers_;

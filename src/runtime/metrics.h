@@ -15,6 +15,31 @@ struct LoopMetrics {
   double virtual_net_seconds = 0.0;      // modeled network cost of the pass
 };
 
+// Cumulative fault-tolerance counters for one Driver lifetime: what the fault
+// injector did to the run and what the supervision/recovery machinery paid to
+// absorb it.
+struct RuntimeMetrics {
+  // Mirrored from the fault injector (zero when no plan is installed).
+  u64 faults_dropped = 0;
+  u64 faults_duplicated = 0;
+  u64 faults_delayed = 0;
+  u64 crashes_triggered = 0;
+
+  // Supervision.
+  u64 heartbeats_sent = 0;
+  u64 retransmits = 0;  // kStartPass retries by the master
+
+  // Recovery.
+  u64 workers_lost = 0;
+  u64 recoveries = 0;
+  u64 passes_replayed = 0;
+  double recovery_seconds = 0.0;  // wall time inside Recover (incl. replay)
+
+  // Checkpointing.
+  u64 checkpoints_written = 0;
+  double checkpoint_seconds = 0.0;
+};
+
 }  // namespace orion
 
 #endif  // ORION_SRC_RUNTIME_METRICS_H_

@@ -22,6 +22,8 @@ enum class ControlOp : u16 {
   kDropArray = 4,    // master -> worker: drop local cells of an array
   kStepBarrier = 5,  // worker -> master: wavefront step done
   kStepGo = 6,       // master -> worker: proceed to next wavefront step
+  kHeartbeat = 7,    // master <-> worker: liveness ping / pong
+  kRetire = 8,       // master -> worker: adopt post-failure configuration
 };
 
 struct StartPass {
@@ -53,6 +55,93 @@ struct PassDone {
     w.Put<double>(wait_seconds);
     w.PutVec(accumulators);
     return w.Take();
+  }
+};
+
+// Liveness probe. The master pings workers it has not heard from recently;
+// a worker answers with is_reply = true and its progress watermarks so the
+// master can tell "alive but slow" from "dead".
+struct Heartbeat {
+  bool is_reply = false;
+  u32 seq = 0;
+  i32 last_started_pass = -1;
+  i32 last_completed_pass = -1;
+
+  std::vector<u8> Encode() const {
+    ByteWriter w;
+    w.Put<u16>(static_cast<u16>(ControlOp::kHeartbeat));
+    w.Put<u8>(is_reply ? 1 : 0);
+    w.Put<u32>(seq);
+    w.Put<i32>(last_started_pass);
+    w.Put<i32>(last_completed_pass);
+    return w.Take();
+  }
+
+  static Heartbeat Decode(const std::vector<u8>& payload) {
+    ByteReader r(payload);
+    r.Get<u16>();  // op
+    Heartbeat h;
+    h.is_reply = r.Get<u8>() != 0;
+    h.seq = r.Get<u32>();
+    h.last_started_pass = r.Get<i32>();
+    h.last_completed_pass = r.Get<i32>();
+    return h;
+  }
+};
+
+// Post-failure reconfiguration, delivered reliably in two phases (both
+// acked with is_ack = true). Phase 0: adopt the new logical rank and ring of
+// surviving physical ranks — after every ack, no pre-failure message can
+// still be produced. Phase 1: drop all local DistArray state and loop caches
+// so the driver can re-scatter from the checkpoint.
+struct Retire {
+  i32 phase = 0;
+  bool is_ack = false;
+  i32 logical_rank = 0;
+  std::vector<i32> ring;  // surviving physical ranks, in logical order
+
+  std::vector<u8> Encode() const {
+    ByteWriter w;
+    w.Put<u16>(static_cast<u16>(ControlOp::kRetire));
+    w.Put<i32>(phase);
+    w.Put<u8>(is_ack ? 1 : 0);
+    w.Put<i32>(logical_rank);
+    w.PutVec(ring);
+    return w.Take();
+  }
+
+  static Retire Decode(const std::vector<u8>& payload) {
+    ByteReader r(payload);
+    r.Get<u16>();  // op
+    Retire t;
+    t.phase = r.Get<i32>();
+    t.is_ack = r.Get<u8>() != 0;
+    t.logical_rank = r.Get<i32>();
+    t.ring = r.GetVec<i32>();
+    return t;
+  }
+};
+
+// Payload of kBarrier messages. The pass number disambiguates retransmitted
+// or delayed barrier traffic across passes (the tag alone carries only the
+// step). `release` marks the master -> worker "go" broadcast.
+struct BarrierMsg {
+  i32 pass = 0;
+  bool release = false;
+
+  std::vector<u8> Encode() const {
+    ByteWriter w;
+    w.Put<i32>(pass);
+    w.Put<u8>(release ? 1 : 0);
+    return w.Take();
+  }
+
+  static BarrierMsg Decode(const std::vector<u8>& payload) {
+    ByteReader r(payload);
+    BarrierMsg b;
+    b.pass = r.Get<i32>();
+    b.release = r.Get<u8>() != 0;
+    return b;
   }
 };
 

@@ -49,6 +49,20 @@ inline f64 AccumCombine(AccumOp op, f64 a, f64 b) {
   return a + b;
 }
 
+// Supervision parameters, shared master -> executors before the worker
+// threads start. Timeouts are wall-clock; pick generous values under
+// sanitizers. death_timeout must exceed the longest uninterrupted compute
+// block a worker performs, since workers only answer pings between blocks.
+struct SupervisorConfig {
+  bool enabled = false;
+  double heartbeat_interval_seconds = 0.05;  // master ping cadence per worker
+  double death_timeout_seconds = 2.0;        // silence before a worker is declared dead
+  double retry_initial_seconds = 0.05;       // first retransmit backoff
+  double retry_backoff_factor = 2.0;
+  int max_retries = 10;                      // per worker per pass
+  int max_recovery_attempts = 8;             // per Execute call
+};
+
 // A DistArray Buffer definition: how updates routed through the buffer for
 // `target` are coalesced and applied.
 struct BufferDef {
@@ -95,6 +109,15 @@ class SharedDirectory {
     return it->second;
   }
 
+  void SetSupervisor(const SupervisorConfig& sup) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    supervisor_ = sup;
+  }
+  SupervisorConfig supervisor() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return supervisor_;
+  }
+
   void SetAccumulatorOps(std::vector<AccumOp> ops) {
     std::lock_guard<std::mutex> lock(mutex_);
     accum_ops_ = std::move(ops);
@@ -114,6 +137,7 @@ class SharedDirectory {
   std::map<DistArrayId, std::shared_ptr<const BufferDef>> buffers_;
   std::map<i32, std::shared_ptr<const CompiledLoop>> loops_;
   std::vector<AccumOp> accum_ops_;
+  SupervisorConfig supervisor_;
 };
 
 }  // namespace orion

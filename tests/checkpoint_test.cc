@@ -1,0 +1,156 @@
+// Checkpoint file format: round-trips for every CellStore layout, and
+// descriptive error Statuses (never a crash) on missing, truncated, or
+// corrupted files.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/dsm/cell_store.h"
+#include "src/dsm/checkpoint.h"
+
+namespace orion {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/orion_ckpt_" + name;
+}
+
+std::vector<char> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+CellStore MakeSparse() {
+  CellStore s(3, CellStore::Layout::kHashed, 0);
+  for (i64 key : {5, 17, 99, 1024, 1 << 20}) {
+    f32* v = s.GetOrCreate(key);
+    for (i32 d = 0; d < 3; ++d) {
+      v[d] = static_cast<f32>(key) * 0.25f + static_cast<f32>(d);
+    }
+  }
+  return s;
+}
+
+CellStore MakeDense() {
+  CellStore s(2, CellStore::Layout::kFullDense, 40);
+  for (i64 key = 0; key < 40; ++key) {
+    f32* v = s.GetOrCreate(key);
+    v[0] = static_cast<f32>(key);
+    v[1] = -static_cast<f32>(key);
+  }
+  return s;
+}
+
+void ExpectSameCells(const CellStore& a, const CellStore& b) {
+  ASSERT_EQ(a.value_dim(), b.value_dim());
+  ASSERT_EQ(a.NumCells(), b.NumCells());
+  a.ForEachConst([&](i64 key, const f32* va) {
+    const f32* vb = b.Get(key);
+    ASSERT_NE(vb, nullptr) << "missing key " << key;
+    for (i32 d = 0; d < a.value_dim(); ++d) {
+      EXPECT_EQ(va[d], vb[d]) << "key " << key << " dim " << d;
+    }
+  });
+}
+
+TEST(Checkpoint, SparseRoundTrip) {
+  const std::string path = TestPath("sparse");
+  const CellStore original = MakeSparse();
+  ASSERT_TRUE(CheckpointWrite(path, original).ok());
+  auto restored = CheckpointRead(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameCells(original, *restored);
+}
+
+TEST(Checkpoint, DenseRoundTrip) {
+  const std::string path = TestPath("dense");
+  const CellStore original = MakeDense();
+  ASSERT_TRUE(CheckpointWrite(path, original).ok());
+  auto restored = CheckpointRead(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameCells(original, *restored);
+}
+
+TEST(Checkpoint, DenseRangeRoundTrip) {
+  const std::string path = TestPath("dense_range");
+  CellStore original = CellStore::DenseRange(2, 10, 29);
+  for (i64 key = 10; key <= 29; ++key) {
+    original.GetOrCreate(key)[0] = static_cast<f32>(key) * 1.5f;
+  }
+  ASSERT_TRUE(CheckpointWrite(path, original).ok());
+  auto restored = CheckpointRead(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameCells(original, *restored);
+}
+
+TEST(Checkpoint, MissingFileIsIoError) {
+  auto result = CheckpointRead(TestPath("does_not_exist"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("does_not_exist"), std::string::npos);
+}
+
+TEST(Checkpoint, GarbageHeaderIsRejected) {
+  const std::string path = TestPath("garbage");
+  WriteAll(path, std::vector<char>(64, 'x'));
+  auto result = CheckpointRead(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("not an Orion checkpoint"), std::string::npos);
+}
+
+TEST(Checkpoint, EmptyFileIsRejected) {
+  const std::string path = TestPath("empty");
+  WriteAll(path, {});
+  auto result = CheckpointRead(path);
+  ASSERT_FALSE(result.ok());  // too short for even a header
+}
+
+TEST(Checkpoint, TruncatedFileIsRejected) {
+  const std::string path = TestPath("truncated");
+  ASSERT_TRUE(CheckpointWrite(path, MakeSparse()).ok());
+  std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 16u);
+  bytes.resize(bytes.size() - 11);
+  WriteAll(path, bytes);
+  auto result = CheckpointRead(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(result.status().message().empty());
+}
+
+TEST(Checkpoint, FlippedPayloadByteFailsChecksum) {
+  const std::string path = TestPath("corrupt");
+  ASSERT_TRUE(CheckpointWrite(path, MakeDense()).ok());
+  std::vector<char> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[bytes.size() - 3] ^= 0x40;  // flip a bit deep in the payload
+  WriteAll(path, bytes);
+  auto result = CheckpointRead(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(Checkpoint, FutureVersionIsRejected) {
+  const std::string path = TestPath("future_version");
+  ASSERT_TRUE(CheckpointWrite(path, MakeSparse()).ok());
+  std::vector<char> bytes = ReadAll(path);
+  // Header layout: magic u32, version u32, ...
+  bytes[4] = 127;
+  WriteAll(path, bytes);
+  auto result = CheckpointRead(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orion

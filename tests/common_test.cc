@@ -214,6 +214,44 @@ TEST(BlockingQueue, CrossThreadDelivery) {
   EXPECT_EQ(sum, 999 * 1000 / 2);
 }
 
+TEST(BlockingQueue, PushAfterCloseIsRejected) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.Push(2));
+  // The pre-close item still drains; the rejected one was dropped.
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueue, PopWithTimeoutReturnsItem) {
+  BlockingQueue<int> q;
+  q.Push(42);
+  auto v = q.PopWithTimeout(std::chrono::milliseconds(50));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(BlockingQueue, PopWithTimeoutTimesOutOnEmptyQueue) {
+  BlockingQueue<int> q;
+  auto v = q.PopWithTimeout(std::chrono::milliseconds(10));
+  EXPECT_FALSE(v.has_value());
+  EXPECT_FALSE(q.closed());  // a timeout is not a shutdown
+}
+
+TEST(BlockingQueue, PopWithTimeoutWakesOnLatePush) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Push(7);
+  });
+  auto v = q.PopWithTimeout(std::chrono::seconds(5));
+  producer.join();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+}
+
 // ---- ThreadPool ----
 
 TEST(ThreadPool, RunsAllTasks) {
