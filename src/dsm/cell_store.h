@@ -133,6 +133,33 @@ class CellStore {
         [&fn](i64 key, f32* value) { fn(key, value); });
   }
 
+  // Const counterpart of ForEachFast: templated so bulk merges and buffer
+  // applies inline the body instead of bouncing through std::function.
+  template <typename F>
+  void ForEachConstFast(F&& fn) const {
+    if (IsDense()) {
+      for (i64 k = range_lo_; k <= range_hi_; ++k) {
+        fn(k, values_.data() + static_cast<size_t>(k - range_lo_) * value_dim_);
+      }
+      return;
+    }
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      fn(keys_[i], values_.data() + i * static_cast<size_t>(value_dim_));
+    }
+  }
+
+  // Pre-sizes the hashed containers for `additional_cells` upcoming inserts
+  // (no-op for dense layouts, which are fully allocated up front).
+  void Reserve(i64 additional_cells) {
+    if (IsDense() || additional_cells <= 0) {
+      return;
+    }
+    const size_t total = keys_.size() + static_cast<size_t>(additional_cells);
+    index_.reserve(total);
+    keys_.reserve(total);
+    values_.reserve(total * static_cast<size_t>(value_dim_));
+  }
+
   // Visits the `chunk`-th of `num_chunks` contiguous slices of the cell
   // sequence (hashed layout; used for bounded-delay sync rounds).
   void ForEachSlice(int chunk, int num_chunks, const std::function<void(i64 key, f32* value)>& fn) {
@@ -162,6 +189,17 @@ class CellStore {
   }
 
   // ---- Serialization (fabric payloads & checkpoints) ----
+
+  // Exact number of bytes Serialize() produces — the wire size the fabric
+  // charges when the cells travel by reference instead of by value.
+  size_t SerializedBytes() const {
+    size_t n = sizeof(i32) + sizeof(u8);  // value_dim + layout
+    if (IsDense()) {
+      return n + 2 * sizeof(i64) + sizeof(u64) + values_.size() * sizeof(f32);
+    }
+    return n + sizeof(u64) + keys_.size() * sizeof(i64) +  // PutVec(keys_)
+           sizeof(u64) + values_.size() * sizeof(f32);     // PutVec(values_)
+  }
 
   void Serialize(ByteWriter* w) const {
     w->Put<i32>(value_dim_);
@@ -256,7 +294,8 @@ class CellStore {
   // buffered updates with the default additive apply.
   void MergeAdd(const CellStore& other) {
     ORION_CHECK(other.value_dim_ == value_dim_);
-    other.ForEachConst([this](i64 key, const f32* v) {
+    Reserve(other.NumCells());
+    other.ForEachConstFast([this](i64 key, const f32* v) {
       f32* dst = GetOrCreate(key);
       for (i32 d = 0; d < value_dim_; ++d) {
         dst[d] += v[d];

@@ -63,9 +63,10 @@ class DistArrayBuffer {
 
   // Applies a drained update store onto authoritative cells.
   static void ApplyTo(CellStore* cells, const CellStore& updates, const BufferApplyFn& apply) {
-    updates.ForEachConst([&](i64 key, const f32* update) {
-      f32* cell = cells->GetOrCreate(key);
-      apply(cell, update, cells->value_dim());
+    cells->Reserve(updates.NumCells());
+    const i32 value_dim = cells->value_dim();
+    updates.ForEachConstFast([&](i64 key, const f32* update) {
+      apply(cells->GetOrCreate(key), update, value_dim);
     });
   }
 

@@ -1,0 +1,62 @@
+#include "src/net/async_sender.h"
+
+#include <utility>
+
+#include "src/common/timer.h"
+
+namespace orion {
+
+AsyncSender::AsyncSender(Fabric* fabric)
+    : fabric_(fabric), thread_([this] { Loop(); }) {}
+
+AsyncSender::~AsyncSender() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_one();
+  thread_.join();
+}
+
+void AsyncSender::Enqueue(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  work_cv_.notify_one();
+}
+
+void AsyncSender::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !sending_; });
+}
+
+double AsyncSender::busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return busy_seconds_;
+}
+
+void AsyncSender::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+    if (queue_.empty()) {
+      return;  // stop_ set and queue drained: remaining work was flushed
+    }
+    Message msg = std::move(queue_.front());
+    queue_.pop_front();
+    sending_ = true;
+    lock.unlock();
+    Stopwatch sw;
+    fabric_->Send(std::move(msg));
+    const double elapsed = sw.ElapsedSeconds();
+    lock.lock();
+    busy_seconds_ += elapsed;
+    sending_ = false;
+    if (queue_.empty()) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace orion

@@ -1,0 +1,60 @@
+// AsyncSender: a per-endpoint communication thread that ships messages off
+// the compute thread, overlapping the sender-side network cost (serialization
+// and the NetCostModel's real-time charge) with computation.
+//
+// Ordering contract: messages enqueued on one AsyncSender leave in FIFO
+// order through Fabric::Send, so per-link delivery order — and therefore the
+// fault injector's per-link faultable sequence numbers — is exactly what a
+// synchronous sender would have produced. Callers that must establish a
+// cross-thread ordering point (barrier arrival, PassDone, retire ack) call
+// Flush() first: after Flush returns, every enqueued message has been pushed
+// into its destination inbox.
+#ifndef ORION_SRC_NET_ASYNC_SENDER_H_
+#define ORION_SRC_NET_ASYNC_SENDER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "src/net/fabric.h"
+#include "src/net/message.h"
+
+namespace orion {
+
+class AsyncSender {
+ public:
+  explicit AsyncSender(Fabric* fabric);
+  ~AsyncSender();
+
+  AsyncSender(const AsyncSender&) = delete;
+  AsyncSender& operator=(const AsyncSender&) = delete;
+
+  // Hands the message to the comm thread. Never blocks on the network.
+  void Enqueue(Message msg);
+
+  // Blocks until every previously enqueued message has been delivered (its
+  // Fabric::Send returned). No-op when the queue is already drained.
+  void Flush();
+
+  // Wall time the comm thread has spent inside Fabric::Send — the
+  // communication cost hidden from the compute thread.
+  double busy_seconds() const;
+
+ private:
+  void Loop();
+
+  Fabric* fabric_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals the comm thread
+  std::condition_variable idle_cv_;  // signals Flush / destructor
+  std::deque<Message> queue_;
+  bool sending_ = false;  // a message is out of the queue but not delivered
+  bool stop_ = false;
+  double busy_seconds_ = 0.0;
+  std::thread thread_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_NET_ASYNC_SENDER_H_

@@ -24,13 +24,16 @@ BlockingQueue<Message>& Fabric::InboxFor(WorkerId rank) {
   return *inboxes_[static_cast<size_t>(rank + 1)];
 }
 
-void Fabric::MeterAndDeliver(Message msg) {
+double Fabric::Meter(const Message& msg) {
   const size_t wire = msg.WireSize();
   const double cost = cost_model_.CostSeconds(wire);
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++messages_sent_;
     bytes_sent_ += wire;
+    if (msg.zc != nullptr) {
+      zero_copy_bytes_ += wire;
+    }
     virtual_net_seconds_ += cost;
     const auto bucket = static_cast<size_t>(clock_.ElapsedSeconds() / bucket_seconds_);
     if (bytes_per_bucket_.size() <= bucket) {
@@ -41,6 +44,11 @@ void Fabric::MeterAndDeliver(Message msg) {
   if (cost_model_.charge_real_time && cost > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(cost));
   }
+  return cost;
+}
+
+void Fabric::MeterAndDeliver(Message msg) {
+  Meter(msg);
   InboxFor(msg.to).Push(std::move(msg));
 }
 
@@ -49,22 +57,7 @@ void Fabric::Send(Message msg) {
     // Metering happens at the sender (the cost was paid even if the message
     // is then lost in transit), so the original is charged exactly once and
     // injector-produced duplicates/releases are delivered for free.
-    const size_t wire = msg.WireSize();
-    const double cost = cost_model_.CostSeconds(wire);
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++messages_sent_;
-      bytes_sent_ += wire;
-      virtual_net_seconds_ += cost;
-      const auto bucket = static_cast<size_t>(clock_.ElapsedSeconds() / bucket_seconds_);
-      if (bytes_per_bucket_.size() <= bucket) {
-        bytes_per_bucket_.resize(bucket + 1, 0);
-      }
-      bytes_per_bucket_[bucket] += wire;
-    }
-    if (cost_model_.charge_real_time && cost > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(cost));
-    }
+    Meter(msg);
     for (Message& m : injector_->Process(std::move(msg))) {
       InboxFor(m.to).Push(std::move(m));
     }
@@ -94,6 +87,7 @@ FabricStats Fabric::Stats() const {
   FabricStats s;
   s.messages_sent = messages_sent_;
   s.bytes_sent = bytes_sent_;
+  s.zero_copy_bytes = zero_copy_bytes_;
   s.virtual_net_seconds = virtual_net_seconds_;
   s.bytes_per_bucket = bytes_per_bucket_;
   s.bucket_seconds = bucket_seconds_;
@@ -104,6 +98,7 @@ void Fabric::ResetStats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   messages_sent_ = 0;
   bytes_sent_ = 0;
+  zero_copy_bytes_ = 0;
   virtual_net_seconds_ = 0.0;
   bytes_per_bucket_.clear();
 }

@@ -28,6 +28,7 @@ namespace orion {
 struct FabricStats {
   u64 messages_sent = 0;
   u64 bytes_sent = 0;
+  u64 zero_copy_bytes = 0;  // subset of bytes_sent that skipped Encode/Decode
   double virtual_net_seconds = 0.0;  // accumulated modeled cost
   // Bytes sent per time bucket since fabric creation (wall clock).
   std::vector<u64> bytes_per_bucket;
@@ -45,6 +46,12 @@ class Fabric {
 
   int num_workers() const { return num_workers_; }
   const NetCostModel& cost_model() const { return cost_model_; }
+
+  // Enables the zero-copy in-process fast path: senders may attach structured
+  // payloads (Message::zc) instead of serialized bytes. Set before any
+  // traffic flows; senders consult it to decide how to pack messages.
+  void SetZeroCopy(bool enabled) { zero_copy_ = enabled; }
+  bool zero_copy() const { return zero_copy_; }
 
   // Sends msg to msg.to (may be kMasterRank). Thread-safe. Subject to the
   // installed fault injector, if any.
@@ -87,12 +94,18 @@ class Fabric {
 
  private:
   BlockingQueue<Message>& InboxFor(WorkerId rank);
+  // Meters the message (stats + modeled cost, optionally charged as real
+  // sender-side time) and returns the modeled cost in seconds. Shared by the
+  // plain and fault-injected send paths so the original is charged exactly
+  // once either way.
+  double Meter(const Message& msg);
   void MeterAndDeliver(Message msg);
 
   std::shared_ptr<FaultInjector> injector_;
   int num_workers_;
   NetCostModel cost_model_;
   double bucket_seconds_;
+  bool zero_copy_ = false;
   Stopwatch clock_;
 
   std::vector<std::unique_ptr<BlockingQueue<Message>>> inboxes_;  // [0]=master, [1+i]=worker i
@@ -100,6 +113,7 @@ class Fabric {
   mutable std::mutex stats_mutex_;
   u64 messages_sent_ = 0;
   u64 bytes_sent_ = 0;
+  u64 zero_copy_bytes_ = 0;
   double virtual_net_seconds_ = 0.0;
   std::vector<u64> bytes_per_bucket_;
 };

@@ -2,11 +2,23 @@
 #ifndef ORION_SRC_NET_MESSAGE_H_
 #define ORION_SRC_NET_MESSAGE_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/common/types.h"
 
 namespace orion {
+
+// Optional zero-copy payload: a shared-ownership structured value carried
+// in place of serialized bytes for large in-process data-plane messages
+// (kPartitionData / kParamReply / kParamUpdate). The fabric stays
+// layout-agnostic; it only needs the exact encoded size so the NetCostModel
+// charges the same wire bytes the serialized path would have.
+struct ZeroCopyPayload {
+  virtual ~ZeroCopyPayload() = default;
+  // Exact number of bytes Encode() would have produced for this value.
+  virtual size_t EncodedSize() const = 0;
+};
 
 // Message kinds cover both the Orion runtime protocol and the baseline
 // parameter-server protocol; the fabric itself is kind-agnostic.
@@ -28,11 +40,14 @@ struct Message {
   MsgKind kind = MsgKind::kControl;
   u32 tag = 0;  // schedule-defined disambiguator (e.g. time step number)
   std::vector<u8> payload;
+  // When set, the structured payload travels by reference and `payload`
+  // stays empty; receivers take it via protocol-level helpers.
+  std::shared_ptr<ZeroCopyPayload> zc;
 
   size_t WireSize() const {
     // Approximate header cost of a real transport.
     static constexpr size_t kHeaderBytes = 32;
-    return kHeaderBytes + payload.size();
+    return kHeaderBytes + (zc != nullptr ? zc->EncodedSize() : payload.size());
   }
 };
 

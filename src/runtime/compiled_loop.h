@@ -48,6 +48,11 @@ struct ParallelForOptions {
   // block (paper Sec. 3.3: "the application program may optionally bound
   // how long the writes can be buffered"). 0 = apply once per step.
   i64 buffer_flush_every = 0;
+  // Comm/compute overlap engine: ship step flushes and rotated partitions
+  // through the per-worker comm thread, and (rotation schedules) issue the
+  // next step's prefetch before computing the current step. Bit-for-bit
+  // identical to synchronous execution; off = fully serialized steps.
+  bool overlap = true;
 };
 
 struct CompiledLoop {

@@ -29,6 +29,7 @@ Driver::Driver(const DriverConfig& config)
     fabric_->SetInjector(injector_);
     config_.supervisor.enabled = true;
   }
+  fabric_->SetZeroCopy(config_.zero_copy);
   dir_.SetSupervisor(config_.supervisor);
   live_ranks_.resize(static_cast<size_t>(config.num_workers));
   for (int w = 0; w < config.num_workers; ++w) {
@@ -473,9 +474,9 @@ void Driver::GatherToDriver(DistArrayId id) {
     }
     ORION_CHECK(msg->kind == MsgKind::kParamUpdate)
         << "unexpected message during gather:" << static_cast<int>(msg->kind);
-    PartData pd = PartData::Decode(msg->payload);
+    PartData pd = TakePart(*msg);
     ORION_CHECK(pd.array == id && pd.mode == PartDataMode::kOverwrite);
-    pd.cells.ForEachConst([&](i64 key, const f32* v) {
+    pd.cells.ForEachConstFast([&](i64 key, const f32* v) {
       f32* dst = h.master.GetOrCreate(key);
       std::copy(v, v + h.meta.value_dim, dst);
     });
@@ -509,7 +510,7 @@ void Driver::SendParts(DistArrayId array, std::map<std::pair<int, int>, CellStor
     m.to = PhysicalOf(worker);
     m.kind = MsgKind::kPartitionData;
     m.tag = PartTag(tau);
-    m.payload = pd.Encode();
+    AttachPart(&m, std::move(pd), fabric_->zero_copy());
     fabric_->Send(std::move(m));
   }
 }
@@ -597,19 +598,7 @@ void Driver::ScatterArray(const CompiledLoop& cl, DistArrayId id,
     return;
   }
   if (placement.scheme == PartitionScheme::kReplicated) {
-    for (int w : live_ranks_) {
-      PartData pd;
-      pd.array = id;
-      pd.part = -1;
-      pd.mode = PartDataMode::kReplicaSnapshot;
-      pd.cells = h.master;  // copy
-      Message m;
-      m.from = kMasterRank;
-      m.to = w;
-      m.kind = MsgKind::kPartitionData;
-      m.payload = pd.Encode();
-      fabric_->Send(std::move(m));
-    }
+    BroadcastReplicaSnapshot(cl, id);
     h.on_workers = true;
     h.placement = placement;
     h.grid = cl.grid;
@@ -708,33 +697,46 @@ void Driver::HandleParamRequest(const Message& msg) {
   reply.to = msg.from;
   reply.kind = MsgKind::kParamReply;
   reply.tag = static_cast<u32>(req.step);
-  reply.payload = pd.Encode();
+  AttachPart(&reply, std::move(pd), fabric_->zero_copy());
   fabric_->Send(std::move(reply));
 }
 
 void Driver::BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array) {
   ArrayHost& h = Host(array);
+  // Zero-copy: one shared payload serves every worker (receivers copy out of
+  // the shared carrier), replacing per-worker copy + encode + decode.
+  std::shared_ptr<ZeroCopyPart> shared;
+  if (fabric_->zero_copy()) {
+    shared = std::make_shared<ZeroCopyPart>();
+    shared->pd.array = array;
+    shared->pd.part = -1;
+    shared->pd.mode = PartDataMode::kReplicaSnapshot;
+    shared->pd.cells = h.master;  // one copy for the whole broadcast
+  }
   for (int w : live_ranks_) {
-    PartData pd;
-    pd.array = array;
-    pd.part = -1;
-    pd.mode = PartDataMode::kReplicaSnapshot;
-    pd.cells = h.master;  // copy
     Message m;
     m.from = kMasterRank;
     m.to = w;
     m.kind = MsgKind::kPartitionData;
-    m.payload = pd.Encode();
+    if (shared != nullptr) {
+      m.zc = shared;
+    } else {
+      PartData pd;
+      pd.array = array;
+      pd.part = -1;
+      pd.mode = PartDataMode::kReplicaSnapshot;
+      pd.cells = h.master;  // copy
+      m.payload = pd.Encode();
+    }
     fabric_->Send(std::move(m));
   }
 }
 
-void Driver::HandleParamUpdate(const CompiledLoop* cl, const Message& msg) {
-  PartData pd = PartData::Decode(msg.payload);
+void Driver::ApplyParamUpdate(const CompiledLoop* cl, PartData pd, u32 tag) {
   ArrayHost& h = Host(pd.array);
   switch (pd.mode) {
     case PartDataMode::kOverwrite:
-      pd.cells.ForEachConst([&](i64 key, const f32* v) {
+      pd.cells.ForEachConstFast([&](i64 key, const f32* v) {
         f32* dst = h.master.GetOrCreate(key);
         std::copy(v, v + h.meta.value_dim, dst);
       });
@@ -757,9 +759,9 @@ void Driver::HandleParamUpdate(const CompiledLoop* cl, const Message& msg) {
         it->second.scheme == PartitionScheme::kReplicated) {
       // Coalesce: broadcast a refreshed snapshot once per step tag rather
       // than once per worker flush (replicas tolerate bounded staleness).
-      auto [tag_it, inserted] = last_replica_bcast_tag_.try_emplace(pd.array, msg.tag);
-      if (inserted || tag_it->second != msg.tag) {
-        tag_it->second = msg.tag;
+      auto [tag_it, inserted] = last_replica_bcast_tag_.try_emplace(pd.array, tag);
+      if (inserted || tag_it->second != tag) {
+        tag_it->second = tag;
         BroadcastReplicaSnapshot(*cl, pd.array);
       }
     }
@@ -771,7 +773,21 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
   const int active = ActiveWorkers();
   last_metrics_.max_worker_compute_seconds = 0.0;
   last_metrics_.max_worker_wait_seconds = 0.0;
+  last_metrics_.overlap_seconds = 0.0;
+  last_metrics_.prefetch_wait_hidden_seconds = 0.0;
   std::vector<DistArrayId> returned;
+
+  // Buffered updates to server-hosted arrays in 2D passes are deferred and
+  // applied at pass end in logical-rank order (with per-worker FIFO order
+  // preserved). This keeps server state constant for the whole pass — which
+  // lets executors prefetch a step's values at any point during the pass —
+  // and removes arrival-interleaving from the f64-sensitive apply order.
+  // 1D chunked loops are exempt: their rounds rely on prompt mid-pass
+  // freshness (bounded staleness, paper Sec. 3.3).
+  std::vector<std::pair<int, PartData>> deferred_server;  // (physical rank, update)
+  // Accumulator contributions per physical rank, folded at pass end in
+  // logical-rank order so f64 reduction order is arrival-independent.
+  std::map<int, std::vector<f64>> worker_accum;
 
   // Per-physical-rank supervision state. `started` means we have evidence
   // the worker received this pass's kStartPass (any pass message, or a
@@ -873,17 +889,28 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         started[msg->from] = true;
         HandleParamRequest(*msg);
         break;
-      case MsgKind::kParamUpdate:
+      case MsgKind::kParamUpdate: {
         started[msg->from] = true;
-        HandleParamUpdate(&cl, *msg);
+        PartData pd = TakePart(*msg);
+        auto pit = cl.plan.placements.find(pd.array);
+        const bool server_buffered =
+            cl.Is2D() && pd.mode == PartDataMode::kApplyBufferUdf &&
+            pit != cl.plan.placements.end() &&
+            pit->second.scheme == PartitionScheme::kServer;
+        if (server_buffered) {
+          deferred_server.emplace_back(msg->from, std::move(pd));
+        } else {
+          ApplyParamUpdate(&cl, std::move(pd), msg->tag);
+        }
         break;
+      }
       case MsgKind::kPartitionData: {
         // Wavefront loops: the last worker in the ring returns rotated
         // partitions to the master.
         started[msg->from] = true;
-        PartData pd = PartData::Decode(msg->payload);
+        PartData pd = TakePart(*msg);
         ArrayHost& h = Host(pd.array);
-        pd.cells.ForEachConst([&](i64 key, const f32* v) {
+        pd.cells.ForEachConstFast([&](i64 key, const f32* v) {
           f32* dst = h.master.GetOrCreate(key);
           std::copy(v, v + h.meta.value_dim, dst);
         });
@@ -945,14 +972,16 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         (void)done_loop;
         const double compute = r.Get<double>();
         const double wait = r.Get<double>();
-        auto acc = r.GetVec<f64>();
-        for (size_t i = 0; i < acc.size() && i < accumulators_.size(); ++i) {
-          accumulators_[i] = AccumCombine(accumulator_ops_[i], accumulators_[i], acc[i]);
-        }
+        const double overlap_send = r.Get<double>();
+        const double prefetch_hidden = r.Get<double>();
+        worker_accum[msg->from] = r.GetVec<f64>();
         last_metrics_.max_worker_compute_seconds =
             std::max(last_metrics_.max_worker_compute_seconds, compute);
         last_metrics_.max_worker_wait_seconds =
             std::max(last_metrics_.max_worker_wait_seconds, wait);
+        last_metrics_.overlap_seconds = std::max(last_metrics_.overlap_seconds, overlap_send);
+        last_metrics_.prefetch_wait_hidden_seconds =
+            std::max(last_metrics_.prefetch_wait_hidden_seconds, prefetch_hidden);
         started[msg->from] = true;
         done[msg->from] = true;
         ++num_done;
@@ -960,6 +989,32 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
       }
       default:
         ORION_CHECK(false) << "unexpected message kind" << static_cast<int>(msg->kind);
+    }
+  }
+
+  // Pass-end application of the deferred server updates, in logical-rank
+  // order. stable_sort keeps each worker's own flushes in send (FIFO) order.
+  auto logical_of = [&](int physical) {
+    return static_cast<int>(std::find(live_ranks_.begin(), live_ranks_.end(), physical) -
+                            live_ranks_.begin());
+  };
+  std::stable_sort(deferred_server.begin(), deferred_server.end(),
+                   [&](const auto& a, const auto& b) {
+                     return logical_of(a.first) < logical_of(b.first);
+                   });
+  for (auto& [from, pd] : deferred_server) {
+    ApplyParamUpdate(&cl, std::move(pd), 0);
+  }
+
+  // Fold accumulators in logical-rank order (arrival-independent f64 sums).
+  for (int w : live_ranks_) {
+    auto it = worker_accum.find(w);
+    if (it == worker_accum.end()) {
+      continue;
+    }
+    const auto& acc = it->second;
+    for (size_t i = 0; i < acc.size() && i < accumulators_.size(); ++i) {
+      accumulators_[i] = AccumCombine(accumulator_ops_[i], accumulators_[i], acc[i]);
     }
   }
 
@@ -1277,6 +1332,7 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
   last_metrics_.bytes_sent = after.bytes_sent - before.bytes_sent;
   last_metrics_.messages_sent = after.messages_sent - before.messages_sent;
   last_metrics_.virtual_net_seconds = after.virtual_net_seconds - before.virtual_net_seconds;
+  last_metrics_.zero_copy_bytes = after.zero_copy_bytes - before.zero_copy_bytes;
   if (recovery_enabled_) {
     pass_log_.emplace_back(loop_id, pass);
   }

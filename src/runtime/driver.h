@@ -41,6 +41,10 @@ struct DriverConfig {
   NetCostModel net = NetCostModel::Unlimited();
   double stats_bucket_seconds = 0.5;
   u64 seed = 1;
+  // In-process fast path: DistArray payloads travel by shared pointer
+  // instead of Encode/Decode. The fabric still meters the exact encoded
+  // size, so modeled network costs are unchanged.
+  bool zero_copy = true;
   // Faults to inject into the fabric (inactive by default). An active plan
   // forces supervision on.
   FaultPlan fault_plan{};
@@ -206,7 +210,7 @@ class Driver {
   std::string RecoveryPath(DistArrayId id) const;
   Status Recover(int lost_physical_rank);
   Status RecompileLoops();
-  void HandleParamUpdate(const CompiledLoop* cl, const Message& msg);
+  void ApplyParamUpdate(const CompiledLoop* cl, PartData pd, u32 tag);
   void BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array);
 
   // Placement management.

@@ -196,10 +196,18 @@ class RecordingLoopContext : public WorkerLoopContext {
 // Executor
 
 Executor::Executor(WorkerId rank, Fabric* fabric, const SharedDirectory* dir)
-    : rank_(rank), fabric_(fabric), dir_(dir), logical_rank_(rank) {
+    : rank_(rank), fabric_(fabric), dir_(dir), logical_rank_(rank), sender_(fabric) {
   ring_.resize(static_cast<size_t>(fabric->num_workers()));
   for (size_t i = 0; i < ring_.size(); ++i) {
     ring_[i] = static_cast<i32>(i);
+  }
+}
+
+void Executor::SendData(Message m) {
+  if (overlap_) {
+    sender_.Enqueue(std::move(m));
+  } else {
+    fabric_->Send(std::move(m));
   }
 }
 
@@ -253,7 +261,11 @@ void Executor::Run() {
       }
     }
   } catch (const HaltSignal&) {
-    // Injected crash, kShutdown, or fabric shutdown while mid-pass.
+    // Injected crash, kShutdown, or fabric shutdown while mid-pass. Drain the
+    // comm queue: everything enqueued precedes the crash point, so delivering
+    // it keeps per-link send counts identical to a synchronous sender (the
+    // fault injector's determinism witness depends on that).
+    sender_.Flush();
   }
 }
 
@@ -266,6 +278,12 @@ void Executor::MaybeCrash(i32 pass, i32 step) {
 
 void Executor::ProcessRetire(const Message& msg) {
   const Retire t = Retire::Decode(msg.payload);
+  // Quiesce the comm thread before acking either phase: the retire protocol's
+  // invariant — "after every ack, no pre-failure message from this worker can
+  // still be produced" — extends to messages parked in the async queue.
+  sender_.Flush();
+  overlap_ = false;
+  pending_prefetch_ = PendingPrefetch{};
   if (t.phase == 0) {
     // Adopt the post-failure configuration. Schedule math now runs in the
     // compacted logical space; physical addressing goes through ring_.
@@ -293,7 +311,7 @@ void Executor::ProcessRetire(const Message& msg) {
   fabric_->SendReliable(std::move(m));
 }
 
-void Executor::Dispatch(const Message& msg) {
+void Executor::Dispatch(Message& msg) {
   switch (msg.kind) {
     case MsgKind::kShutdown:
       throw HaltSignal{};
@@ -305,7 +323,7 @@ void Executor::Dispatch(const Message& msg) {
           std::find(ring_.begin(), ring_.end(), static_cast<i32>(msg.from)) == ring_.end()) {
         return;
       }
-      InstallPartData(PartData::Decode(msg.payload), msg.kind);
+      InstallPartData(TakePart(msg), msg.kind);
       return;
     case MsgKind::kBarrier:
       return;  // stale barrier traffic from an earlier pass or step
@@ -369,7 +387,15 @@ void Executor::Dispatch(const Message& msg) {
 void Executor::InstallPartData(PartData pd, MsgKind kind) {
   ArrayState& st = GetArray(pd.array);
   if (kind == MsgKind::kParamReply) {
-    st.prefetch_cache.MergeAdd(pd.cells);  // cache starts empty: add == install
+    // Replies carry their request's step in `part` and land in the next
+    // buffer until AwaitPrefetch swaps it in. A reply for any other step is
+    // stale traffic from an abandoned pass: drop it rather than corrupt the
+    // cache the current step reads.
+    if (!pending_prefetch_.active || pd.part != pending_prefetch_.step) {
+      return;
+    }
+    st.prefetch_next.MergeAdd(pd.cells);  // buffer starts empty: add == install
+    --pending_prefetch_.outstanding;
     return;
   }
   switch (pd.mode) {
@@ -456,6 +482,9 @@ void Executor::WaitForPart(DistArrayId array, int tau) {
 }
 
 void Executor::Barrier(i32 pass, int step) {
+  // The barrier is an ordering point: everything this step produced must be
+  // on the wire before peers are released into the next step.
+  sender_.Flush();
   Message m;
   m.from = rank_;
   m.to = kMasterRank;
@@ -521,7 +550,10 @@ void Executor::ExecuteCells(const CompiledLoop& cl, int tau, int chunk, int num_
   compute_seconds_ += sw.ElapsedSeconds();
 }
 
-void Executor::Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, int num_chunks) {
+std::map<DistArrayId, std::vector<i64>> Executor::CollectPrefetchKeys(const CompiledLoop& cl,
+                                                                      int tau, int step,
+                                                                      int chunk,
+                                                                      int num_chunks) {
   // Collect the key lists, either from the per-loop cache or by running the
   // synthesized recording pass over this block's iterations. `step` uniquely
   // identifies the block within a pass (wavefront/rotation step, or sync
@@ -542,6 +574,7 @@ void Executor::Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, in
     }
   }
   if (!have_cached) {
+    recorded.clear();
     CpuStopwatch record_sw;
     ArrayState& iter = GetArray(cl.spec.iter_space);
     auto it = iter.parts.find(tau);
@@ -579,14 +612,40 @@ void Executor::Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, in
     }
     compute_seconds_ += record_sw.ElapsedSeconds();
   }
+  return recorded;
+}
 
-  // Issue requests and install replies.
+bool Executor::CanIssueEarly(const CompiledLoop& cl, int step) const {
+  if (cl.prefetch_program != nullptr && cl.prefetch_program->HasTargets()) {
+    // The synthesized program reads only the iteration records of the target
+    // block, which no other step mutates — safe at any point.
+    return true;
+  }
+  if (cl.options.prefetch != PrefetchMode::kCached) {
+    return false;  // kernel replay reads live local state; not safe early
+  }
+  for (const auto& [array, placement] : cl.plan.placements) {
+    if (placement.scheme != PartitionScheme::kServer) {
+      continue;
+    }
+    if (prefetch_key_cache_.count({cl.loop_id, step, array}) == 0) {
+      return false;  // cold cache: the first pass still records
+    }
+  }
+  return true;
+}
+
+void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chunk,
+                             int num_chunks) {
+  ORION_CHECK(!pending_prefetch_.active) << "prefetch already in flight";
+  auto recorded = CollectPrefetchKeys(cl, tau, step, chunk, num_chunks);
+
   int expected_replies = 0;
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kServer) {
       continue;
     }
-    GetArray(array).prefetch_cache.Clear();
+    GetArray(array).prefetch_next.Clear();
     auto it = recorded.find(array);
     const std::vector<i64> empty;
     const std::vector<i64>& keys = it != recorded.end() ? it->second : empty;
@@ -599,7 +658,7 @@ void Executor::Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, in
         m.to = kMasterRank;
         m.kind = MsgKind::kParamRequest;
         m.payload = req.Encode();
-        fabric_->Send(std::move(m));
+        SendData(std::move(m));
         ++expected_replies;
       }
     } else {
@@ -609,14 +668,39 @@ void Executor::Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, in
       m.to = kMasterRank;
       m.kind = MsgKind::kParamRequest;
       m.payload = req.Encode();
-      fabric_->Send(std::move(m));
+      SendData(std::move(m));
       ++expected_replies;
     }
   }
-  for (int i = 0; i < expected_replies; ++i) {
+  pending_prefetch_.active = true;
+  pending_prefetch_.step = step;
+  pending_prefetch_.outstanding = expected_replies;
+  pending_prefetch_.issued_at.Reset();
+}
+
+void Executor::AwaitPrefetch(const CompiledLoop& cl, int step) {
+  if (!pending_prefetch_.active) {
+    return;
+  }
+  ORION_CHECK(pending_prefetch_.step == step) << "prefetch pipeline out of order";
+  DrainInbox();
+  if (pending_prefetch_.outstanding == 0) {
+    // Fully overlapped: the wait collapsed to the buffer swap below.
+    prefetch_hidden_seconds_ += pending_prefetch_.issued_at.ElapsedSeconds();
+  }
+  while (pending_prefetch_.outstanding > 0) {
     Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
     Dispatch(msg);
   }
+  for (const auto& [array, placement] : cl.plan.placements) {
+    if (placement.scheme != PartitionScheme::kServer) {
+      continue;
+    }
+    ArrayState& st = GetArray(array);
+    std::swap(st.prefetch_cache, st.prefetch_next);
+    st.prefetch_next.Clear();
+  }
+  pending_prefetch_.active = false;
 }
 
 // Applies pending buffered updates whose targets this worker currently
@@ -664,8 +748,8 @@ void Executor::StepFlush(const CompiledLoop& cl, int tau, int step) {
     m.to = kMasterRank;
     m.kind = MsgKind::kParamUpdate;
     m.tag = static_cast<u32>(step);
-    m.payload = pd.Encode();
-    fabric_->Send(std::move(m));
+    AttachPart(&m, std::move(pd), fabric_->zero_copy());
+    SendData(std::move(m));
   }
 
   // Flush buffered writes whose targets are locally applicable or replicated.
@@ -703,8 +787,8 @@ void Executor::StepFlush(const CompiledLoop& cl, int tau, int step) {
         m.to = kMasterRank;
         m.kind = MsgKind::kParamUpdate;
         m.tag = static_cast<u32>(step);
-        m.payload = pd.Encode();
-        fabric_->Send(std::move(m));
+        AttachPart(&m, std::move(pd), fabric_->zero_copy());
+        SendData(std::move(m));
         break;
       }
       case PartitionScheme::kServer:
@@ -739,8 +823,8 @@ void Executor::FlushServerBuffers(const CompiledLoop& cl) {
     m.from = rank_;
     m.to = kMasterRank;
     m.kind = MsgKind::kParamUpdate;
-    m.payload = pd.Encode();
-    fabric_->Send(std::move(m));
+    AttachPart(&m, std::move(pd), fabric_->zero_copy());
+    SendData(std::move(m));
   }
 }
 
@@ -773,8 +857,8 @@ void Executor::SendRotatedParts(const CompiledLoop& cl, int tau) {
     m.to = dest;
     m.kind = MsgKind::kPartitionData;
     m.tag = PartTag(tau);
-    m.payload = pd.Encode();
-    fabric_->Send(std::move(m));
+    AttachPart(&m, std::move(pd), fabric_->zero_copy());
+    SendData(std::move(m));
   }
 }
 
@@ -814,6 +898,10 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
   }
   compute_seconds_ = 0.0;
   wait_seconds_ = 0.0;
+  prefetch_hidden_seconds_ = 0.0;
+  pending_prefetch_ = PendingPrefetch{};
+  overlap_ = cl->options.overlap;
+  sender_busy_at_pass_start_ = sender_.busy_seconds();
 
   bool has_server = false;
   for (const auto& [array, placement] : cl->plan.placements) {
@@ -825,13 +913,17 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
   if (!cl->Is2D() && cl->options.server_sync_rounds > 1) {
     // Chunked 1D pass: bounded buffering delay. Each round prefetches fresh
     // server values, executes a slice of the local iterations, and flushes
-    // buffered updates so other workers' next rounds observe them.
+    // buffered updates so other workers' next rounds observe them. Rounds
+    // are never pipelined: round r+1's prefetch must observe round r's
+    // flushes, so issue and await stay back to back (the master-bound link
+    // is FIFO, so the request queued behind the flushes reads fresh state).
     const int rounds = cl->options.server_sync_rounds;
     for (int round = 0; round < rounds; ++round) {
       MaybeCrash(pass, round);
       DrainInbox();
       if (has_server) {
-        Prefetch(*cl, -1, round, round, rounds);
+        IssuePrefetch(*cl, -1, round, round, rounds);
+        AwaitPrefetch(*cl, round);
       }
       ExecuteCells(*cl, -1, round, rounds);
       StepFlush(*cl, -1, round);
@@ -839,6 +931,23 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
     }
   } else {
     const int steps = cl->NumSteps();
+    // Pipelined prefetch is only legal for unordered rotation schedules: the
+    // master's server state is pass-constant there (buffered server updates
+    // apply at pass end), so fetching step t+1 before or after computing
+    // step t reads identical values. Wavefront/lockstep loops flush server
+    // overwrites every step that the *next* step must observe, so they keep
+    // the synchronous issue-await pairing.
+    const bool pipelined = overlap_ && has_server && cl->UsesRotation();
+    // Next step at which this worker executes a block (-1 when none): the
+    // step the early issue targets.
+    auto next_active = [&](int after) {
+      for (int s = after + 1; s < steps; ++s) {
+        if (cl->TimePartAt(logical_rank_, s) >= 0) {
+          return s;
+        }
+      }
+      return -1;
+    };
     for (int step = 0; step < steps; ++step) {
       MaybeCrash(pass, step);
       DrainInbox();
@@ -851,12 +960,47 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
           }
         }
         if (has_server) {
-          Prefetch(*cl, tau, step, 0, 1);
+          if (!pending_prefetch_.active) {
+            IssuePrefetch(*cl, tau, step, 0, 1);
+          }
+          AwaitPrefetch(*cl, step);
+          if (pipelined) {
+            // Deep issue: key lists for step t+1 that don't depend on local
+            // mutable state (synthesized program or warm cache) go out
+            // before compute, hiding the full round trip under the kernel.
+            const int nstep = next_active(step);
+            if (nstep >= 0 && CanIssueEarly(*cl, nstep)) {
+              IssuePrefetch(*cl, cl->TimePartAt(logical_rank_, nstep), nstep, 0, 1);
+            }
+          }
         }
         ExecuteCells(*cl, tau, 0, 1);
         StepFlush(*cl, tau, step);
         if (cl->Is2D() && !cl->UsesLockstep()) {
           SendRotatedParts(*cl, tau);
+        }
+        if (pipelined && !pending_prefetch_.active) {
+          // Shallow issue: kernel-replay recording needs step t+1's rotated
+          // partitions resident (replay reads them, and resolving would
+          // otherwise plant empty placeholder parts that fool WaitForPart).
+          // When they already arrived, the request still overlaps the tail
+          // of this step and the next step's wait.
+          const int nstep = next_active(step);
+          if (nstep >= 0) {
+            const int ntau = cl->TimePartAt(logical_rank_, nstep);
+            DrainInbox();
+            bool parts_ready = true;
+            for (const auto& [array, placement] : cl->plan.placements) {
+              if (placement.scheme == PartitionScheme::kSpaceTime &&
+                  GetArray(array).parts.count(ntau) == 0) {
+                parts_ready = false;
+                break;
+              }
+            }
+            if (parts_ready) {
+              IssuePrefetch(*cl, ntau, nstep, 0, 1);
+            }
+          }
         }
       }
       if (cl->NeedsStepBarrier()) {
@@ -869,11 +1013,19 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
   }
   PassEndFlush(*cl);
 
+  // Quiesce the comm thread before reporting: the master treats PassDone as
+  // "all of this worker's pass traffic is in", and the direct send below
+  // must not overtake queued updates on the master-bound link.
+  sender_.Flush();
+  overlap_ = false;
+
   PassDone done;
   done.loop_id = loop_id;
   done.pass = pass;
   done.compute_seconds = compute_seconds_;
   done.wait_seconds = wait_seconds_;
+  done.overlap_send_seconds = sender_.busy_seconds() - sender_busy_at_pass_start_;
+  done.prefetch_hidden_seconds = prefetch_hidden_seconds_;
   done.accumulators = accum_;
   Message m;
   m.from = rank_;
@@ -902,14 +1054,26 @@ void Executor::HandleGather(DistArrayId array) {
   m.from = rank_;
   m.to = kMasterRank;
   m.kind = MsgKind::kParamUpdate;
-  m.payload = pd.Encode();
-  fabric_->Send(std::move(m));
+  AttachPart(&m, std::move(pd), fabric_->zero_copy());
+  fabric_->Send(std::move(m));  // between passes: the comm thread is idle
   DropArray(array);
 }
 
 void Executor::DropArray(DistArrayId array) {
   arrays_.erase(array);
-  prefetch_key_cache_.clear();
+  // Invalidate only the cached prefetch key lists this drop can stale: those
+  // naming the dropped array, and those of loops that recorded their keys
+  // from it as the iteration space (a re-scattered iteration space may carry
+  // different records). Lists for unrelated arrays stay warm.
+  for (auto it = prefetch_key_cache_.begin(); it != prefetch_key_cache_.end();) {
+    const auto& [loop_id, step, cached_array] = it->first;
+    (void)step;
+    if (cached_array == array || dir_->GetLoop(loop_id)->spec.iter_space == array) {
+      it = prefetch_key_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 }  // namespace orion

@@ -24,6 +24,7 @@
 
 #include "src/common/timer.h"
 #include "src/dsm/dist_array_buffer.h"
+#include "src/net/async_sender.h"
 #include "src/net/fabric.h"
 #include "src/runtime/compiled_loop.h"
 #include "src/runtime/protocol.h"
@@ -58,6 +59,7 @@ class Executor {
     std::map<int, CellStore> parts;    // rotated / iteration-space partitions
     CellStore replica;                 // kReplicated full copy
     CellStore prefetch_cache;          // kServer prefetched reads
+    CellStore prefetch_next;           // double buffer: replies for the issued step
     CellStore server_dirty;            // kServer unbuffered writes (overwrite)
     std::vector<f32> zeros;            // absent-cell read span
 
@@ -66,6 +68,7 @@ class Executor {
           range_store(m.value_dim, CellStore::Layout::kHashed, 0),
           replica(m.value_dim, CellStore::Layout::kHashed, 0),
           prefetch_cache(m.value_dim, CellStore::Layout::kHashed, 0),
+          prefetch_next(m.value_dim, CellStore::Layout::kHashed, 0),
           server_dirty(m.value_dim, CellStore::Layout::kHashed, 0),
           zeros(static_cast<size_t>(m.value_dim), 0.0f) {}
   };
@@ -75,7 +78,24 @@ class Executor {
 
   void RunPass(i32 loop_id, i32 pass);
   void ExecuteCells(const CompiledLoop& cl, int tau, int chunk, int num_chunks);
-  void Prefetch(const CompiledLoop& cl, int tau, int step, int chunk, int num_chunks);
+
+  // ---- Prefetch pipeline (paper Sec. 4.4 + comm/compute overlap) ----
+  //
+  // A prefetch is split into issue (collect keys, send ParamRequests, replies
+  // land in `prefetch_next`) and await (drain remaining replies, swap the
+  // double buffer into `prefetch_cache`). Synchronous execution issues and
+  // awaits back to back; the pipelined path issues step t+1 around step t's
+  // compute, so the await collapses to a swap when replies already arrived.
+  std::map<DistArrayId, std::vector<i64>> CollectPrefetchKeys(const CompiledLoop& cl, int tau,
+                                                              int step, int chunk,
+                                                              int num_chunks);
+  void IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chunk, int num_chunks);
+  void AwaitPrefetch(const CompiledLoop& cl, int step);
+  // True when step `step`'s key lists are computable without this worker
+  // having executed the preceding steps (synthesized program, or a warm
+  // kCached key cache) — the condition for issuing before compute.
+  bool CanIssueEarly(const CompiledLoop& cl, int step) const;
+
   void FlushServerBuffers(const CompiledLoop& cl);
   void ApplyLocalBuffers(const CompiledLoop& cl, int tau);
   void StepFlush(const CompiledLoop& cl, int tau, int step);
@@ -92,11 +112,16 @@ class Executor {
   // this worker at (pass, step).
   void MaybeCrash(i32 pass, i32 step);
 
+  // Routes a data-plane message through the comm thread when the pass runs
+  // overlapped, synchronously otherwise.
+  void SendData(Message m);
+
   // Processes one message that is not what the caller is waiting for:
   // installs async data, answers heartbeat pings, dedupes retransmitted
   // kStartPass, discards stale barrier traffic, and throws RetireSignal /
-  // HaltSignal on kRetire / kShutdown.
-  void Dispatch(const Message& msg);
+  // HaltSignal on kRetire / kShutdown. Non-const: zero-copy payloads are
+  // moved out of the message.
+  void Dispatch(Message& msg);
   void ProcessRetire(const Message& msg);
   // Non-blocking drain of queued asynchronous messages.
   void DrainInbox();
@@ -141,8 +166,27 @@ class Executor {
   // Cached prefetch key lists: (loop, tau, array) -> keys.
   std::map<std::tuple<i32, int, DistArrayId>, std::vector<i64>> prefetch_key_cache_;
 
+  // Comm thread for eager sends; Flush()ed at every ordering point (barrier
+  // arrival, PassDone, retire ack) so per-link delivery order matches the
+  // synchronous sender.
+  AsyncSender sender_;
+  bool overlap_ = false;  // current pass runs with the overlap engine on
+
+  // The one in-flight prefetch issue (at most one step ahead). Replies are
+  // routed by their step id (PartData::part); anything else is stale traffic
+  // from an abandoned pass and is dropped.
+  struct PendingPrefetch {
+    bool active = false;
+    int step = -1;
+    int outstanding = 0;  // reply messages not yet installed
+    Stopwatch issued_at;
+  };
+  PendingPrefetch pending_prefetch_;
+
   double compute_seconds_ = 0.0;
   double wait_seconds_ = 0.0;
+  double prefetch_hidden_seconds_ = 0.0;
+  double sender_busy_at_pass_start_ = 0.0;
 };
 
 }  // namespace orion

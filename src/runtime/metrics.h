@@ -13,6 +13,11 @@ struct LoopMetrics {
   u64 bytes_sent = 0;                    // fabric traffic during the pass
   u64 messages_sent = 0;
   double virtual_net_seconds = 0.0;      // modeled network cost of the pass
+  // Comm/compute overlap engine (max over workers): send time moved onto the
+  // comm thread, and prefetch in-flight time hidden under compute.
+  double overlap_seconds = 0.0;
+  double prefetch_wait_hidden_seconds = 0.0;
+  u64 zero_copy_bytes = 0;               // wire bytes that skipped Encode/Decode
 };
 
 // Cumulative fault-tolerance counters for one Driver lifetime: what the fault

@@ -44,6 +44,12 @@ struct PassDone {
   i32 pass = 0;
   double compute_seconds = 0.0;
   double wait_seconds = 0.0;
+  // Comm/compute overlap engine: wall time the worker's comm thread spent
+  // sending during the pass (hidden from the compute thread), and wall time
+  // pipelined prefetches were in flight under compute (waits that collapsed
+  // to a buffer swap because the replies had already arrived).
+  double overlap_send_seconds = 0.0;
+  double prefetch_hidden_seconds = 0.0;
   std::vector<f64> accumulators;
 
   std::vector<u8> Encode() const {
@@ -53,6 +59,8 @@ struct PassDone {
     w.Put<i32>(pass);
     w.Put<double>(compute_seconds);
     w.Put<double>(wait_seconds);
+    w.Put<double>(overlap_send_seconds);
+    w.Put<double>(prefetch_hidden_seconds);
     w.PutVec(accumulators);
     return w.Take();
   }
@@ -180,7 +188,46 @@ struct PartData {
     p.cells = CellStore::Deserialize(&r);
     return p;
   }
+
+  // Exact size Encode() would produce; the fabric meters this when the
+  // message travels zero-copy.
+  size_t EncodedSize() const {
+    return sizeof(i32) + sizeof(i32) + sizeof(u8) + cells.SerializedBytes();
+  }
 };
+
+// Zero-copy carrier for PartData (kPartitionData / kParamReply /
+// kParamUpdate): the struct travels by shared pointer, skipping
+// Encode/Decode, while the fabric still charges the exact encoded size.
+struct ZeroCopyPart final : ZeroCopyPayload {
+  PartData pd;
+  size_t EncodedSize() const override { return pd.EncodedSize(); }
+};
+
+// Packs `pd` into `m`: by reference when the fabric's zero-copy fast path is
+// on, serialized otherwise.
+inline void AttachPart(Message* m, PartData pd, bool zero_copy) {
+  if (zero_copy) {
+    auto z = std::make_shared<ZeroCopyPart>();
+    z->pd = std::move(pd);
+    m->zc = std::move(z);
+  } else {
+    m->payload = pd.Encode();
+  }
+}
+
+// Unpacks a PartData from either representation. A uniquely owned zero-copy
+// payload is moved out; a shared one (replica broadcast, injector duplicate)
+// is copied, preserving value semantics for the other holders.
+inline PartData TakePart(Message& m) {
+  if (m.zc != nullptr) {
+    auto* z = static_cast<ZeroCopyPart*>(m.zc.get());
+    PartData out = m.zc.use_count() == 1 ? std::move(z->pd) : z->pd;
+    m.zc.reset();
+    return out;
+  }
+  return PartData::Decode(m.payload);
+}
 
 // Bulk-prefetch request: the synthesized access-pattern pass's key list.
 struct ParamRequest {

@@ -24,6 +24,13 @@
 namespace orion {
 namespace {
 
+PassDone MakePassDone(i32 loop_id, i32 pass) {
+  PassDone d;
+  d.loop_id = loop_id;
+  d.pass = pass;
+  return d;
+}
+
 RatingsConfig SmallData() {
   RatingsConfig d;
   d.rows = 300;
@@ -92,7 +99,7 @@ TEST(FaultInjector, SameSeedSameDecisions) {
     for (int pass = 0; pass < 50; ++pass) {
       for (WorkerId w = 0; w < 4; ++w) {
         inj.Process(ControlMsg(kMasterRank, w, StartPass{0, pass}.Encode()));
-        inj.Process(ControlMsg(w, kMasterRank, PassDone{0, pass, 0.0, 0.0, {}}.Encode()));
+        inj.Process(ControlMsg(w, kMasterRank, MakePassDone(0, pass).Encode()));
       }
     }
     return inj.events();
@@ -149,7 +156,7 @@ TEST(FaultInjector, DuplicateDeliversTwice) {
   FaultPlan plan;
   plan.dup_prob = 1.0;
   FaultInjector inj(plan);
-  const auto out = inj.Process(ControlMsg(0, kMasterRank, PassDone{0, 0, 0.0, 0.0, {}}.Encode()));
+  const auto out = inj.Process(ControlMsg(0, kMasterRank, MakePassDone(0, 0).Encode()));
   EXPECT_EQ(out.size(), 2u);
   EXPECT_EQ(inj.stats().duplicated, 1u);
 }
@@ -159,7 +166,7 @@ TEST(FaultInjector, DelayedMessageIsReleasedAfterLaterTraffic) {
   plan.delay_prob = 1.0;
   plan.delay_release_after = 2;
   FaultInjector inj(plan);
-  EXPECT_TRUE(inj.Process(ControlMsg(0, kMasterRank, PassDone{0, 0, 0.0, 0.0, {}}.Encode())).empty());
+  EXPECT_TRUE(inj.Process(ControlMsg(0, kMasterRank, MakePassDone(0, 0).Encode())).empty());
   // Unfaulted traffic toward the same destination ages the holdback.
   Message data;
   data.from = 1;

@@ -99,7 +99,6 @@ TEST_P(WavefrontTest, EveryCellExecutedExactlyOnce) {
 TEST_P(WavefrontTest, DiagonalOrderRespectsDependences) {
   // (w, tau) must run strictly after (w-1, tau) and after (w, tau-1).
   const auto [workers, parts] = GetParam();
-  WavefrontSchedule sched{workers, parts};
   auto step_of = [&](int w, int tau) { return w + tau; };
   for (int w = 0; w < workers; ++w) {
     for (int tau = 0; tau < parts; ++tau) {
