@@ -13,6 +13,7 @@
 // Every configuration must be bit-for-bit identical to the synchronous run;
 // a mismatch is the only failure (exit 1). Timings are written to
 // BENCH_overlap.json for the CI smoke step.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -58,6 +59,10 @@ struct RunResult {
   double sec_per_pass = 0.0;
   double overlap_seconds = 0.0;
   double hidden_seconds = 0.0;
+  double serve_seconds = 0.0;       // master-side gather+assembly CPU time
+  int shard_queue_depth = 0;        // peak requests in flight at the server
+  int ring_depth = 0;               // peak prefetch ring occupancy
+  double reply_wait_seconds = 0.0;  // executor time blocked on kParamReply
   u64 zero_copy_bytes = 0;
   std::map<i64, std::vector<f32>> out_r;
   std::map<i64, std::vector<f32>> out_c;
@@ -76,6 +81,10 @@ RunResult RunRotationServer(bool overlap, bool zero_copy) {
   cfg.net = SlowLink();
   cfg.seed = 11;
   cfg.zero_copy = zero_copy;
+  // Serve inline on every config: this bench isolates the overlap engine, and
+  // sharded async serving (measured by bench_param_serving) would speed up the
+  // sync baseline too and mask the ratio under test.
+  cfg.async_param_serving = false;
   Driver driver(cfg);
 
   auto data = driver.CreateDistArray("data", {kRows, kCols}, 1, Density::kSparse);
@@ -138,10 +147,17 @@ RunResult RunRotationServer(bool overlap, bool zero_copy) {
   for (int p = 0; p < kPasses; ++p) {
     ORION_CHECK_OK(driver.Execute(*loop));
     if (p > 0) {  // skip the recording pass: measure the warm-cache regime
-      res.sec_per_pass += driver.last_metrics().pass_wall_seconds;
-      res.overlap_seconds += driver.last_metrics().overlap_seconds;
-      res.hidden_seconds += driver.last_metrics().prefetch_wait_hidden_seconds;
-      res.zero_copy_bytes += driver.last_metrics().zero_copy_bytes;
+      const LoopMetrics& m = driver.last_metrics();
+      res.sec_per_pass += m.pass_wall_seconds;
+      res.overlap_seconds += m.overlap_seconds;
+      res.hidden_seconds += m.prefetch_wait_hidden_seconds;
+      res.serve_seconds += m.param_serve_seconds;
+      res.shard_queue_depth = std::max(res.shard_queue_depth, m.param_shard_queue_depth_max);
+      res.ring_depth = std::max(res.ring_depth, m.prefetch_ring_depth_used);
+      for (const WaitHistogram& h : m.worker_reply_wait) {
+        res.reply_wait_seconds += h.total_seconds;
+      }
+      res.zero_copy_bytes += m.zero_copy_bytes;
     }
   }
   res.sec_per_pass /= kPasses - 1;
@@ -167,6 +183,7 @@ RunResult RunSgdMf(bool overlap, bool zero_copy) {
   cfg.net = SlowLink();
   cfg.seed = 7;
   cfg.zero_copy = zero_copy;
+  cfg.async_param_serving = false;  // same reason as RunRotationServer
   Driver driver(cfg);
   SgdMfConfig mf;
   mf.rank = 48;
@@ -239,6 +256,11 @@ int Main() {
   std::printf("sgd_mf,overlap_zero_copy,%.4f,%.4f,,%llu\n", mf_zc.sec_per_pass,
               mf_zc.overlap_seconds, static_cast<unsigned long long>(mf_zc.zero_copy_bytes));
   std::printf("speedup rotation+server: %.2fx, sgd_mf: %.2fx\n", rot_speedup, mf_speedup);
+  std::printf(
+      "rotation_server overlap: serve_sec=%.4f shard_queue_depth=%d ring_depth=%d "
+      "reply_wait_sec=%.4f\n",
+      rot_ovl.serve_seconds, rot_ovl.shard_queue_depth, rot_ovl.ring_depth,
+      rot_ovl.reply_wait_seconds);
 
   FILE* f = std::fopen("BENCH_overlap.json", "w");
   if (f != nullptr) {

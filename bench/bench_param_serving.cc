@@ -1,0 +1,284 @@
+// Sharded async parameter serving + depth-k prefetch ring: pass wall time
+// across a (ring depth, shard count) sweep on the rotation+server scenario,
+// under a cost model that charges real time at the sender.
+//
+// The PR-2 overlap engine (depth-1 double buffer, inline serving on the
+// master's service loop) is the baseline; the sweep turns on the sharded
+// ParamServer and deepens the ring. One extra point runs the deepest
+// configuration under seeded message faults (drop/dup/delay of control
+// traffic) to show the async path composes with supervision.
+//
+// Every configuration must be bit-for-bit identical to the synchronous run;
+// a mismatch is the only failure (exit 1). Timings are written to
+// BENCH_param_serving.json for the CI smoke step.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/runtime/driver.h"
+
+namespace orion {
+namespace {
+
+constexpr int kWorkers = 4;
+
+std::map<i64, std::vector<f32>> Snapshot(Driver* d, DistArrayId id) {
+  std::map<i64, std::vector<f32>> out;
+  const CellStore& c = d->Cells(id);
+  c.ForEachConst([&](i64 key, const f32* v) {
+    out[key].assign(v, v + c.value_dim());
+  });
+  return out;
+}
+
+NetCostModel SlowLink() {
+  NetCostModel m;
+  m.latency_us = 1000.0;
+  m.bandwidth_bps = 2e9;
+  m.charge_real_time = true;
+  return m;
+}
+
+struct Config {
+  bool overlap = true;
+  bool async_serving = true;
+  int depth = 2;
+  int shards = 4;
+  bool faults = false;
+};
+
+struct RunResult {
+  double sec_per_pass = 0.0;
+  double serve_seconds = 0.0;
+  int shard_queue_depth = 0;
+  int ring_depth = 0;
+  double reply_wait_seconds = 0.0;
+  std::map<i64, std::vector<f32>> out_r;
+  std::map<i64, std::vector<f32>> out_c;
+  f64 accum = 0.0;
+};
+
+RunResult Run(const Config& c) {
+  constexpr i64 kRows = 64;
+  constexpr i64 kCols = 64;
+  constexpr int kPasses = 6;
+
+  DriverConfig cfg;
+  cfg.num_workers = kWorkers;
+  cfg.net = SlowLink();
+  cfg.seed = 11;
+  cfg.async_param_serving = c.async_serving;
+  cfg.param_server_shards = c.shards;
+  if (c.faults) {
+    cfg.fault_plan.seed = 29;
+    cfg.fault_plan.drop_prob = 0.03;
+    cfg.fault_plan.dup_prob = 0.03;
+    cfg.fault_plan.delay_prob = 0.03;
+    cfg.supervisor.heartbeat_interval_seconds = 0.05;
+    cfg.supervisor.retry_initial_seconds = 0.05;
+  }
+  Driver driver(cfg);
+
+  auto data = driver.CreateDistArray("data", {kRows, kCols}, 1, Density::kSparse);
+  auto out_r = driver.CreateDistArray("out_r", {kRows}, 4, Density::kDense);
+  auto out_c = driver.CreateDistArray("out_c", {kCols}, 4, Density::kDense);
+  auto table = driver.CreateDistArray("table", {kRows + kCols - 1}, 4, Density::kDense);
+  {
+    Rng rng(99);
+    CellStore& cells = driver.MutableCells(data);
+    for (i64 n = 0; n < 2500; ++n) {
+      const i64 i = static_cast<i64>(rng.NextBounded(static_cast<u64>(kRows)));
+      const i64 j = static_cast<i64>(rng.NextBounded(static_cast<u64>(kCols)));
+      *cells.GetOrCreate(i * kCols + j) = 1.0f + 0.25f * static_cast<f32>(n % 7);
+    }
+    driver.MapCells(table, [](i64 key, f32* v) {
+      for (int d = 0; d < 4; ++d) {
+        v[d] = 0.5f + 0.001f * static_cast<f32>(key + d);
+      }
+    });
+  }
+
+  LoopSpec spec;
+  spec.iter_space = data;
+  spec.iter_extents = {kRows, kCols};
+  spec.AddAccess(out_r, "out_r", {Expr::LoopIndex(0)}, true);
+  spec.AddAccess(out_c, "out_c", {Expr::LoopIndex(1)}, true);
+  spec.AddAccess(table, "table", {Expr::Add(Expr::LoopIndex(0), Expr::LoopIndex(1))},
+                 false);
+
+  const int acc = driver.CreateAccumulator();
+  // Lighter compute than bench_overlap's kernel: here the regime under test
+  // is a master-bound pass, where the inline reply fan-out (one serialized
+  // ~latency sleep per worker per step on the service loop) exceeds the
+  // kernel time and stalls every worker. The sharded server's per-worker
+  // reply lanes overlap that fan-out; the deep ring hides the round trip.
+  LoopKernel kernel = [=](LoopContext& ctx, IdxSpan idx, const f32* value) {
+    const i64 k[1] = {idx[0] + idx[1]};
+    const f32* t = ctx.Read(table, k);
+    f32 s = value[0];
+    for (int it = 0; it < 2500; ++it) {
+      s = s * 0.999f + t[it & 3] * 0.001f;
+    }
+    const i64 ki[1] = {idx[0]};
+    const i64 kj[1] = {idx[1]};
+    f32* r = ctx.Mutate(out_r, ki);
+    f32* cc = ctx.Mutate(out_c, kj);
+    for (int d = 0; d < 4; ++d) {
+      r[d] += s * t[d];
+      cc[d] += s * t[d];
+    }
+    ctx.AccumulatorAdd(acc, static_cast<f64>(s));
+  };
+
+  ParallelForOptions options;
+  options.prefetch = PrefetchMode::kCached;  // warm cache => deep early issue
+  options.prefetch_depth = c.depth;
+  options.overlap = c.overlap;
+  options.planner.replicate_threshold_floats = 0;  // force table -> kServer
+  auto loop = driver.Compile(spec, kernel, options);
+  ORION_CHECK_OK(loop.status());
+  ORION_CHECK(driver.PlanOf(*loop).placements.at(table).scheme == PartitionScheme::kServer);
+
+  RunResult res;
+  for (int p = 0; p < kPasses; ++p) {
+    ORION_CHECK_OK(driver.Execute(*loop));
+    if (p > 0) {  // skip the recording pass: measure the warm-cache regime
+      const LoopMetrics& m = driver.last_metrics();
+      res.sec_per_pass += m.pass_wall_seconds;
+      res.serve_seconds += m.param_serve_seconds;
+      res.shard_queue_depth = std::max(res.shard_queue_depth, m.param_shard_queue_depth_max);
+      res.ring_depth = std::max(res.ring_depth, m.prefetch_ring_depth_used);
+      for (const WaitHistogram& h : m.worker_reply_wait) {
+        res.reply_wait_seconds += h.total_seconds;
+      }
+    }
+  }
+  res.sec_per_pass /= kPasses - 1;
+  res.out_r = Snapshot(&driver, out_r);
+  res.out_c = Snapshot(&driver, out_c);
+  res.accum = driver.AccumulatorValue(acc);
+  return res;
+}
+
+bool Identical(const RunResult& a, const RunResult& b) {
+  return a.out_r == b.out_r && a.out_c == b.out_c && a.accum == b.accum;
+}
+
+int Main() {
+  PrintHeader("sharded async parameter serving + depth-k prefetch ring",
+              "pass wall seconds across (ring depth, shard count), vs the depth-1 "
+              "inline-serving overlap baseline, real-time-charged link");
+
+  Config sync_cfg;
+  sync_cfg.overlap = false;
+  sync_cfg.async_serving = false;
+  sync_cfg.depth = 1;
+  const RunResult sync = Run(sync_cfg);
+
+  Config base_cfg;  // PR-2 overlap engine: depth-1 pipeline, inline serving
+  base_cfg.overlap = true;
+  base_cfg.async_serving = false;
+  base_cfg.depth = 1;
+  const RunResult baseline = Run(base_cfg);
+
+  bool identical = Identical(sync, baseline);
+  if (!identical) {
+    std::printf("MISMATCH: overlap baseline is not bit-for-bit identical to sync\n");
+  }
+
+  struct Point {
+    int depth;
+    int shards;
+    RunResult res;
+    bool identical;
+  };
+  std::vector<Point> points;
+  std::printf("depth,shards,sec_per_pass,speedup_vs_baseline,serve_sec,ring_depth,"
+              "reply_wait_sec,identical\n");
+  std::printf("sync,,%.4f,,,,,\n", sync.sec_per_pass);
+  std::printf("1(inline),,%.4f,1.00,,,,%d\n", baseline.sec_per_pass, identical ? 1 : 0);
+  for (int depth : {1, 2, 4}) {
+    for (int shards : {1, 4}) {
+      Config c;
+      c.depth = depth;
+      c.shards = shards;
+      Point p{depth, shards, Run(c), false};
+      p.identical = Identical(sync, p.res);
+      if (!p.identical) {
+        std::printf("MISMATCH: depth=%d shards=%d is not bit-for-bit identical to sync\n",
+                    depth, shards);
+        identical = false;
+      }
+      std::printf("%d,%d,%.4f,%.2f,%.4f,%d,%.4f,%d\n", depth, shards, p.res.sec_per_pass,
+                  baseline.sec_per_pass / p.res.sec_per_pass, p.res.serve_seconds,
+                  p.res.ring_depth, p.res.reply_wait_seconds, p.identical ? 1 : 0);
+      points.push_back(std::move(p));
+    }
+  }
+
+  Config fault_cfg;
+  fault_cfg.depth = 2;
+  fault_cfg.shards = 4;
+  fault_cfg.faults = true;
+  const RunResult faulted = Run(fault_cfg);
+  const bool fault_identical = Identical(sync, faulted);
+  if (!fault_identical) {
+    std::printf("MISMATCH: fault-injected run is not bit-for-bit identical to sync\n");
+    identical = false;
+  }
+  std::printf("2,4,%.4f,%.2f,%.4f,%d,%.4f,%d  (fault-injected)\n", faulted.sec_per_pass,
+              baseline.sec_per_pass / faulted.sec_per_pass, faulted.serve_seconds,
+              faulted.ring_depth, faulted.reply_wait_seconds, fault_identical ? 1 : 0);
+
+  // Headline: the deepest sharded configuration vs the PR-2 baseline.
+  double best_speedup = 0.0;
+  for (const Point& p : points) {
+    if (p.depth >= 2 && p.shards >= 4) {
+      best_speedup = std::max(best_speedup, baseline.sec_per_pass / p.res.sec_per_pass);
+    }
+  }
+
+  FILE* f = std::fopen("BENCH_param_serving.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"sync_sec\": %.6f,\n"
+                 "  \"overlap_depth1_inline_sec\": %.6f,\n"
+                 "  \"sweep\": [\n",
+                 sync.sec_per_pass, baseline.sec_per_pass);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      std::fprintf(f,
+                   "    {\"depth\": %d, \"shards\": %d, \"sec_per_pass\": %.6f, "
+                   "\"speedup_vs_baseline\": %.3f, \"serve_sec\": %.6f, "
+                   "\"ring_depth_used\": %d, \"reply_wait_sec\": %.6f, "
+                   "\"identical\": %s}%s\n",
+                   p.depth, p.shards, p.res.sec_per_pass,
+                   baseline.sec_per_pass / p.res.sec_per_pass, p.res.serve_seconds,
+                   p.res.ring_depth, p.res.reply_wait_seconds,
+                   p.identical ? "true" : "false", i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"fault_injected\": {\"depth\": 2, \"shards\": 4, "
+                 "\"sec_per_pass\": %.6f, \"identical\": %s},\n"
+                 "  \"best_speedup_vs_baseline\": %.3f,\n"
+                 "  \"bit_for_bit_identical\": %s\n"
+                 "}\n",
+                 faulted.sec_per_pass, fault_identical ? "true" : "false", best_speedup,
+                 identical ? "true" : "false");
+    std::fclose(f);
+  }
+
+  PrintShape("sharded serving + deep ring beats the depth-1 inline baseline by >= 1.15x",
+             best_speedup >= 1.15);
+  PrintShape("all (depth, shards) points bit-for-bit identical to sync", identical);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace orion
+
+int main() { return orion::Main(); }

@@ -17,6 +17,16 @@
 
 namespace orion {
 
+// GCC 12's flow-sensitive object-size analysis misjudges the grow-then-copy
+// appends below when the whole Encode chain is inlined into a caller (it
+// assumes the pre-resize allocation), producing spurious -Wstringop-overflow
+// and -Warray-bounds reports. Suppress only for this class.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
 class ByteWriter {
  public:
   ByteWriter() = default;
@@ -62,6 +72,10 @@ class ByteWriter {
  private:
   std::vector<u8> buf_;
 };
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 class ByteReader {
  public:

@@ -30,6 +30,11 @@ void ThreadPool::Submit(std::function<void()> fn) {
   tasks_.Push(std::move(fn));
 }
 
+i64 ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(wait_mutex_);
+  return pending_;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(wait_mutex_);
   wait_cv_.wait(lock, [&] { return pending_ == 0; });

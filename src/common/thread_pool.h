@@ -29,6 +29,10 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
+  // Tasks submitted but not yet finished (queued + executing). Lets callers
+  // track peak backlog (e.g. the parameter server's shard-queue depth).
+  i64 pending() const;
+
   // Runs fn(i) for i in [0, n) partitioned into num_threads contiguous
   // chunks, blocking until done.
   void ParallelFor(i64 n, const std::function<void(i64 begin, i64 end)>& fn);
@@ -38,7 +42,7 @@ class ThreadPool {
 
   BlockingQueue<std::function<void()>> tasks_;
   std::vector<std::thread> threads_;
-  std::mutex wait_mutex_;
+  mutable std::mutex wait_mutex_;
   std::condition_variable wait_cv_;
   i64 pending_ = 0;
 };

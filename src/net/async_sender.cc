@@ -2,59 +2,85 @@
 
 #include <utility>
 
+#include "src/common/status.h"
 #include "src/common/timer.h"
 
 namespace orion {
 
-AsyncSender::AsyncSender(Fabric* fabric)
-    : fabric_(fabric), thread_([this] { Loop(); }) {}
+AsyncSender::AsyncSender(Fabric* fabric, int num_lanes) : fabric_(fabric) {
+  ORION_CHECK(num_lanes > 0);
+  lanes_.reserve(static_cast<size_t>(num_lanes));
+  for (int i = 0; i < num_lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+    Lane* lane = lanes_.back().get();
+    lane->thread = std::thread([this, lane] { Loop(lane); });
+  }
+}
 
 AsyncSender::~AsyncSender() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      lane->stop = true;
+    }
+    lane->work_cv.notify_one();
   }
-  work_cv_.notify_one();
-  thread_.join();
+  for (auto& lane : lanes_) {
+    lane->thread.join();
+  }
+}
+
+AsyncSender::Lane& AsyncSender::LaneFor(WorkerId to) {
+  // kMasterRank is -1, so +1 keeps the index non-negative; with one lane per
+  // worker, distinct workers land on distinct lanes.
+  const size_t idx = static_cast<size_t>(to + 1) % lanes_.size();
+  return *lanes_[idx];
 }
 
 void AsyncSender::Enqueue(Message msg) {
+  Lane& lane = LaneFor(msg.to);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(msg));
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.queue.push_back(std::move(msg));
   }
-  work_cv_.notify_one();
+  lane.work_cv.notify_one();
 }
 
 void AsyncSender::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && !sending_; });
+  for (auto& lane : lanes_) {
+    std::unique_lock<std::mutex> lock(lane->mu);
+    lane->idle_cv.wait(lock, [&] { return lane->queue.empty() && !lane->sending; });
+  }
 }
 
 double AsyncSender::busy_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return busy_seconds_;
+  double total = 0.0;
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mu);
+    total += lane->busy_seconds;
+  }
+  return total;
 }
 
-void AsyncSender::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+void AsyncSender::Loop(Lane* lane) {
+  std::unique_lock<std::mutex> lock(lane->mu);
   while (true) {
-    work_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
-    if (queue_.empty()) {
-      return;  // stop_ set and queue drained: remaining work was flushed
+    lane->work_cv.wait(lock, [&] { return !lane->queue.empty() || lane->stop; });
+    if (lane->queue.empty()) {
+      return;  // stop set and queue drained: remaining work was flushed
     }
-    Message msg = std::move(queue_.front());
-    queue_.pop_front();
-    sending_ = true;
+    Message msg = std::move(lane->queue.front());
+    lane->queue.pop_front();
+    lane->sending = true;
     lock.unlock();
     Stopwatch sw;
     fabric_->Send(std::move(msg));
     const double elapsed = sw.ElapsedSeconds();
     lock.lock();
-    busy_seconds_ += elapsed;
-    sending_ = false;
-    if (queue_.empty()) {
-      idle_cv_.notify_all();
+    lane->busy_seconds += elapsed;
+    lane->sending = false;
+    if (lane->queue.empty()) {
+      lane->idle_cv.notify_all();
     }
   }
 }

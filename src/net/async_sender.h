@@ -1,8 +1,16 @@
-// AsyncSender: a per-endpoint communication thread that ships messages off
-// the compute thread, overlapping the sender-side network cost (serialization
-// and the NetCostModel's real-time charge) with computation.
+// AsyncSender: communication threads that ship messages off the compute
+// thread, overlapping the sender-side network cost (serialization and the
+// NetCostModel's real-time charge) with computation.
 //
-// Ordering contract: messages enqueued on one AsyncSender leave in FIFO
+// Lanes. With num_lanes == 1 (the executor configuration) a single comm
+// thread drains a single FIFO queue, so *all* sends leave in enqueue order.
+// With num_lanes > 1 (the master's reply fan-out) messages are routed to a
+// lane by destination rank: each destination still observes FIFO order, but
+// sends to different destinations proceed concurrently — under a
+// real-time-charged cost model the per-message latencies overlap instead of
+// serializing (~N x latency for an N-worker reply fan-out).
+//
+// Ordering contract: messages enqueued toward one destination leave in FIFO
 // order through Fabric::Send, so per-link delivery order — and therefore the
 // fault injector's per-link faultable sequence numbers — is exactly what a
 // synchronous sender would have produced. Callers that must establish a
@@ -14,8 +22,10 @@
 
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/net/fabric.h"
 #include "src/net/message.h"
@@ -24,35 +34,43 @@ namespace orion {
 
 class AsyncSender {
  public:
-  explicit AsyncSender(Fabric* fabric);
+  explicit AsyncSender(Fabric* fabric, int num_lanes = 1);
   ~AsyncSender();
 
   AsyncSender(const AsyncSender&) = delete;
   AsyncSender& operator=(const AsyncSender&) = delete;
 
-  // Hands the message to the comm thread. Never blocks on the network.
+  // Hands the message to its destination's comm thread. Never blocks on the
+  // network.
   void Enqueue(Message msg);
 
-  // Blocks until every previously enqueued message has been delivered (its
-  // Fabric::Send returned). No-op when the queue is already drained.
+  // Blocks until every previously enqueued message, on every lane, has been
+  // delivered (its Fabric::Send returned). No-op when already drained.
   void Flush();
 
-  // Wall time the comm thread has spent inside Fabric::Send — the
-  // communication cost hidden from the compute thread.
+  // Wall time the comm threads have spent inside Fabric::Send — the
+  // communication cost hidden from the calling thread. Summed across lanes.
   double busy_seconds() const;
 
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+
  private:
-  void Loop();
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable work_cv;  // signals the comm thread
+    std::condition_variable idle_cv;  // signals Flush / destructor
+    std::deque<Message> queue;
+    bool sending = false;  // a message is out of the queue but not delivered
+    bool stop = false;
+    double busy_seconds = 0.0;
+    std::thread thread;
+  };
+
+  Lane& LaneFor(WorkerId to);
+  void Loop(Lane* lane);
 
   Fabric* fabric_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // signals the comm thread
-  std::condition_variable idle_cv_;  // signals Flush / destructor
-  std::deque<Message> queue_;
-  bool sending_ = false;  // a message is out of the queue but not delivered
-  bool stop_ = false;
-  double busy_seconds_ = 0.0;
-  std::thread thread_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
 };
 
 }  // namespace orion

@@ -25,11 +25,15 @@ BlockingQueue<Message>& Fabric::InboxFor(WorkerId rank) {
 }
 
 double Fabric::Meter(const Message& msg) {
-  const size_t wire = msg.WireSize();
-  const double cost = cost_model_.CostSeconds(wire);
+  const size_t wire = msg.WireSize() + msg.meter_extra_bytes;
+  const u32 logical = msg.meter_messages > 0 ? msg.meter_messages : 1;
+  // One bandwidth charge over the total bytes plus one fixed latency per
+  // logical message the coalesced send stands in for.
+  const double cost =
+      cost_model_.CostSeconds(wire) + (logical - 1) * cost_model_.latency_us * 1e-6;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++messages_sent_;
+    messages_sent_ += logical;
     bytes_sent_ += wire;
     if (msg.zc != nullptr) {
       zero_copy_bytes_ += wire;

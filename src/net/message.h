@@ -35,6 +35,9 @@ enum class MsgKind : u16 {
 };
 
 struct Message {
+  // Approximate header cost of a real transport, charged per wire message.
+  static constexpr size_t kHeaderBytes = 32;
+
   WorkerId from = 0;
   WorkerId to = 0;
   MsgKind kind = MsgKind::kControl;
@@ -44,9 +47,15 @@ struct Message {
   // stays empty; receivers take it via protocol-level helpers.
   std::shared_ptr<ZeroCopyPayload> zc;
 
+  // Logical-message metering: a coalesced message standing in for
+  // `meter_messages` separate wire messages (the batched kPerKey prefetch
+  // storm) is charged that many per-message latencies, counted as that many
+  // messages in the stats, and billed `meter_extra_bytes` extra framing
+  // bytes — so modeled cost is identical to the uncoalesced exchange.
+  u32 meter_messages = 1;
+  u64 meter_extra_bytes = 0;
+
   size_t WireSize() const {
-    // Approximate header cost of a real transport.
-    static constexpr size_t kHeaderBytes = 32;
     return kHeaderBytes + (zc != nullptr ? zc->EncodedSize() : payload.size());
   }
 };

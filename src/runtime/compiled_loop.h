@@ -53,6 +53,11 @@ struct ParallelForOptions {
   // next step's prefetch before computing the current step. Bit-for-bit
   // identical to synchronous execution; off = fully serialized steps.
   bool overlap = true;
+  // Depth of the prefetch ring for pipelined rotation+server loops: how many
+  // steps ahead ParamRequests may be issued. 1 = the classic double buffer
+  // (issue t+1 during t). Any depth is legal because 2D kServer buffered
+  // applies are deferred to pass end, making server state pass-constant.
+  int prefetch_depth = 2;
 };
 
 struct CompiledLoop {

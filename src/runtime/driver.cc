@@ -31,6 +31,10 @@ Driver::Driver(const DriverConfig& config)
   }
   fabric_->SetZeroCopy(config_.zero_copy);
   dir_.SetSupervisor(config_.supervisor);
+  if (config_.async_param_serving) {
+    param_server_ = std::make_unique<ParamServer>(
+        fabric_.get(), std::max(1, config_.param_server_shards), config_.num_workers);
+  }
   live_ranks_.resize(static_cast<size_t>(config.num_workers));
   for (int w = 0; w < config.num_workers; ++w) {
     live_ranks_[static_cast<size_t>(w)] = w;
@@ -677,27 +681,12 @@ void Driver::EnsureScattered(const CompiledLoop& cl) {
 // ---------------------------------------------------------------------------
 // Pass execution (master service loop)
 
-void Driver::HandleParamRequest(const Message& msg) {
-  ParamRequest req = ParamRequest::Decode(msg.payload);
+void Driver::ServeParamRequestInline(const ParamRequest& req, WorkerId from) {
   ArrayHost& h = Host(req.array);
-  PartData pd;
-  pd.array = req.array;
-  pd.part = req.step;
-  pd.mode = PartDataMode::kInstallPart;
-  pd.cells = CellStore(h.meta.value_dim, CellStore::Layout::kHashed, 0);
-  for (i64 key : req.keys) {
-    const f32* v = h.master.Get(key);
-    if (v != nullptr) {
-      f32* dst = pd.cells.GetOrCreate(key);
-      std::copy(v, v + h.meta.value_dim, dst);
-    }
-  }
-  Message reply;
-  reply.from = kMasterRank;
-  reply.to = msg.from;
-  reply.kind = MsgKind::kParamReply;
-  reply.tag = static_cast<u32>(req.step);
-  AttachPart(&reply, std::move(pd), fabric_->zero_copy());
+  CpuStopwatch sw;
+  Message reply = BuildParamReply(req, h.master, h.meta.value_dim, fabric_->zero_copy());
+  reply.to = from;
+  last_metrics_.param_serve_seconds += sw.ElapsedSeconds();
   fabric_->Send(std::move(reply));
 }
 
@@ -712,6 +701,7 @@ void Driver::BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array)
     shared->pd.part = -1;
     shared->pd.mode = PartDataMode::kReplicaSnapshot;
     shared->pd.cells = h.master;  // one copy for the whole broadcast
+    shared->multi_reader = true;  // receivers copy; concurrent moves would race
   }
   for (int w : live_ranks_) {
     Message m;
@@ -775,7 +765,34 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
   last_metrics_.max_worker_wait_seconds = 0.0;
   last_metrics_.overlap_seconds = 0.0;
   last_metrics_.prefetch_wait_hidden_seconds = 0.0;
+  last_metrics_.param_serve_seconds = 0.0;
+  last_metrics_.param_shard_queue_depth_max = 0;
+  last_metrics_.prefetch_ring_depth_used = 0;
+  last_metrics_.worker_reply_wait.assign(static_cast<size_t>(active), WaitHistogram{});
   std::vector<DistArrayId> returned;
+
+  // Sharded async serving is sound for 2D passes only: rotation loops defer
+  // kServer buffered applies to pass end (server state is pass-constant), and
+  // wavefront mid-step overwrites are disjoint from concurrent readers' key
+  // lists. 1D chunked loops rely on prompt mid-pass freshness (a round's
+  // request, queued behind its flushes on the FIFO master link, must read the
+  // just-applied state), so they keep the inline path.
+  const bool async_serving = param_server_ != nullptr && cl.Is2D();
+  if (async_serving) {
+    param_server_->ResetPassStats();
+  }
+  auto logical_of = [&](int physical) {
+    return static_cast<int>(std::find(live_ranks_.begin(), live_ranks_.end(), physical) -
+                            live_ranks_.begin());
+  };
+  auto abort_pass = [&](int lost) {
+    // Gather tasks may still hold pointers into ArrayHost state the recovery
+    // path is about to overwrite; drain them before unwinding.
+    if (async_serving) {
+      param_server_->Quiesce();
+    }
+    return PassOutcome{false, lost};
+  };
 
   // Buffered updates to server-hosted arrays in 2D passes are deferred and
   // applied at pass end in logical-rank order (with per-worker FIFO order
@@ -843,11 +860,11 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
           continue;
         }
         if (now - last_heard[w] > sup.death_timeout_seconds) {
-          return {false, w};
+          return abort_pass(w);
         }
         if (!started[w] && now >= next_retry[w]) {
           if (retries[w] >= sup.max_retries) {
-            return {false, w};
+            return abort_pass(w);
           }
           ++retries[w];
           ++runtime_metrics_.retransmits;
@@ -885,10 +902,18 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
     last_heard[msg->from] = clock.ElapsedSeconds();
 
     switch (msg->kind) {
-      case MsgKind::kParamRequest:
+      case MsgKind::kParamRequest: {
         started[msg->from] = true;
-        HandleParamRequest(*msg);
+        ParamRequest req = TakeParamRequest(*msg);
+        if (async_serving) {
+          ArrayHost& h = Host(req.array);
+          param_server_->HandleRequest(std::move(req), msg->from, &h.master,
+                                       h.meta.value_dim);
+        } else {
+          ServeParamRequestInline(req, msg->from);
+        }
         break;
+      }
       case MsgKind::kParamUpdate: {
         started[msg->from] = true;
         PartData pd = TakePart(*msg);
@@ -899,6 +924,12 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
             pit->second.scheme == PartitionScheme::kServer;
         if (server_buffered) {
           deferred_server.emplace_back(msg->from, std::move(pd));
+        } else if (async_serving) {
+          // Mid-pass writer (wavefront kOverwrite flush): dependence analysis
+          // makes its cells disjoint from every concurrent reader's key list,
+          // but concurrent gathers still need exclusion against rehash.
+          auto locks = param_server_->LockAllShards();
+          ApplyParamUpdate(&cl, std::move(pd), msg->tag);
         } else {
           ApplyParamUpdate(&cl, std::move(pd), msg->tag);
         }
@@ -974,6 +1005,8 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         const double wait = r.Get<double>();
         const double overlap_send = r.Get<double>();
         const double prefetch_hidden = r.Get<double>();
+        const i32 ring_used = r.Get<i32>();
+        WaitHistogram reply_wait = WaitHistogram::Deserialize(&r);
         worker_accum[msg->from] = r.GetVec<f64>();
         last_metrics_.max_worker_compute_seconds =
             std::max(last_metrics_.max_worker_compute_seconds, compute);
@@ -982,6 +1015,12 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         last_metrics_.overlap_seconds = std::max(last_metrics_.overlap_seconds, overlap_send);
         last_metrics_.prefetch_wait_hidden_seconds =
             std::max(last_metrics_.prefetch_wait_hidden_seconds, prefetch_hidden);
+        last_metrics_.prefetch_ring_depth_used =
+            std::max(last_metrics_.prefetch_ring_depth_used, static_cast<int>(ring_used));
+        const size_t slot = static_cast<size_t>(logical_of(msg->from));
+        if (slot < last_metrics_.worker_reply_wait.size()) {
+          last_metrics_.worker_reply_wait[slot] = reply_wait;
+        }
         started[msg->from] = true;
         done[msg->from] = true;
         ++num_done;
@@ -992,12 +1031,17 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
     }
   }
 
+  // Every worker has sent kPassDone, and worker->master links are FIFO, so
+  // every request of this pass has been handed to the server; drain it before
+  // the deferred applies mutate master state.
+  if (async_serving) {
+    param_server_->Quiesce();
+    last_metrics_.param_serve_seconds += param_server_->serve_seconds();
+    last_metrics_.param_shard_queue_depth_max = param_server_->max_queue_depth();
+  }
+
   // Pass-end application of the deferred server updates, in logical-rank
   // order. stable_sort keeps each worker's own flushes in send (FIFO) order.
-  auto logical_of = [&](int physical) {
-    return static_cast<int>(std::find(live_ranks_.begin(), live_ranks_.end(), physical) -
-                            live_ranks_.begin());
-  };
   std::stable_sort(deferred_server.begin(), deferred_server.end(),
                    [&](const auto& a, const auto& b) {
                      return logical_of(a.first) < logical_of(b.first);
@@ -1066,6 +1110,11 @@ Status Driver::Recover(int lost_physical_rank) {
   Stopwatch sw;
   ++runtime_metrics_.workers_lost;
   ++runtime_metrics_.recoveries;
+  if (param_server_ != nullptr) {
+    // The aborted pass already quiesced, but be defensive: the restore below
+    // rewrites master stores that in-flight gathers would read.
+    param_server_->Quiesce();
+  }
   if (injector_ != nullptr) {
     // Anything the injector still holds back predates the failure and must
     // not leak into the new configuration.

@@ -31,6 +31,7 @@
 #include "src/runtime/compiled_loop.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/metrics.h"
+#include "src/runtime/param_server.h"
 #include "src/runtime/recipe.h"
 #include "src/runtime/shared_directory.h"
 
@@ -51,6 +52,13 @@ struct DriverConfig {
   // Heartbeat / retry / death-timeout parameters. Supervision can also be
   // enabled without a fault plan to harden against real failures.
   SupervisorConfig supervisor{};
+  // Sharded asynchronous parameter serving for 2D passes: kParamRequests are
+  // gathered by a lock-striped thread pool and replies ship through
+  // per-worker comm lanes instead of blocking the master service loop.
+  // Bit-for-bit identical to inline serving. 1D chunked loops always serve
+  // inline (their rounds rely on prompt mid-pass freshness).
+  bool async_param_serving = true;
+  int param_server_shards = 4;
 };
 
 class Driver {
@@ -203,7 +211,8 @@ class Driver {
   };
   PassOutcome ServicePassMessages(const CompiledLoop& cl, i32 pass);
   PassOutcome RunPassOnce(i32 loop_id);  // one supervised pass attempt
-  void HandleParamRequest(const Message& msg);
+  // Synchronous serving path (1D loops, or async_param_serving off).
+  void ServeParamRequestInline(const ParamRequest& req, WorkerId from);
 
   // Recovery machinery.
   Status WriteRecoveryCheckpoint();
@@ -234,6 +243,9 @@ class Driver {
   SharedDirectory dir_;
   std::vector<std::unique_ptr<Executor>> executors_;
   std::vector<std::thread> threads_;
+  // Declared after fabric_ so it quiesces and destroys first; null when
+  // async_param_serving is off.
+  std::unique_ptr<ParamServer> param_server_;
 
   std::map<DistArrayId, std::unique_ptr<ArrayHost>> arrays_;
   DistArrayId next_array_id_ = 0;

@@ -283,7 +283,7 @@ void Executor::ProcessRetire(const Message& msg) {
   // still be produced" — extends to messages parked in the async queue.
   sender_.Flush();
   overlap_ = false;
-  pending_prefetch_ = PendingPrefetch{};
+  prefetch_ring_.clear();
   if (t.phase == 0) {
     // Adopt the post-failure configuration. Schedule math now runs in the
     // compacted logical space; physical addressing goes through ring_.
@@ -385,19 +385,27 @@ void Executor::Dispatch(Message& msg) {
 }
 
 void Executor::InstallPartData(PartData pd, MsgKind kind) {
-  ArrayState& st = GetArray(pd.array);
   if (kind == MsgKind::kParamReply) {
-    // Replies carry their request's step in `part` and land in the next
-    // buffer until AwaitPrefetch swaps it in. A reply for any other step is
-    // stale traffic from an abandoned pass: drop it rather than corrupt the
-    // cache the current step reads.
-    if (!pending_prefetch_.active || pd.part != pending_prefetch_.step) {
+    // Replies carry their request's step in `part` and land in that slot's
+    // buffers until AwaitPrefetch moves them into the caches. A reply that
+    // matches no ring slot is stale traffic from an abandoned pass: drop it
+    // rather than corrupt a cache the current step reads.
+    for (PrefetchSlot& slot : prefetch_ring_) {
+      if (slot.step != pd.part) {
+        continue;
+      }
+      auto it = slot.buffers.find(pd.array);
+      if (it != slot.buffers.end()) {
+        it->second.MergeAdd(pd.cells);  // buffer starts empty: add == install
+      }
+      --slot.outstanding;
+      ORION_CHECK(slot.outstanding >= 0)
+          << "more kParamReply messages than requests for step" << slot.step;
       return;
     }
-    st.prefetch_next.MergeAdd(pd.cells);  // buffer starts empty: add == install
-    --pending_prefetch_.outstanding;
     return;
   }
+  ArrayState& st = GetArray(pd.array);
   switch (pd.mode) {
     case PartDataMode::kInstallPart:
       st.parts[pd.part] = std::move(pd.cells);
@@ -637,70 +645,96 @@ bool Executor::CanIssueEarly(const CompiledLoop& cl, int step) const {
 
 void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chunk,
                              int num_chunks) {
-  ORION_CHECK(!pending_prefetch_.active) << "prefetch already in flight";
+  ORION_CHECK(prefetch_ring_.empty() || prefetch_ring_.back().step < step)
+      << "prefetch ring issued out of step order";
   auto recorded = CollectPrefetchKeys(cl, tau, step, chunk, num_chunks);
 
-  int expected_replies = 0;
+  PrefetchSlot slot;
+  slot.step = step;
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kServer) {
       continue;
     }
-    GetArray(array).prefetch_next.Clear();
+    const ArrayState& st = GetArray(array);
+    slot.buffers.emplace(array,
+                         CellStore(st.meta.value_dim, CellStore::Layout::kHashed, 0));
     auto it = recorded.find(array);
     const std::vector<i64> empty;
     const std::vector<i64>& keys = it != recorded.end() ? it->second : empty;
     if (cl.options.prefetch == PrefetchMode::kPerKey) {
-      // One request per key: models naive remote random access.
-      for (i64 key : keys) {
-        ParamRequest req{array, step, {key}};
-        Message m;
-        m.from = rank_;
-        m.to = kMasterRank;
-        m.kind = MsgKind::kParamRequest;
-        m.payload = req.Encode();
-        SendData(std::move(m));
-        ++expected_replies;
+      // Naive remote random access: one coalesced wire message carrying the
+      // whole key list, metered in the fabric as |keys| individual requests
+      // (and its reply as |keys| individual replies). The old code really did
+      // send one message per key; the coalesced form keeps that cost model
+      // while sparing the service loop the message storm. Zero keys means
+      // zero messages, exactly as before.
+      if (keys.empty()) {
+        continue;
       }
+      ParamRequest req{array, step, keys};
+      req.per_key = true;
+      Message m;
+      m.from = rank_;
+      m.to = kMasterRank;
+      m.kind = MsgKind::kParamRequest;
+      MeterAsPerKeyRequests(&m, req);
+      AttachParamRequest(&m, std::move(req), fabric_->zero_copy());
+      SendData(std::move(m));
+      ++slot.expected;
     } else {
       ParamRequest req{array, step, keys};
       Message m;
       m.from = rank_;
       m.to = kMasterRank;
       m.kind = MsgKind::kParamRequest;
-      m.payload = req.Encode();
+      AttachParamRequest(&m, std::move(req), fabric_->zero_copy());
       SendData(std::move(m));
-      ++expected_replies;
+      ++slot.expected;
     }
   }
-  pending_prefetch_.active = true;
-  pending_prefetch_.step = step;
-  pending_prefetch_.outstanding = expected_replies;
-  pending_prefetch_.issued_at.Reset();
+  slot.outstanding = slot.expected;
+  slot.issued_at.Reset();
+  prefetch_ring_.push_back(std::move(slot));
+  ring_depth_used_ = std::max(ring_depth_used_, static_cast<int>(prefetch_ring_.size()));
 }
 
 void Executor::AwaitPrefetch(const CompiledLoop& cl, int step) {
-  if (!pending_prefetch_.active) {
+  if (prefetch_ring_.empty()) {
     return;
   }
-  ORION_CHECK(pending_prefetch_.step == step) << "prefetch pipeline out of order";
+  ORION_CHECK(prefetch_ring_.front().step == step) << "prefetch pipeline out of order";
   DrainInbox();
-  if (pending_prefetch_.outstanding == 0) {
-    // Fully overlapped: the wait collapsed to the buffer swap below.
-    prefetch_hidden_seconds_ += pending_prefetch_.issued_at.ElapsedSeconds();
+  {
+    const PrefetchSlot& front = prefetch_ring_.front();
+    ORION_CHECK(front.outstanding >= 0 && front.outstanding <= front.expected)
+        << "reply accounting out of range for step" << step;
   }
-  while (pending_prefetch_.outstanding > 0) {
-    Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
-    Dispatch(msg);
+  if (prefetch_ring_.front().outstanding == 0) {
+    // Fully overlapped: the wait collapsed to the buffer moves below.
+    prefetch_hidden_seconds_ += prefetch_ring_.front().issued_at.ElapsedSeconds();
+    reply_wait_.Add(0.0);
+  } else {
+    Stopwatch blocked;
+    while (prefetch_ring_.front().outstanding > 0) {
+      Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
+      Dispatch(msg);
+    }
+    reply_wait_.Add(blocked.ElapsedSeconds());
   }
+  PrefetchSlot slot = std::move(prefetch_ring_.front());
+  prefetch_ring_.pop_front();
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kServer) {
       continue;
     }
     ArrayState& st = GetArray(array);
-    std::swap(st.prefetch_cache, st.prefetch_next);
-    st.prefetch_next.Clear();
+    auto it = slot.buffers.find(array);
+    if (it != slot.buffers.end()) {
+      st.prefetch_cache = std::move(it->second);
+    } else {
+      st.prefetch_cache.Clear();
+    }
   }
-  pending_prefetch_.active = false;
 }
 
 // Applies pending buffered updates whose targets this worker currently
@@ -899,7 +933,9 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
   compute_seconds_ = 0.0;
   wait_seconds_ = 0.0;
   prefetch_hidden_seconds_ = 0.0;
-  pending_prefetch_ = PendingPrefetch{};
+  prefetch_ring_.clear();
+  ring_depth_used_ = 0;
+  reply_wait_ = WaitHistogram{};
   overlap_ = cl->options.overlap;
   sender_busy_at_pass_start_ = sender_.busy_seconds();
 
@@ -938,6 +974,7 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
     // overwrites every step that the *next* step must observe, so they keep
     // the synchronous issue-await pairing.
     const bool pipelined = overlap_ && has_server && cl->UsesRotation();
+    const int depth = pipelined ? std::max(1, cl->options.prefetch_depth) : 1;
     // Next step at which this worker executes a block (-1 when none): the
     // step the early issue targets.
     auto next_active = [&](int after) {
@@ -948,6 +985,9 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
       }
       return -1;
     };
+    // Deepest step a prefetch has been issued for; the deep/shallow issues
+    // below always extend from here so the ring stays in step order.
+    int issued_through = -1;
     for (int step = 0; step < steps; ++step) {
       MaybeCrash(pass, step);
       DrainInbox();
@@ -960,17 +1000,25 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
           }
         }
         if (has_server) {
-          if (!pending_prefetch_.active) {
+          if (prefetch_ring_.empty()) {
             IssuePrefetch(*cl, tau, step, 0, 1);
+            issued_through = step;
           }
           AwaitPrefetch(*cl, step);
           if (pipelined) {
-            // Deep issue: key lists for step t+1 that don't depend on local
-            // mutable state (synthesized program or warm cache) go out
-            // before compute, hiding the full round trip under the kernel.
-            const int nstep = next_active(step);
-            if (nstep >= 0 && CanIssueEarly(*cl, nstep)) {
+            // Deep issue: key lists for upcoming steps that don't depend on
+            // local mutable state (synthesized program or warm cache) go out
+            // before compute, hiding up to `depth` round trips under the
+            // kernels. Legal at any depth: rotation-loop server state is
+            // pass-constant, so step t+k reads the same values whenever it
+            // is fetched.
+            while (static_cast<int>(prefetch_ring_.size()) < depth) {
+              const int nstep = next_active(issued_through);
+              if (nstep < 0 || !CanIssueEarly(*cl, nstep)) {
+                break;
+              }
               IssuePrefetch(*cl, cl->TimePartAt(logical_rank_, nstep), nstep, 0, 1);
+              issued_through = nstep;
             }
           }
         }
@@ -979,13 +1027,13 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
         if (cl->Is2D() && !cl->UsesLockstep()) {
           SendRotatedParts(*cl, tau);
         }
-        if (pipelined && !pending_prefetch_.active) {
+        if (pipelined && prefetch_ring_.empty()) {
           // Shallow issue: kernel-replay recording needs step t+1's rotated
           // partitions resident (replay reads them, and resolving would
           // otherwise plant empty placeholder parts that fool WaitForPart).
           // When they already arrived, the request still overlaps the tail
           // of this step and the next step's wait.
-          const int nstep = next_active(step);
+          const int nstep = next_active(issued_through);
           if (nstep >= 0) {
             const int ntau = cl->TimePartAt(logical_rank_, nstep);
             DrainInbox();
@@ -999,6 +1047,7 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
             }
             if (parts_ready) {
               IssuePrefetch(*cl, ntau, nstep, 0, 1);
+              issued_through = nstep;
             }
           }
         }
@@ -1026,6 +1075,8 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
   done.wait_seconds = wait_seconds_;
   done.overlap_send_seconds = sender_.busy_seconds() - sender_busy_at_pass_start_;
   done.prefetch_hidden_seconds = prefetch_hidden_seconds_;
+  done.prefetch_ring_depth_used = ring_depth_used_;
+  done.reply_wait = reply_wait_;
   done.accumulators = accum_;
   Message m;
   m.from = rank_;

@@ -15,6 +15,7 @@
 #ifndef ORION_SRC_RUNTIME_EXECUTOR_H_
 #define ORION_SRC_RUNTIME_EXECUTOR_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "src/net/async_sender.h"
 #include "src/net/fabric.h"
 #include "src/runtime/compiled_loop.h"
+#include "src/runtime/metrics.h"
 #include "src/runtime/protocol.h"
 #include "src/runtime/shared_directory.h"
 
@@ -59,7 +61,6 @@ class Executor {
     std::map<int, CellStore> parts;    // rotated / iteration-space partitions
     CellStore replica;                 // kReplicated full copy
     CellStore prefetch_cache;          // kServer prefetched reads
-    CellStore prefetch_next;           // double buffer: replies for the issued step
     CellStore server_dirty;            // kServer unbuffered writes (overwrite)
     std::vector<f32> zeros;            // absent-cell read span
 
@@ -68,7 +69,6 @@ class Executor {
           range_store(m.value_dim, CellStore::Layout::kHashed, 0),
           replica(m.value_dim, CellStore::Layout::kHashed, 0),
           prefetch_cache(m.value_dim, CellStore::Layout::kHashed, 0),
-          prefetch_next(m.value_dim, CellStore::Layout::kHashed, 0),
           server_dirty(m.value_dim, CellStore::Layout::kHashed, 0),
           zeros(static_cast<size_t>(m.value_dim), 0.0f) {}
   };
@@ -82,10 +82,11 @@ class Executor {
   // ---- Prefetch pipeline (paper Sec. 4.4 + comm/compute overlap) ----
   //
   // A prefetch is split into issue (collect keys, send ParamRequests, replies
-  // land in `prefetch_next`) and await (drain remaining replies, swap the
-  // double buffer into `prefetch_cache`). Synchronous execution issues and
-  // awaits back to back; the pipelined path issues step t+1 around step t's
-  // compute, so the await collapses to a swap when replies already arrived.
+  // land in a ring slot's buffers) and await (drain the front slot's
+  // remaining replies, move its buffers into `prefetch_cache`). Synchronous
+  // execution issues and awaits back to back; the pipelined path keeps up to
+  // `prefetch_depth` steps in flight, so the await collapses to a buffer move
+  // when replies already arrived.
   std::map<DistArrayId, std::vector<i64>> CollectPrefetchKeys(const CompiledLoop& cl, int tau,
                                                               int step, int chunk,
                                                               int num_chunks);
@@ -172,16 +173,21 @@ class Executor {
   AsyncSender sender_;
   bool overlap_ = false;  // current pass runs with the overlap engine on
 
-  // The one in-flight prefetch issue (at most one step ahead). Replies are
-  // routed by their step id (PartData::part); anything else is stale traffic
-  // from an abandoned pass and is dropped.
-  struct PendingPrefetch {
-    bool active = false;
+  // Ring of in-flight prefetch issues, FIFO by step: front is the next step
+  // this worker will execute, back is the deepest issued. Replies are routed
+  // by their step id (PartData::part) into the matching slot's buffers;
+  // anything that matches no slot is stale traffic from an abandoned pass and
+  // is dropped. Depth is bounded by ParallelForOptions::prefetch_depth.
+  struct PrefetchSlot {
     int step = -1;
+    int expected = 0;     // requests sent for this step
     int outstanding = 0;  // reply messages not yet installed
     Stopwatch issued_at;
+    std::map<DistArrayId, CellStore> buffers;  // per-array landing pads
   };
-  PendingPrefetch pending_prefetch_;
+  std::deque<PrefetchSlot> prefetch_ring_;
+  int ring_depth_used_ = 0;      // peak ring occupancy this pass
+  WaitHistogram reply_wait_;     // per-await blocked-on-reply time
 
   double compute_seconds_ = 0.0;
   double wait_seconds_ = 0.0;

@@ -2,9 +2,62 @@
 #ifndef ORION_SRC_RUNTIME_METRICS_H_
 #define ORION_SRC_RUNTIME_METRICS_H_
 
+#include <vector>
+
+#include "src/common/serde.h"
 #include "src/common/types.h"
 
 namespace orion {
+
+// Histogram of an executor's reply waits: the blocking portion of each
+// AwaitPrefetch (0 when the prefetch was fully hidden under compute).
+// Log-scale bucket upper bounds: 0.1ms, 1ms, 10ms, 100ms, 1s, +inf.
+struct WaitHistogram {
+  static constexpr int kNumBuckets = 6;
+  u64 counts[kNumBuckets] = {0, 0, 0, 0, 0, 0};
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  void Add(double seconds) {
+    double bound = 1e-4;
+    int b = 0;
+    while (b < kNumBuckets - 1 && seconds >= bound) {
+      bound *= 10.0;
+      ++b;
+    }
+    ++counts[b];
+    total_seconds += seconds;
+    if (seconds > max_seconds) {
+      max_seconds = seconds;
+    }
+  }
+
+  u64 total_count() const {
+    u64 n = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      n += counts[b];
+    }
+    return n;
+  }
+
+  void Serialize(ByteWriter* w) const {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      w->Put<u64>(counts[b]);
+    }
+    w->Put<double>(total_seconds);
+    w->Put<double>(max_seconds);
+  }
+
+  static WaitHistogram Deserialize(ByteReader* r) {
+    WaitHistogram h;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      h.counts[b] = r->Get<u64>();
+    }
+    h.total_seconds = r->Get<double>();
+    h.max_seconds = r->Get<double>();
+    return h;
+  }
+};
 
 struct LoopMetrics {
   double pass_wall_seconds = 0.0;        // master-observed wall time
@@ -18,6 +71,15 @@ struct LoopMetrics {
   double overlap_seconds = 0.0;
   double prefetch_wait_hidden_seconds = 0.0;
   u64 zero_copy_bytes = 0;               // wire bytes that skipped Encode/Decode
+  // Sharded async parameter serving (master side): CPU time spent gathering
+  // and assembling replies, and the peak number of requests concurrently in
+  // flight through the sharded path.
+  double param_serve_seconds = 0.0;
+  int param_shard_queue_depth_max = 0;
+  // Depth-k prefetch ring: the deepest any worker's ring actually got.
+  int prefetch_ring_depth_used = 0;
+  // Per-worker reply-wait histograms, indexed by logical rank.
+  std::vector<WaitHistogram> worker_reply_wait;
 };
 
 // Cumulative fault-tolerance counters for one Driver lifetime: what the fault

@@ -1,0 +1,192 @@
+#include "src/runtime/param_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/common/timer.h"
+
+namespace orion {
+
+Message BuildParamReply(const ParamRequest& req, const CellStore& master, i32 value_dim,
+                        bool zero_copy) {
+  PartData pd;
+  pd.array = req.array;
+  pd.part = req.step;
+  pd.mode = PartDataMode::kInstallPart;
+  pd.cells = CellStore(value_dim, CellStore::Layout::kHashed, 0);
+  pd.cells.Reserve(static_cast<i64>(req.keys.size()));
+  for (i64 key : req.keys) {
+    const f32* v = master.Get(key);
+    if (v != nullptr) {
+      f32* dst = pd.cells.GetOrCreate(key);
+      std::copy(v, v + value_dim, dst);
+    }
+  }
+  Message reply;
+  reply.from = kMasterRank;
+  reply.kind = MsgKind::kParamReply;
+  reply.tag = static_cast<u32>(req.step);
+  if (req.per_key) {
+    MeterAsPerKeyReplies(&reply, req.keys.size(), value_dim);
+  }
+  AttachPart(&reply, std::move(pd), zero_copy);
+  return reply;
+}
+
+ParamServer::ParamServer(Fabric* fabric, int num_shards, int num_workers)
+    : fabric_(fabric),
+      num_shards_(num_shards),
+      stripes_(std::make_unique<std::shared_mutex[]>(static_cast<size_t>(num_shards))),
+      sender_(fabric, std::max(1, num_workers)),
+      pool_(num_shards) {
+  ORION_CHECK(num_shards > 0);
+}
+
+ParamServer::~ParamServer() { Quiesce(); }
+
+int ParamServer::ShardOf(i64 key) const {
+  // Cheap mix so strided key lists spread across stripes.
+  u64 h = static_cast<u64>(key) * 0x9E3779B97F4A7C15ull;
+  return static_cast<int>((h >> 32) % static_cast<u64>(num_shards_));
+}
+
+void ParamServer::HandleRequest(ParamRequest req, WorkerId from, const CellStore* master,
+                                i32 value_dim) {
+  auto r = std::make_shared<Request>();
+  r->req = std::move(req);
+  r->from = from;
+  r->master = master;
+  r->value_dim = value_dim;
+  r->shard_keys.resize(static_cast<size_t>(num_shards_));
+  for (i64 key : r->req.keys) {
+    r->shard_keys[static_cast<size_t>(ShardOf(key))].push_back(key);
+  }
+  int active_shards = 0;
+  for (const auto& keys : r->shard_keys) {
+    if (!keys.empty()) {
+      ++active_shards;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++in_flight_;
+    max_queue_depth_ = std::max(max_queue_depth_, in_flight_);
+  }
+  if (active_shards == 0) {
+    Finish(r);  // empty key list: assemble the (empty) reply inline
+    return;
+  }
+  r->shard_results.resize(static_cast<size_t>(num_shards_));
+  r->remaining.store(active_shards, std::memory_order_relaxed);
+  for (int s = 0; s < num_shards_; ++s) {
+    if (r->shard_keys[static_cast<size_t>(s)].empty()) {
+      continue;
+    }
+    pool_.Submit([this, r, s] { Gather(r, s); });
+  }
+}
+
+void ParamServer::Gather(const std::shared_ptr<Request>& r, int shard) {
+  CpuStopwatch sw;
+  {
+    std::shared_lock<std::shared_mutex> lock(stripes_[static_cast<size_t>(shard)]);
+    const auto& keys = r->shard_keys[static_cast<size_t>(shard)];
+    CellStore out(r->value_dim, CellStore::Layout::kHashed, 0);
+    out.Reserve(static_cast<i64>(keys.size()));
+    for (i64 key : keys) {
+      const f32* v = r->master->Get(key);
+      if (v != nullptr) {
+        f32* dst = out.GetOrCreate(key);
+        std::copy(v, v + r->value_dim, dst);
+      }
+    }
+    r->shard_results[static_cast<size_t>(shard)] = std::move(out);
+  }
+  const double elapsed = sw.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    serve_seconds_ += elapsed;
+  }
+  // The release/acquire pair on `remaining` publishes every shard's result
+  // to whichever task runs the assembly.
+  if (r->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    Finish(r);
+  }
+}
+
+void ParamServer::Finish(const std::shared_ptr<Request>& r) {
+  CpuStopwatch sw;
+  // Assemble in request-key order from the shard gathers — never from the
+  // master store, which a writer may be mutating by now. This reproduces the
+  // inline path's reply bytes exactly (same hits, same insertion order).
+  PartData pd;
+  pd.array = r->req.array;
+  pd.part = r->req.step;
+  pd.mode = PartDataMode::kInstallPart;
+  pd.cells = CellStore(r->value_dim, CellStore::Layout::kHashed, 0);
+  pd.cells.Reserve(static_cast<i64>(r->req.keys.size()));
+  if (!r->shard_results.empty()) {
+    for (i64 key : r->req.keys) {
+      const f32* v = r->shard_results[static_cast<size_t>(ShardOf(key))].Get(key);
+      if (v != nullptr) {
+        f32* dst = pd.cells.GetOrCreate(key);
+        std::copy(v, v + r->value_dim, dst);
+      }
+    }
+  }
+  Message reply;
+  reply.from = kMasterRank;
+  reply.to = r->from;
+  reply.kind = MsgKind::kParamReply;
+  reply.tag = static_cast<u32>(r->req.step);
+  if (r->req.per_key) {
+    MeterAsPerKeyReplies(&reply, r->req.keys.size(), r->value_dim);
+  }
+  AttachPart(&reply, std::move(pd), fabric_->zero_copy());
+  sender_.Enqueue(std::move(reply));
+  const double elapsed = sw.ElapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    serve_seconds_ += elapsed;
+    --in_flight_;
+    if (in_flight_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParamServer::Quiesce() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  sender_.Flush();
+}
+
+std::vector<std::unique_lock<std::shared_mutex>> ParamServer::LockAllShards() {
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    locks.emplace_back(stripes_[static_cast<size_t>(s)]);
+  }
+  return locks;
+}
+
+void ParamServer::ResetPassStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  serve_seconds_ = 0.0;
+  max_queue_depth_ = 0;
+}
+
+double ParamServer::serve_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return serve_seconds_;
+}
+
+int ParamServer::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_queue_depth_;
+}
+
+}  // namespace orion

@@ -1,0 +1,117 @@
+// Sharded, asynchronous serving of kParamRequests on the master.
+//
+// The master's service loop used to gather and send every reply inline, so
+// under a real-time-charged link the reply fan-out serialized across workers
+// (~N x latency) and bounded what deep prefetch could hide. ParamServer moves
+// that work off the loop:
+//
+//   HandleRequest — splits the request's key list into S hash shards and
+//       enqueues one gather task per non-empty shard on a thread pool. Each
+//       gather holds its stripe's lock shared and copies hits out of the
+//       master store; the last shard to finish assembles the reply *in
+//       request-key order* and hands it to a per-destination reply lane
+//       (AsyncSender), so sends to different workers overlap.
+//   LockAllShards — server-state writers (mid-pass wavefront overwrites,
+//       recovery restores) take every stripe exclusively. CellStore rehashes
+//       on insert, so writers need full exclusion, not per-cell atomicity.
+//   Quiesce — barrier: every in-flight request assembled and its reply
+//       delivered. Called at pass end, on pass abort, and before recovery
+//       mutates master state.
+//
+// Determinism: reply contents depend only on (request keys, master state) —
+// exactly what the inline path saw, because 2D kServer buffered applies are
+// deferred to pass end (server state is pass-constant for rotation loops)
+// and wavefront mid-step overwrites touch cells disjoint from any concurrent
+// reader's key list (dependence analysis) with the stripe locks preventing
+// torn reads. Key-order assembly makes the reply bytes identical to the
+// inline gather's, and per-destination lanes keep each worker's replies in
+// FIFO order. kParamReply is not a faultable message kind, so moving replies
+// onto lane threads cannot perturb the injected-fault sequence.
+#ifndef ORION_SRC_RUNTIME_PARAM_SERVER_H_
+#define ORION_SRC_RUNTIME_PARAM_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/dsm/cell_store.h"
+#include "src/net/async_sender.h"
+#include "src/net/fabric.h"
+#include "src/runtime/protocol.h"
+
+namespace orion {
+
+// Assembles the kParamReply for `req` against `master`: hits are copied in
+// request-key order (the order the reply store's insertion-ordered layout
+// makes observable) into a store pre-sized for the key list. Shared by the
+// inline serving path and tests; the sharded path assembles from its
+// per-shard gathers instead.
+Message BuildParamReply(const ParamRequest& req, const CellStore& master, i32 value_dim,
+                        bool zero_copy);
+
+class ParamServer {
+ public:
+  // `num_shards` gather stripes and pool threads; one reply lane per worker.
+  ParamServer(Fabric* fabric, int num_shards, int num_workers);
+  ~ParamServer();
+
+  ParamServer(const ParamServer&) = delete;
+  ParamServer& operator=(const ParamServer&) = delete;
+
+  int num_shards() const { return num_shards_; }
+
+  // Non-blocking: enqueues the gather work and returns. `master` must stay
+  // valid and un-mutated (except under LockAllShards) until Quiesce().
+  void HandleRequest(ParamRequest req, WorkerId from, const CellStore* master,
+                     i32 value_dim);
+
+  // Blocks until every in-flight request has been assembled and its reply
+  // pushed into the destination inbox. Cheap when idle.
+  void Quiesce();
+
+  // Exclusive access w.r.t. all in-flight gathers, for master-state writers.
+  std::vector<std::unique_lock<std::shared_mutex>> LockAllShards();
+
+  // Pass-scoped stats (reset at pass start by the driver).
+  void ResetPassStats();
+  double serve_seconds() const;    // CPU time across gather + assembly tasks
+  int max_queue_depth() const;     // peak requests concurrently in flight
+
+ private:
+  struct Request {
+    ParamRequest req;
+    WorkerId from = 0;
+    const CellStore* master = nullptr;
+    i32 value_dim = 0;
+    std::vector<std::vector<i64>> shard_keys;
+    std::vector<CellStore> shard_results;
+    std::atomic<int> remaining{0};
+  };
+
+  int ShardOf(i64 key) const;
+  void Gather(const std::shared_ptr<Request>& r, int shard);
+  void Finish(const std::shared_ptr<Request>& r);
+
+  Fabric* fabric_;
+  int num_shards_;
+  std::unique_ptr<std::shared_mutex[]> stripes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  int in_flight_ = 0;
+  double serve_seconds_ = 0.0;
+  int max_queue_depth_ = 0;
+
+  // sender_ before pool_: members destroy in reverse order, and pool tasks
+  // enqueue replies, so the pool must drain before the lanes go away.
+  AsyncSender sender_;
+  ThreadPool pool_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_RUNTIME_PARAM_SERVER_H_

@@ -12,6 +12,7 @@
 #include "src/common/types.h"
 #include "src/dsm/cell_store.h"
 #include "src/net/message.h"
+#include "src/runtime/metrics.h"
 
 namespace orion {
 
@@ -50,6 +51,10 @@ struct PassDone {
   // to a buffer swap because the replies had already arrived).
   double overlap_send_seconds = 0.0;
   double prefetch_hidden_seconds = 0.0;
+  // Depth-k prefetch ring: the deepest this worker's ring got during the
+  // pass, and the histogram of its blocking reply waits.
+  i32 prefetch_ring_depth_used = 0;
+  WaitHistogram reply_wait;
   std::vector<f64> accumulators;
 
   std::vector<u8> Encode() const {
@@ -61,6 +66,8 @@ struct PassDone {
     w.Put<double>(wait_seconds);
     w.Put<double>(overlap_send_seconds);
     w.Put<double>(prefetch_hidden_seconds);
+    w.Put<i32>(prefetch_ring_depth_used);
+    reply_wait.Serialize(&w);
     w.PutVec(accumulators);
     return w.Take();
   }
@@ -201,6 +208,11 @@ struct PartData {
 // Encode/Decode, while the fabric still charges the exact encoded size.
 struct ZeroCopyPart final : ZeroCopyPayload {
   PartData pd;
+  // Set by broadcast senders that hand one carrier to several receivers.
+  // Receivers of a multi-reader part must always copy: deciding move-vs-copy
+  // from use_count() would race, because another receiver's copy-then-release
+  // is not synchronized-with a relaxed refcount load observing count == 1.
+  bool multi_reader = false;
   size_t EncodedSize() const override { return pd.EncodedSize(); }
 };
 
@@ -216,13 +228,16 @@ inline void AttachPart(Message* m, PartData pd, bool zero_copy) {
   }
 }
 
-// Unpacks a PartData from either representation. A uniquely owned zero-copy
-// payload is moved out; a shared one (replica broadcast, injector duplicate)
-// is copied, preserving value semantics for the other holders.
+// Unpacks a PartData from either representation. A multi-reader payload
+// (replica broadcast) is always copied — concurrent receivers may be reading
+// it. A single-reader one is moved out when uniquely owned; the use_count()
+// check only guards same-queue duplicates, which the one receiver thread
+// consumes sequentially, so no concurrent access is possible there.
 inline PartData TakePart(Message& m) {
   if (m.zc != nullptr) {
     auto* z = static_cast<ZeroCopyPart*>(m.zc.get());
-    PartData out = m.zc.use_count() == 1 ? std::move(z->pd) : z->pd;
+    PartData out = (!z->multi_reader && m.zc.use_count() == 1) ? std::move(z->pd)
+                                                               : PartData(z->pd);
     m.zc.reset();
     return out;
   }
@@ -234,11 +249,15 @@ struct ParamRequest {
   DistArrayId array = kInvalidDistArrayId;
   i32 step = 0;
   std::vector<i64> keys;
+  // Marks a coalesced kPerKey storm: the keys travel in one wire message but
+  // the exchange is metered as keys.size() per-key request/reply pairs.
+  bool per_key = false;
 
   std::vector<u8> Encode() const {
     ByteWriter w;
     w.Put<i32>(array);
     w.Put<i32>(step);
+    w.Put<u8>(per_key ? 1 : 0);
     w.PutVec(keys);
     return w.Take();
   }
@@ -248,10 +267,79 @@ struct ParamRequest {
     ParamRequest p;
     p.array = r.Get<i32>();
     p.step = r.Get<i32>();
+    p.per_key = r.Get<u8>() != 0;
     p.keys = r.GetVec<i64>();
     return p;
   }
+
+  // Exact size Encode() would produce; the fabric meters this when the
+  // request travels zero-copy.
+  size_t EncodedSize() const {
+    return sizeof(i32) + sizeof(i32) + sizeof(u8) + sizeof(u64) +
+           keys.size() * sizeof(i64);
+  }
 };
+
+// Zero-copy carrier for ParamRequest: in-process requests skip Encode/Decode
+// just like replies, while the fabric still charges the exact encoded size.
+struct ZeroCopyParamRequest final : ZeroCopyPayload {
+  ParamRequest req;
+  size_t EncodedSize() const override { return req.EncodedSize(); }
+};
+
+inline void AttachParamRequest(Message* m, ParamRequest req, bool zero_copy) {
+  if (zero_copy) {
+    auto z = std::make_shared<ZeroCopyParamRequest>();
+    z->req = std::move(req);
+    m->zc = std::move(z);
+  } else {
+    m->payload = req.Encode();
+  }
+}
+
+inline ParamRequest TakeParamRequest(Message& m) {
+  if (m.zc != nullptr) {
+    auto* z = static_cast<ZeroCopyParamRequest*>(m.zc.get());
+    ParamRequest out = m.zc.use_count() == 1 ? std::move(z->req) : z->req;
+    m.zc.reset();
+    return out;
+  }
+  return ParamRequest::Decode(m.payload);
+}
+
+// kPerKey cost modeling for a coalesced request: had the storm really been
+// sent, each key would have been its own message — one transport header plus
+// one single-key ParamRequest. Meter the batched message as that many
+// latencies and the framing bytes of the (n - 1) messages it absorbed; the
+// key payload bytes themselves are identical in both representations.
+inline void MeterAsPerKeyRequests(Message* m, const ParamRequest& req) {
+  const size_t n = req.keys.size();
+  if (!req.per_key || n <= 1) {
+    return;
+  }
+  // Each of the n-1 extra virtual messages repeats the header and the fixed
+  // request fields; the keys themselves are already counted once in the real
+  // coalesced payload, so the shell here is key-less.
+  ParamRequest shell;
+  shell.per_key = true;
+  const size_t per_msg = Message::kHeaderBytes + shell.EncodedSize();
+  m->meter_messages = static_cast<u32>(n);
+  m->meter_extra_bytes = (n - 1) * per_msg;
+}
+
+// Same for the reply: per-key replies each carry a transport header plus an
+// empty PartData shell (header + empty CellStore); the cell bytes of found
+// keys are identical whether they travel in one reply or n.
+inline void MeterAsPerKeyReplies(Message* m, size_t num_keys, i32 value_dim) {
+  if (num_keys <= 1) {
+    return;
+  }
+  PartData shell;
+  shell.cells = CellStore(value_dim, CellStore::Layout::kHashed, 0);
+  const size_t per_msg = Message::kHeaderBytes + shell.EncodedSize();
+  m->meter_messages = static_cast<u32>(num_keys);
+  m->meter_extra_bytes = (num_keys - 1) * per_msg;
+}
 
 // kGather / kDropArray control message.
 struct ArrayOp {
