@@ -63,6 +63,7 @@ struct RunResult {
   int shard_queue_depth = 0;        // peak requests in flight at the server
   int ring_depth = 0;               // peak prefetch ring occupancy
   double reply_wait_seconds = 0.0;  // executor time blocked on kParamReply
+  WaitHistogram reply_wait;         // merged across workers and passes
   u64 zero_copy_bytes = 0;
   std::map<i64, std::vector<f32>> out_r;
   std::map<i64, std::vector<f32>> out_c;
@@ -155,11 +156,12 @@ RunResult RunRotationServer(bool overlap, bool zero_copy) {
       res.shard_queue_depth = std::max(res.shard_queue_depth, m.param_shard_queue_depth_max);
       res.ring_depth = std::max(res.ring_depth, m.prefetch_ring_depth_used);
       for (const WaitHistogram& h : m.worker_reply_wait) {
-        res.reply_wait_seconds += h.total_seconds;
+        res.reply_wait.Merge(h);
       }
       res.zero_copy_bytes += m.zero_copy_bytes;
     }
   }
+  res.reply_wait_seconds = res.reply_wait.total_seconds;
   res.sec_per_pass /= kPasses - 1;
   res.out_r = Snapshot(&driver, out_r);
   res.out_c = Snapshot(&driver, out_c);
@@ -258,9 +260,10 @@ int Main() {
   std::printf("speedup rotation+server: %.2fx, sgd_mf: %.2fx\n", rot_speedup, mf_speedup);
   std::printf(
       "rotation_server overlap: serve_sec=%.4f shard_queue_depth=%d ring_depth=%d "
-      "reply_wait_sec=%.4f\n",
+      "reply_wait_sec=%.4f reply_wait_p50=%.6f reply_wait_p99=%.6f\n",
       rot_ovl.serve_seconds, rot_ovl.shard_queue_depth, rot_ovl.ring_depth,
-      rot_ovl.reply_wait_seconds);
+      rot_ovl.reply_wait_seconds, rot_ovl.reply_wait.ApproxPercentile(0.5),
+      rot_ovl.reply_wait.ApproxPercentile(0.99));
 
   FILE* f = std::fopen("BENCH_overlap.json", "w");
   if (f != nullptr) {

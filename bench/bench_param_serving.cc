@@ -55,6 +55,7 @@ struct RunResult {
   int shard_queue_depth = 0;
   int ring_depth = 0;
   double reply_wait_seconds = 0.0;
+  WaitHistogram reply_wait;  // merged across workers and passes
   std::map<i64, std::vector<f32>> out_r;
   std::map<i64, std::vector<f32>> out_c;
   f64 accum = 0.0;
@@ -151,10 +152,11 @@ RunResult Run(const Config& c) {
       res.shard_queue_depth = std::max(res.shard_queue_depth, m.param_shard_queue_depth_max);
       res.ring_depth = std::max(res.ring_depth, m.prefetch_ring_depth_used);
       for (const WaitHistogram& h : m.worker_reply_wait) {
-        res.reply_wait_seconds += h.total_seconds;
+        res.reply_wait.Merge(h);
       }
     }
   }
+  res.reply_wait_seconds = res.reply_wait.total_seconds;
   res.sec_per_pass /= kPasses - 1;
   res.out_r = Snapshot(&driver, out_r);
   res.out_c = Snapshot(&driver, out_c);
@@ -254,10 +256,13 @@ int Main() {
                    "    {\"depth\": %d, \"shards\": %d, \"sec_per_pass\": %.6f, "
                    "\"speedup_vs_baseline\": %.3f, \"serve_sec\": %.6f, "
                    "\"ring_depth_used\": %d, \"reply_wait_sec\": %.6f, "
+                   "\"reply_wait_p50\": %.6f, \"reply_wait_p99\": %.6f, "
                    "\"identical\": %s}%s\n",
                    p.depth, p.shards, p.res.sec_per_pass,
                    baseline.sec_per_pass / p.res.sec_per_pass, p.res.serve_seconds,
                    p.res.ring_depth, p.res.reply_wait_seconds,
+                   p.res.reply_wait.ApproxPercentile(0.5),
+                   p.res.reply_wait.ApproxPercentile(0.99),
                    p.identical ? "true" : "false", i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f,

@@ -12,8 +12,15 @@
 // stratified 2D "rotation" schedule automatically.
 //
 // Run: ./quickstart
+//
+// Observability: set ORION_TRACE=/path/to/trace.json to record a cluster
+// span timeline (open it at ui.perfetto.dev), and ORION_METRICS=/path/to/
+// metrics.json to dump the unified metrics registry. A traced run also
+// prints the per-pass critical-path table.
 #include <cstdio>
+#include <cstdlib>
 
+#include "src/common/trace.h"
 #include "src/runtime/driver.h"
 
 using namespace orion;  // examples only; library code spells orion:: out
@@ -22,6 +29,12 @@ int main() {
   const i64 kRows = 200;
   const i64 kCols = 160;
   const int kRank = 8;
+
+  const char* trace_path = std::getenv("ORION_TRACE");
+  const char* metrics_path = std::getenv("ORION_METRICS");
+  if (trace_path != nullptr) {
+    trace::SetEnabled(true);
+  }
 
   Driver driver({.num_workers = 4});
 
@@ -89,5 +102,15 @@ int main() {
                 driver.AccumulatorValue(loss_acc));
   }
   std::printf("\ndone: the loss should have dropped by well over 10x.\n");
+
+  if (trace_path != nullptr) {
+    std::printf("\n%s\n", driver.CriticalPathReport().c_str());
+    ORION_CHECK_OK(driver.DumpTrace(trace_path));
+    std::printf("trace written to %s (open at ui.perfetto.dev)\n", trace_path);
+  }
+  if (metrics_path != nullptr) {
+    ORION_CHECK_OK(driver.ExportMetrics().DumpJson(metrics_path));
+    std::printf("metrics written to %s\n", metrics_path);
+  }
   return 0;
 }

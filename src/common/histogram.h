@@ -7,11 +7,120 @@
 #ifndef ORION_SRC_COMMON_HISTOGRAM_H_
 #define ORION_SRC_COMMON_HISTOGRAM_H_
 
+#include <cmath>
 #include <vector>
 
+#include "src/common/serde.h"
 #include "src/common/types.h"
 
 namespace orion {
+
+// Histogram of an executor's reply waits: the blocking portion of each
+// AwaitPrefetch (0 when the prefetch was fully hidden under compute).
+// Log-scale bucket upper bounds: 0.1ms, 1ms, 10ms, 100ms, 1s, +inf.
+struct WaitHistogram {
+  static constexpr int kNumBuckets = 6;
+  u64 counts[kNumBuckets] = {0, 0, 0, 0, 0, 0};
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  void Add(double seconds) {
+    double bound = 1e-4;
+    int b = 0;
+    while (b < kNumBuckets - 1 && seconds >= bound) {
+      bound *= 10.0;
+      ++b;
+    }
+    ++counts[b];
+    total_seconds += seconds;
+    if (seconds > max_seconds) {
+      max_seconds = seconds;
+    }
+  }
+
+  // Folds another histogram into this one (buckets are aligned by
+  // construction, so a merge is exact up to bucket granularity).
+  void Merge(const WaitHistogram& o) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      counts[b] += o.counts[b];
+    }
+    total_seconds += o.total_seconds;
+    if (o.max_seconds > max_seconds) {
+      max_seconds = o.max_seconds;
+    }
+  }
+
+  u64 total_count() const {
+    u64 n = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      n += counts[b];
+    }
+    return n;
+  }
+
+  // Approximate quantile (q in [0, 1]) by log interpolation inside the
+  // bucket holding the target rank. The first bucket interpolates linearly
+  // from 0 and the open-ended last bucket interpolates up to max_seconds;
+  // results are clamped to [0, max_seconds].
+  double ApproxPercentile(double q) const {
+    const u64 n = total_count();
+    if (n == 0) {
+      return 0.0;
+    }
+    if (q <= 0.0) {
+      return 0.0;
+    }
+    if (q > 1.0) {
+      q = 1.0;
+    }
+    const double target = q * static_cast<double>(n);
+    double cum = 0.0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (counts[b] == 0) {
+        continue;
+      }
+      const double next = cum + static_cast<double>(counts[b]);
+      if (target <= next || b == kNumBuckets - 1) {
+        const double frac = (target - cum) / static_cast<double>(counts[b]);
+        const double lo = b == 0 ? 0.0 : 1e-4 * std::pow(10.0, b - 1);
+        double hi = b == kNumBuckets - 1 ? max_seconds : 1e-4 * std::pow(10.0, b);
+        if (hi < lo) {
+          hi = lo;
+        }
+        double v;
+        if (lo <= 0.0) {
+          v = hi * frac;  // linear in the bucket touching zero
+        } else {
+          v = lo * std::pow(hi / lo, frac);  // log interpolation
+        }
+        if (max_seconds > 0.0 && v > max_seconds) {
+          v = max_seconds;
+        }
+        return v;
+      }
+      cum = next;
+    }
+    return max_seconds;
+  }
+
+  void Serialize(ByteWriter* w) const {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      w->Put<u64>(counts[b]);
+    }
+    w->Put<double>(total_seconds);
+    w->Put<double>(max_seconds);
+  }
+
+  static WaitHistogram Deserialize(ByteReader* r) {
+    WaitHistogram h;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      h.counts[b] = r->Get<u64>();
+    }
+    h.total_seconds = r->Get<double>();
+    h.max_seconds = r->Get<double>();
+    return h;
+  }
+};
 
 class DimHistogram {
  public:

@@ -1,13 +1,47 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+
+#include "src/common/trace.h"
 
 namespace orion {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+// Minimum level comes from ORION_LOG_LEVEL at startup (name or digit,
+// case-insensitive: debug/info/warning/error or 0..3); default kWarning.
+int InitialLogLevel() {
+  const char* e = std::getenv("ORION_LOG_LEVEL");
+  if (e == nullptr || e[0] == '\0') {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  switch (e[0]) {
+    case '0':
+    case 'd':
+    case 'D':
+      return static_cast<int>(LogLevel::kDebug);
+    case '1':
+    case 'i':
+    case 'I':
+      return static_cast<int>(LogLevel::kInfo);
+    case '2':
+    case 'w':
+    case 'W':
+      return static_cast<int>(LogLevel::kWarning);
+    case '3':
+    case 'e':
+    case 'E':
+      return static_cast<int>(LogLevel::kError);
+    default:
+      return static_cast<int>(LogLevel::kWarning);
+  }
+}
+
+std::atomic<int> g_log_level{InitialLogLevel()};
 std::mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) {
@@ -28,6 +62,7 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
@@ -39,7 +74,20 @@ namespace internal {
 LogLine::LogLine(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >= g_log_level.load()), level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+    // Monotonic timestamp (same epoch as the span tracer) and thread/rank
+    // tag: "M" for master-side threads, "w<r>" for executor rank r, plus the
+    // tracer's stable small thread id.
+    const double t = static_cast<double>(trace::NowNs()) * 1e-9;
+    const i32 rank = trace::ThreadRank();
+    char tag[24];
+    if (rank == kMasterRank) {
+      std::snprintf(tag, sizeof tag, "M/t%d", trace::ThreadId());
+    } else {
+      std::snprintf(tag, sizeof tag, "w%d/t%d", rank, trace::ThreadId());
+    }
+    char prefix[96];
+    std::snprintf(prefix, sizeof prefix, "[%s %.6f %s ", LevelName(level), t, tag);
+    stream_ << prefix << Basename(file) << ":" << line << "] ";
   }
 }
 

@@ -1,0 +1,114 @@
+#include "src/common/metrics_registry.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace orion {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+    }
+    out->push_back(c);
+  }
+}
+
+std::string Num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::SetCounter(const std::string& name, u64 value) {
+  counters_[name] = value;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, u64 delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+WaitHistogram& MetricsRegistry::Histogram(const std::string& name) {
+  return histograms_[name];
+}
+
+u64 MetricsRegistry::Counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::Gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::HasHistogram(const std::string& name) const {
+  return histograms_.count(name) != 0;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(name, &out);
+    out += "\":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(name, &out);
+    out += "\":" + Num(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(name, &out);
+    out += "\":{\"counts\":[";
+    for (int b = 0; b < WaitHistogram::kNumBuckets; ++b) {
+      if (b > 0) out += ",";
+      out += std::to_string(h.counts[b]);
+    }
+    out += "],\"total_seconds\":" + Num(h.total_seconds);
+    out += ",\"max_seconds\":" + Num(h.max_seconds);
+    out += ",\"count\":" + std::to_string(h.total_count());
+    out += ",\"p50\":" + Num(h.ApproxPercentile(0.5));
+    out += ",\"p90\":" + Num(h.ApproxPercentile(0.9));
+    out += ",\"p99\":" + Num(h.ApproxPercentile(0.99));
+    out += "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+Status MetricsRegistry::DumpJson(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to metrics file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace orion

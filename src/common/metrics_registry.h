@@ -1,0 +1,48 @@
+// Unified metrics registry: named counters, gauges, and wait histograms
+// behind stable string names, with a deterministic JSON dump.
+//
+// The ad-hoc LoopMetrics/RuntimeMetrics structs stay as the wire/API types;
+// Driver::ExportMetrics() flattens them into a registry so benches and CI
+// consume one schema ("pass.wall_seconds", "net.bytes_sent", ...) instead
+// of struct fields.
+#ifndef ORION_SRC_COMMON_METRICS_REGISTRY_H_
+#define ORION_SRC_COMMON_METRICS_REGISTRY_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace orion {
+
+class MetricsRegistry {
+ public:
+  void SetCounter(const std::string& name, u64 value);
+  void AddCounter(const std::string& name, u64 delta);
+  void SetGauge(const std::string& name, double value);
+
+  // Returns the histogram registered under `name`, creating it empty on
+  // first use (merge into the returned reference).
+  WaitHistogram& Histogram(const std::string& name);
+
+  u64 Counter(const std::string& name) const;        // 0 when absent
+  double Gauge(const std::string& name) const;       // 0.0 when absent
+  bool HasHistogram(const std::string& name) const;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{counts:[...],
+  //  total_seconds,max_seconds,count,p50,p90,p99}}} — keys sorted, so the
+  // dump is byte-stable for identical contents.
+  std::string ToJson() const;
+  Status DumpJson(const std::string& path) const;
+
+ private:
+  std::map<std::string, u64> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, WaitHistogram> histograms_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_METRICS_REGISTRY_H_

@@ -4,10 +4,12 @@
 
 #include "src/common/status.h"
 #include "src/common/timer.h"
+#include "src/common/trace.h"
 
 namespace orion {
 
-AsyncSender::AsyncSender(Fabric* fabric, int num_lanes) : fabric_(fabric) {
+AsyncSender::AsyncSender(Fabric* fabric, int num_lanes, i32 trace_rank)
+    : fabric_(fabric), trace_rank_(trace_rank) {
   ORION_CHECK(num_lanes > 0);
   lanes_.reserve(static_cast<size_t>(num_lanes));
   for (int i = 0; i < num_lanes; ++i) {
@@ -63,6 +65,7 @@ double AsyncSender::busy_seconds() const {
 }
 
 void AsyncSender::Loop(Lane* lane) {
+  trace::SetThreadRank(trace_rank_);
   std::unique_lock<std::mutex> lock(lane->mu);
   while (true) {
     lane->work_cv.wait(lock, [&] { return !lane->queue.empty() || lane->stop; });
@@ -74,7 +77,10 @@ void AsyncSender::Loop(Lane* lane) {
     lane->sending = true;
     lock.unlock();
     Stopwatch sw;
-    fabric_->Send(std::move(msg));
+    {
+      ORION_TRACE_SPAN(kSender, "lane_send");
+      fabric_->Send(std::move(msg));
+    }
     const double elapsed = sw.ElapsedSeconds();
     lock.lock();
     lane->busy_seconds += elapsed;

@@ -34,7 +34,9 @@ namespace orion {
 
 class AsyncSender {
  public:
-  explicit AsyncSender(Fabric* fabric, int num_lanes = 1);
+  // `trace_rank` tags the lane threads for the span tracer (kMasterRank for
+  // master-side senders, the owning executor's rank for worker senders).
+  explicit AsyncSender(Fabric* fabric, int num_lanes = 1, i32 trace_rank = kMasterRank);
   ~AsyncSender();
 
   AsyncSender(const AsyncSender&) = delete;
@@ -70,6 +72,7 @@ class AsyncSender {
   void Loop(Lane* lane);
 
   Fabric* fabric_;
+  i32 trace_rank_;
   std::vector<std::unique_ptr<Lane>> lanes_;
 };
 

@@ -4,8 +4,63 @@
 #include <thread>
 
 #include "src/common/status.h"
+#include "src/common/trace.h"
 
 namespace orion {
+
+namespace {
+
+// Static span-name tables keyed by message kind: the tracer stores the
+// pointer, so names must be string literals.
+const char* SendSpanName(MsgKind k) {
+  switch (k) {
+    case MsgKind::kControl:
+      return "send:control";
+    case MsgKind::kPartitionData:
+      return "send:partition_data";
+    case MsgKind::kTimeStepToken:
+      return "send:time_step_token";
+    case MsgKind::kParamRequest:
+      return "send:param_request";
+    case MsgKind::kParamReply:
+      return "send:param_reply";
+    case MsgKind::kParamUpdate:
+      return "send:param_update";
+    case MsgKind::kAccumulator:
+      return "send:accumulator";
+    case MsgKind::kBarrier:
+      return "send:barrier";
+    case MsgKind::kShutdown:
+      return "send:shutdown";
+  }
+  return "send:unknown";
+}
+
+const char* RecvSpanName(MsgKind k) {
+  switch (k) {
+    case MsgKind::kControl:
+      return "recv:control";
+    case MsgKind::kPartitionData:
+      return "recv:partition_data";
+    case MsgKind::kTimeStepToken:
+      return "recv:time_step_token";
+    case MsgKind::kParamRequest:
+      return "recv:param_request";
+    case MsgKind::kParamReply:
+      return "recv:param_reply";
+    case MsgKind::kParamUpdate:
+      return "recv:param_update";
+    case MsgKind::kAccumulator:
+      return "recv:accumulator";
+    case MsgKind::kBarrier:
+      return "recv:barrier";
+    case MsgKind::kShutdown:
+      return "recv:shutdown";
+  }
+  return "recv:unknown";
+}
+
+}  // namespace
 
 Fabric::Fabric(int num_workers, NetCostModel cost_model, double stats_bucket_seconds)
     : num_workers_(num_workers),
@@ -57,6 +112,7 @@ void Fabric::MeterAndDeliver(Message msg) {
 }
 
 void Fabric::Send(Message msg) {
+  ORION_TRACE_SPAN(kFabric, SendSpanName(msg.kind));
   if (injector_ != nullptr && injector_->plan().HasMessageFaults()) {
     // Metering happens at the sender (the cost was paid even if the message
     // is then lost in transit), so the original is charged exactly once and
@@ -70,12 +126,34 @@ void Fabric::Send(Message msg) {
   MeterAndDeliver(std::move(msg));
 }
 
-void Fabric::SendReliable(Message msg) { MeterAndDeliver(std::move(msg)); }
+void Fabric::SendReliable(Message msg) {
+  ORION_TRACE_SPAN(kFabric, SendSpanName(msg.kind));
+  MeterAndDeliver(std::move(msg));
+}
 
-std::optional<Message> Fabric::Recv(WorkerId rank) { return InboxFor(rank).Pop(); }
+std::optional<Message> Fabric::Recv(WorkerId rank) {
+  if (!trace::Enabled()) {
+    return InboxFor(rank).Pop();
+  }
+  const i64 start_ns = trace::NowNs();
+  auto msg = InboxFor(rank).Pop();
+  if (msg.has_value()) {
+    // The span covers the blocking wait; poll misses emit nothing.
+    trace::Emit(trace::Category::kFabric, RecvSpanName(msg->kind), start_ns, trace::NowNs());
+  }
+  return msg;
+}
 
 std::optional<Message> Fabric::RecvWithTimeout(WorkerId rank, double seconds) {
-  return InboxFor(rank).PopWithTimeout(std::chrono::duration<double>(seconds));
+  if (!trace::Enabled()) {
+    return InboxFor(rank).PopWithTimeout(std::chrono::duration<double>(seconds));
+  }
+  const i64 start_ns = trace::NowNs();
+  auto msg = InboxFor(rank).PopWithTimeout(std::chrono::duration<double>(seconds));
+  if (msg.has_value()) {
+    trace::Emit(trace::Category::kFabric, RecvSpanName(msg->kind), start_ns, trace::NowNs());
+  }
+  return msg;
 }
 
 std::optional<Message> Fabric::TryRecv(WorkerId rank) { return InboxFor(rank).TryPop(); }

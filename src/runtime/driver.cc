@@ -658,6 +658,7 @@ void Driver::ScatterArray(const CompiledLoop& cl, DistArrayId id,
 }
 
 void Driver::EnsureScattered(const CompiledLoop& cl) {
+  ORION_TRACE_SPAN(kDriver, "scatter");
   {
     ArrayHost& h = Host(cl.spec.iter_space);
     const bool ok = h.on_workers && h.placement.scheme == PartitionScheme::kIterSpace &&
@@ -1008,6 +1009,14 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         const i32 ring_used = r.Get<i32>();
         WaitHistogram reply_wait = WaitHistogram::Deserialize(&r);
         worker_accum[msg->from] = r.GetVec<f64>();
+        if (!r.AtEnd()) {
+          // Piggybacked tracer spans. The done[] dedupe above already ran, so
+          // an injector-duplicated PassDone never appends twice.
+          std::vector<trace::Span> spans = trace::DeserializeSpans(&r);
+          cluster_trace_.insert(cluster_trace_.end(),
+                                std::make_move_iterator(spans.begin()),
+                                std::make_move_iterator(spans.end()));
+        }
         last_metrics_.max_worker_compute_seconds =
             std::max(last_metrics_.max_worker_compute_seconds, compute);
         last_metrics_.max_worker_wait_seconds =
@@ -1042,12 +1051,15 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
 
   // Pass-end application of the deferred server updates, in logical-rank
   // order. stable_sort keeps each worker's own flushes in send (FIFO) order.
-  std::stable_sort(deferred_server.begin(), deferred_server.end(),
-                   [&](const auto& a, const auto& b) {
-                     return logical_of(a.first) < logical_of(b.first);
-                   });
-  for (auto& [from, pd] : deferred_server) {
-    ApplyParamUpdate(&cl, std::move(pd), 0);
+  {
+    ORION_TRACE_SPAN(kDriver, "deferred_applies");
+    std::stable_sort(deferred_server.begin(), deferred_server.end(),
+                     [&](const auto& a, const auto& b) {
+                       return logical_of(a.first) < logical_of(b.first);
+                     });
+    for (auto& [from, pd] : deferred_server) {
+      ApplyParamUpdate(&cl, std::move(pd), 0);
+    }
   }
 
   // Fold accumulators in logical-rank order (arrival-independent f64 sums).
@@ -1094,6 +1106,7 @@ std::string Driver::RecoveryPath(DistArrayId id) const {
 }
 
 Status Driver::WriteRecoveryCheckpoint() {
+  ORION_TRACE_SPAN(kDriver, "checkpoint");
   Stopwatch sw;
   for (DistArrayId id : recover_arrays_) {
     ORION_RETURN_IF_ERROR(CheckpointWrite(RecoveryPath(id), MutableCells(id)));
@@ -1107,6 +1120,7 @@ Status Driver::WriteRecoveryCheckpoint() {
 }
 
 Status Driver::Recover(int lost_physical_rank) {
+  ORION_TRACE_SPAN(kDriver, "recovery");
   Stopwatch sw;
   ++runtime_metrics_.workers_lost;
   ++runtime_metrics_.recoveries;
@@ -1205,6 +1219,69 @@ Status Driver::Recover(int lost_physical_rank) {
   }
   runtime_metrics_.recovery_seconds += sw.ElapsedSeconds();
   return Status::Ok();
+}
+
+const std::vector<trace::Span>& Driver::CollectTrace() {
+  // Scoop up everything not yet shipped: the master's own threads (driver,
+  // ParamServer pool, sender lanes) and any worker spans left in their rings
+  // (e.g. recorded after the last PassDone or at halt). Draining removes
+  // spans from the rings, so repeated collection never duplicates.
+  std::vector<trace::Span> rest = trace::DrainAll();
+  cluster_trace_.insert(cluster_trace_.end(), std::make_move_iterator(rest.begin()),
+                        std::make_move_iterator(rest.end()));
+  return cluster_trace_;
+}
+
+Status Driver::DumpTrace(const std::string& path) {
+  return trace::WriteChromeTrace(path, CollectTrace());
+}
+
+std::string Driver::CriticalPathReport() {
+  return trace::FormatCriticalPathTable(trace::AnalyzeCriticalPath(CollectTrace()));
+}
+
+MetricsRegistry Driver::ExportMetrics() const {
+  MetricsRegistry reg;
+  const LoopMetrics& lm = last_metrics_;
+  reg.SetGauge("pass.wall_seconds", lm.pass_wall_seconds);
+  reg.SetGauge("pass.max_worker_compute_seconds", lm.max_worker_compute_seconds);
+  reg.SetGauge("pass.max_worker_wait_seconds", lm.max_worker_wait_seconds);
+  reg.SetGauge("pass.overlap_seconds", lm.overlap_seconds);
+  reg.SetGauge("pass.prefetch_wait_hidden_seconds", lm.prefetch_wait_hidden_seconds);
+  reg.SetGauge("pass.param_serve_seconds", lm.param_serve_seconds);
+  reg.SetCounter("pass.param_shard_queue_depth_max",
+                 static_cast<u64>(lm.param_shard_queue_depth_max));
+  reg.SetCounter("pass.prefetch_ring_depth_used",
+                 static_cast<u64>(lm.prefetch_ring_depth_used));
+  reg.SetCounter("pass.bytes_sent", lm.bytes_sent);
+  reg.SetCounter("pass.messages_sent", lm.messages_sent);
+  reg.SetGauge("pass.virtual_net_seconds", lm.virtual_net_seconds);
+  reg.SetCounter("pass.zero_copy_bytes", lm.zero_copy_bytes);
+  WaitHistogram& reply_wait = reg.Histogram("pass.reply_wait");
+  for (const WaitHistogram& h : lm.worker_reply_wait) {
+    reply_wait.Merge(h);
+  }
+
+  const FabricStats fs = fabric_->Stats();
+  reg.SetCounter("net.bytes_sent", fs.bytes_sent);
+  reg.SetCounter("net.messages_sent", fs.messages_sent);
+  reg.SetCounter("net.zero_copy_bytes", fs.zero_copy_bytes);
+  reg.SetGauge("net.virtual_seconds", fs.virtual_net_seconds);
+
+  const RuntimeMetrics rm = runtime_metrics();
+  reg.SetCounter("fault.dropped", rm.faults_dropped);
+  reg.SetCounter("fault.duplicated", rm.faults_duplicated);
+  reg.SetCounter("fault.delayed", rm.faults_delayed);
+  reg.SetCounter("fault.crashes_triggered", rm.crashes_triggered);
+  reg.SetCounter("supervision.heartbeats_sent", rm.heartbeats_sent);
+  reg.SetCounter("supervision.retransmits", rm.retransmits);
+  reg.SetCounter("recovery.workers_lost", rm.workers_lost);
+  reg.SetCounter("recovery.recoveries", rm.recoveries);
+  reg.SetCounter("recovery.passes_replayed", rm.passes_replayed);
+  reg.SetGauge("recovery.seconds", rm.recovery_seconds);
+  reg.SetCounter("checkpoint.count", rm.checkpoints_written);
+  reg.SetGauge("checkpoint.seconds", rm.checkpoint_seconds);
+  return reg;
 }
 
 RuntimeMetrics Driver::runtime_metrics() const {
@@ -1363,13 +1440,18 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
   const FabricStats before = fabric_->Stats();
   Stopwatch sw;
   const i32 pass = pass_counter_++;
-  for (int w : live_ranks_) {
-    Message m;
-    m.from = kMasterRank;
-    m.to = w;
-    m.kind = MsgKind::kControl;
-    m.payload = StartPass{loop_id, pass}.Encode();
-    fabric_->Send(std::move(m));
+  trace::SetThreadPass(pass);
+  const i64 trace_pass_start_ns = trace::Enabled() ? trace::NowNs() : 0;
+  {
+    ORION_TRACE_SPAN(kDriver, "start_pass");
+    for (int w : live_ranks_) {
+      Message m;
+      m.from = kMasterRank;
+      m.to = w;
+      m.kind = MsgKind::kControl;
+      m.payload = StartPass{loop_id, pass}.Encode();
+      fabric_->Send(std::move(m));
+    }
   }
   const PassOutcome out = ServicePassMessages(cl, pass);
   if (!out.completed) {
@@ -1378,6 +1460,11 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
 
   const FabricStats after = fabric_->Stats();
   last_metrics_.pass_wall_seconds = sw.ElapsedSeconds();
+  if (trace::Enabled()) {
+    // Master pass span: StartPass fan-out through deferred applies — the
+    // wall the critical-path analyzer attributes.
+    trace::Emit(trace::Category::kDriver, "pass", trace_pass_start_ns, trace::NowNs());
+  }
   last_metrics_.bytes_sent = after.bytes_sent - before.bytes_sent;
   last_metrics_.messages_sent = after.messages_sent - before.messages_sent;
   last_metrics_.virtual_net_seconds = after.virtual_net_seconds - before.virtual_net_seconds;

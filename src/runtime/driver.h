@@ -24,8 +24,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics_registry.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/dsm/checkpoint.h"
 #include "src/net/fabric.h"
 #include "src/runtime/compiled_loop.h"
@@ -176,6 +178,22 @@ class Driver {
   FabricStats NetStats() const { return fabric_->Stats(); }
   void ResetNetStats() { fabric_->ResetStats(); }
 
+  // ---- Tracing (src/common/trace.h; enable with trace::SetEnabled) ----
+
+  // Drains every live span ring (master threads + anything workers have not
+  // yet shipped via PassDone) into the merged cluster timeline and returns
+  // it. Idempotent between passes; spans accumulate until the Driver dies.
+  const std::vector<trace::Span>& CollectTrace();
+  // CollectTrace + Chrome trace-event JSON export (Perfetto-loadable).
+  Status DumpTrace(const std::string& path);
+  // CollectTrace + per-pass critical-path attribution, formatted as a table.
+  std::string CriticalPathReport();
+
+  // Flattens LoopMetrics/RuntimeMetrics/FabricStats behind stable names
+  // ("pass.wall_seconds", "net.bytes_sent", ...) with the per-worker
+  // reply-wait histograms merged into one "pass.reply_wait".
+  MetricsRegistry ExportMetrics() const;
+
   // Fault-tolerance counters, with the injector's live stats folded in.
   RuntimeMetrics runtime_metrics() const;
   // The injected-fault event log (empty without a fault plan) — the
@@ -269,6 +287,10 @@ class Driver {
   bool baseline_ckpt_done_ = false;
   std::vector<std::pair<i32, i32>> pass_log_;  // (loop_id, pass) since last checkpoint
   std::vector<f64> ckpt_accumulators_;
+
+  // Merged cluster timeline: spans shipped in PassDone plus everything
+  // drained locally by CollectTrace. Only grows while tracing is enabled.
+  std::vector<trace::Span> cluster_trace_;
 
   LoopMetrics last_metrics_;
   RuntimeMetrics runtime_metrics_;

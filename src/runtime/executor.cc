@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/common/trace.h"
 
 namespace orion {
 
@@ -196,7 +197,7 @@ class RecordingLoopContext : public WorkerLoopContext {
 // Executor
 
 Executor::Executor(WorkerId rank, Fabric* fabric, const SharedDirectory* dir)
-    : rank_(rank), fabric_(fabric), dir_(dir), logical_rank_(rank), sender_(fabric) {
+    : rank_(rank), fabric_(fabric), dir_(dir), logical_rank_(rank), sender_(fabric, 1, rank) {
   ring_.resize(static_cast<size_t>(fabric->num_workers()));
   for (size_t i = 0; i < ring_.size(); ++i) {
     ring_[i] = static_cast<i32>(i);
@@ -234,6 +235,7 @@ DistArrayBuffer& Executor::GetBuffer(DistArrayId target) {
 }
 
 void Executor::Run() {
+  trace::SetThreadRank(logical_rank_);
   sup_ = dir_->supervisor();
   try {
     while (true) {
@@ -483,6 +485,10 @@ std::optional<Message> Executor::WaitForTimeout(
 
 void Executor::WaitForPart(DistArrayId array, int tau) {
   ArrayState& st = GetArray(array);
+  if (st.parts.count(tau) != 0) {
+    return;  // already resident: no wait, no span
+  }
+  ORION_TRACE_SPAN(kExecutor, "rotation_wait");
   while (st.parts.count(tau) == 0) {
     Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kPartitionData; });
     Dispatch(msg);
@@ -490,6 +496,7 @@ void Executor::WaitForPart(DistArrayId array, int tau) {
 }
 
 void Executor::Barrier(i32 pass, int step) {
+  ORION_TRACE_SPAN(kExecutor, "barrier");
   // The barrier is an ordering point: everything this step produced must be
   // on the wire before peers are released into the next step.
   sender_.Flush();
@@ -536,6 +543,7 @@ void Executor::ExecuteCells(const CompiledLoop& cl, int tau, int chunk, int num_
   if (it == iter.parts.end() || it->second.NumCells() == 0) {
     return;  // no data in this block
   }
+  ORION_TRACE_SPAN(kExecutor, "compute");
   WorkerLoopContext ctx(this, &cl, tau);
   const KeySpace& ks = iter.meta.key_space;
   std::vector<i64> idx(static_cast<size_t>(ks.num_dims()));
@@ -582,6 +590,7 @@ std::map<DistArrayId, std::vector<i64>> Executor::CollectPrefetchKeys(const Comp
     }
   }
   if (!have_cached) {
+    ORION_TRACE_SPAN(kExecutor, "record_keys");
     recorded.clear();
     CpuStopwatch record_sw;
     ArrayState& iter = GetArray(cl.spec.iter_space);
@@ -649,6 +658,9 @@ void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chun
       << "prefetch ring issued out of step order";
   auto recorded = CollectPrefetchKeys(cl, tau, step, chunk, num_chunks);
 
+  // Span covers only the request fan-out; key collection traced separately
+  // as "record_keys" so the critical-path buckets never double-count.
+  ORION_TRACE_SPAN(kExecutor, "prefetch_issue");
   PrefetchSlot slot;
   slot.step = step;
   for (const auto& [array, placement] : cl.plan.placements) {
@@ -714,6 +726,7 @@ void Executor::AwaitPrefetch(const CompiledLoop& cl, int step) {
     prefetch_hidden_seconds_ += prefetch_ring_.front().issued_at.ElapsedSeconds();
     reply_wait_.Add(0.0);
   } else {
+    ORION_TRACE_SPAN(kExecutor, "prefetch_wait");
     Stopwatch blocked;
     while (prefetch_ring_.front().outstanding > 0) {
       Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
@@ -762,6 +775,7 @@ void Executor::ApplyLocalBuffers(const CompiledLoop& cl, int tau) {
 }
 
 void Executor::StepFlush(const CompiledLoop& cl, int tau, int step) {
+  ORION_TRACE_SPAN(kExecutor, "step_flush");
   // Flush unbuffered server writes (wavefront loops) as overwrites.
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kServer) {
@@ -863,6 +877,7 @@ void Executor::FlushServerBuffers(const CompiledLoop& cl) {
 }
 
 void Executor::SendRotatedParts(const CompiledLoop& cl, int tau) {
+  ORION_TRACE_SPAN(kExecutor, "rotation_send");
   WorkerId dest;
   if (cl.UsesWavefront()) {
     dest = cl.sched_wave.SendTo(logical_rank_);
@@ -903,6 +918,7 @@ void Executor::DrainReturningParts(const CompiledLoop& cl) {
   if (cl.num_workers == 1) {
     return;
   }
+  ORION_TRACE_SPAN(kExecutor, "drain_returning");
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kSpaceTime) {
       continue;
@@ -923,6 +939,10 @@ void Executor::DrainReturningParts(const CompiledLoop& cl) {
 
 void Executor::RunPass(i32 loop_id, i32 pass) {
   current_pass_ = pass;
+  trace::SetThreadRank(logical_rank_);
+  trace::SetThreadPass(pass);
+  trace::SetThreadStep(-1);
+  const i64 trace_pass_start_ns = trace::Enabled() ? trace::NowNs() : 0;
   MaybeCrash(pass, -1);
   auto cl = dir_->GetLoop(loop_id);
   accum_ops_ = dir_->accumulator_ops();
@@ -955,6 +975,7 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
     // is FIFO, so the request queued behind the flushes reads fresh state).
     const int rounds = cl->options.server_sync_rounds;
     for (int round = 0; round < rounds; ++round) {
+      trace::SetThreadStep(round);
       MaybeCrash(pass, round);
       DrainInbox();
       if (has_server) {
@@ -989,6 +1010,7 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
     // below always extend from here so the ring stays in step order.
     int issued_through = -1;
     for (int step = 0; step < steps; ++step) {
+      trace::SetThreadStep(step);
       MaybeCrash(pass, step);
       DrainInbox();
       const int tau = cl->Is2D() ? cl->TimePartAt(logical_rank_, step) : -1;
@@ -1078,6 +1100,18 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
   done.prefetch_ring_depth_used = ring_depth_used_;
   done.reply_wait = reply_wait_;
   done.accumulators = accum_;
+  if (trace::Enabled()) {
+    // Close the pass span, then ship everything this rank recorded (the
+    // sender lane is quiesced by the Flush above, so its spans are in).
+    trace::SetThreadStep(-1);
+    trace::Emit(trace::Category::kExecutor, "pass", trace_pass_start_ns, trace::NowNs());
+    done.spans = trace::DrainRank(logical_rank_);
+    if (rank_ != logical_rank_) {
+      // Post-recovery the sender lane keeps its physical-rank tag.
+      std::vector<trace::Span> extra = trace::DrainRank(rank_);
+      done.spans.insert(done.spans.end(), extra.begin(), extra.end());
+    }
+  }
   Message m;
   m.from = rank_;
   m.to = kMasterRank;

@@ -4,60 +4,13 @@
 
 #include <vector>
 
+// WaitHistogram lives in src/common/histogram.h so the common-layer
+// MetricsRegistry can aggregate it; re-exported here for existing users.
+#include "src/common/histogram.h"
 #include "src/common/serde.h"
 #include "src/common/types.h"
 
 namespace orion {
-
-// Histogram of an executor's reply waits: the blocking portion of each
-// AwaitPrefetch (0 when the prefetch was fully hidden under compute).
-// Log-scale bucket upper bounds: 0.1ms, 1ms, 10ms, 100ms, 1s, +inf.
-struct WaitHistogram {
-  static constexpr int kNumBuckets = 6;
-  u64 counts[kNumBuckets] = {0, 0, 0, 0, 0, 0};
-  double total_seconds = 0.0;
-  double max_seconds = 0.0;
-
-  void Add(double seconds) {
-    double bound = 1e-4;
-    int b = 0;
-    while (b < kNumBuckets - 1 && seconds >= bound) {
-      bound *= 10.0;
-      ++b;
-    }
-    ++counts[b];
-    total_seconds += seconds;
-    if (seconds > max_seconds) {
-      max_seconds = seconds;
-    }
-  }
-
-  u64 total_count() const {
-    u64 n = 0;
-    for (int b = 0; b < kNumBuckets; ++b) {
-      n += counts[b];
-    }
-    return n;
-  }
-
-  void Serialize(ByteWriter* w) const {
-    for (int b = 0; b < kNumBuckets; ++b) {
-      w->Put<u64>(counts[b]);
-    }
-    w->Put<double>(total_seconds);
-    w->Put<double>(max_seconds);
-  }
-
-  static WaitHistogram Deserialize(ByteReader* r) {
-    WaitHistogram h;
-    for (int b = 0; b < kNumBuckets; ++b) {
-      h.counts[b] = r->Get<u64>();
-    }
-    h.total_seconds = r->Get<double>();
-    h.max_seconds = r->Get<double>();
-    return h;
-  }
-};
 
 struct LoopMetrics {
   double pass_wall_seconds = 0.0;        // master-observed wall time

@@ -5,6 +5,7 @@
 
 #include "src/common/status.h"
 #include "src/common/timer.h"
+#include "src/common/trace.h"
 
 namespace orion {
 
@@ -90,6 +91,9 @@ void ParamServer::HandleRequest(ParamRequest req, WorkerId from, const CellStore
 void ParamServer::Gather(const std::shared_ptr<Request>& r, int shard) {
   CpuStopwatch sw;
   {
+    // Span closes before the possible tail call into Finish so gather and
+    // assemble time never overlap in the trace.
+    ORION_TRACE_SPAN(kParamServer, "shard_gather");
     std::shared_lock<std::shared_mutex> lock(stripes_[static_cast<size_t>(shard)]);
     const auto& keys = r->shard_keys[static_cast<size_t>(shard)];
     CellStore out(r->value_dim, CellStore::Layout::kHashed, 0);
@@ -116,6 +120,7 @@ void ParamServer::Gather(const std::shared_ptr<Request>& r, int shard) {
 }
 
 void ParamServer::Finish(const std::shared_ptr<Request>& r) {
+  ORION_TRACE_SPAN(kParamServer, "reply_assemble");
   CpuStopwatch sw;
   // Assemble in request-key order from the shard gathers — never from the
   // master store, which a writer may be mutating by now. This reproduces the

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/serde.h"
+#include "src/common/trace.h"
 #include "src/common/types.h"
 #include "src/dsm/cell_store.h"
 #include "src/net/message.h"
@@ -56,6 +57,9 @@ struct PassDone {
   i32 prefetch_ring_depth_used = 0;
   WaitHistogram reply_wait;
   std::vector<f64> accumulators;
+  // Span tracer piggyback: the worker's drained spans (empty when tracing
+  // is disabled). Serialized last so older decoders simply stop before it.
+  std::vector<trace::Span> spans;
 
   std::vector<u8> Encode() const {
     ByteWriter w;
@@ -69,6 +73,7 @@ struct PassDone {
     w.Put<i32>(prefetch_ring_depth_used);
     reply_wait.Serialize(&w);
     w.PutVec(accumulators);
+    trace::SerializeSpans(spans, &w);
     return w.Take();
   }
 };

@@ -277,6 +277,64 @@ TEST(ThreadPool, ParallelForCoversRange) {
   }
 }
 
+TEST(WaitHistogram, MergeAddsBucketsAndKeepsMax) {
+  WaitHistogram a;
+  a.Add(5e-5);   // bucket 0
+  a.Add(5e-4);   // bucket 1
+  WaitHistogram b;
+  b.Add(5e-4);   // bucket 1
+  b.Add(2.0);    // open-ended last bucket
+  WaitHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.total_count(), 4u);
+  EXPECT_EQ(merged.counts[0], 1u);
+  EXPECT_EQ(merged.counts[1], 2u);
+  EXPECT_EQ(merged.counts[WaitHistogram::kNumBuckets - 1], 1u);
+  EXPECT_DOUBLE_EQ(merged.total_seconds, a.total_seconds + b.total_seconds);
+  EXPECT_DOUBLE_EQ(merged.max_seconds, 2.0);
+
+  // Merging into an empty histogram reproduces the source exactly.
+  WaitHistogram empty;
+  empty.Merge(b);
+  for (int i = 0; i < WaitHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(empty.counts[i], b.counts[i]);
+  }
+  EXPECT_DOUBLE_EQ(empty.total_seconds, b.total_seconds);
+  EXPECT_DOUBLE_EQ(empty.max_seconds, b.max_seconds);
+}
+
+TEST(WaitHistogram, ApproxPercentileStaysInsideBucketBounds) {
+  WaitHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.ApproxPercentile(0.5), 0.0);
+
+  // 100 samples all in the [1e-3, 1e-2) bucket: every quantile must land
+  // inside that bucket's bounds and never exceed the observed max.
+  WaitHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Add(5e-3);
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.ApproxPercentile(q);
+    EXPECT_GE(v, 1e-3) << "q=" << q;
+    EXPECT_LE(v, 1e-2) << "q=" << q;
+    EXPECT_LE(v, h.max_seconds + 1e-12) << "q=" << q;
+  }
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.ApproxPercentile(0.1), h.ApproxPercentile(0.9));
+
+  // Skewed mix: p50 sits in the low bucket, p99 reaches toward the tail.
+  WaitHistogram mix;
+  for (int i = 0; i < 90; ++i) {
+    mix.Add(5e-4);
+  }
+  for (int i = 0; i < 10; ++i) {
+    mix.Add(0.5);
+  }
+  EXPECT_LT(mix.ApproxPercentile(0.5), 1e-3);
+  EXPECT_GT(mix.ApproxPercentile(0.99), 0.05);
+  EXPECT_LE(mix.ApproxPercentile(1.0), mix.max_seconds + 1e-12);
+}
+
 TEST(ThreadPool, WaitIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
