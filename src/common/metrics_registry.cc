@@ -40,6 +40,15 @@ WaitHistogram& MetricsRegistry::Histogram(const std::string& name) {
   return histograms_[name];
 }
 
+void MetricsRegistry::AppendSeries(const std::string& name, double value) {
+  series_[name].push_back(value);
+}
+
+const std::vector<double>* MetricsRegistry::Series(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
 u64 MetricsRegistry::Counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
@@ -92,6 +101,20 @@ std::string MetricsRegistry::ToJson() const {
     out += ",\"p90\":" + Num(h.ApproxPercentile(0.9));
     out += ",\"p99\":" + Num(h.ApproxPercentile(0.99));
     out += "}";
+  }
+  out += "},\"series\":{";
+  first = true;
+  for (const auto& [name, points] : series_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(name, &out);
+    out += "\":[";
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (i > 0) out += ",";
+      out += Num(points[i]);
+    }
+    out += "]";
   }
   out += "}}\n";
   return out;

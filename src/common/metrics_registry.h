@@ -10,6 +10,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/common/histogram.h"
 #include "src/common/status.h"
@@ -27,13 +28,20 @@ class MetricsRegistry {
   // first use (merge into the returned reference).
   WaitHistogram& Histogram(const std::string& name);
 
+  // Per-pass time series: counters and gauges are last-pass snapshots;
+  // AppendSeries records one point per pass under `name` so controllers and
+  // heatmaps can look at the trend instead of the final value.
+  void AppendSeries(const std::string& name, double value);
+
   u64 Counter(const std::string& name) const;        // 0 when absent
   double Gauge(const std::string& name) const;       // 0.0 when absent
   bool HasHistogram(const std::string& name) const;
+  // The series registered under `name`, or nullptr when absent.
+  const std::vector<double>* Series(const std::string& name) const;
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{counts:[...],
-  //  total_seconds,max_seconds,count,p50,p90,p99}}} — keys sorted, so the
-  // dump is byte-stable for identical contents.
+  //  total_seconds,max_seconds,count,p50,p90,p99}},"series":{name:[...]}}
+  // — keys sorted, so the dump is byte-stable for identical contents.
   std::string ToJson() const;
   Status DumpJson(const std::string& path) const;
 
@@ -41,6 +49,7 @@ class MetricsRegistry {
   std::map<std::string, u64> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, WaitHistogram> histograms_;
+  std::map<std::string, std::vector<double>> series_;
 };
 
 }  // namespace orion

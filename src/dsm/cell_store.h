@@ -307,6 +307,12 @@ class CellStore {
     return values_.size() * sizeof(f32) + keys_.size() * (sizeof(i64) + 16);
   }
 
+  // Contiguous backing span, in slot order (dense layouts: key order;
+  // hashed: insertion order). Lets the versioned page store paginate and
+  // collapse with bulk copies instead of per-cell lookups.
+  const std::vector<f32>& raw_values() const { return values_; }
+  f32* raw_values_data() { return values_.data(); }
+
  private:
   i32 value_dim_ = 1;
   Layout layout_ = Layout::kHashed;

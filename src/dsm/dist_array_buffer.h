@@ -61,8 +61,11 @@ class DistArrayBuffer {
     return out;
   }
 
-  // Applies a drained update store onto authoritative cells.
-  static void ApplyTo(CellStore* cells, const CellStore& updates, const BufferApplyFn& apply) {
+  // Applies a drained update store onto authoritative cells. Templated so
+  // the master's versioned (copy-on-write) store can stand in for a plain
+  // CellStore.
+  template <typename Store>
+  static void ApplyTo(Store* cells, const CellStore& updates, const BufferApplyFn& apply) {
     cells->Reserve(updates.NumCells());
     const i32 value_dim = cells->value_dim();
     updates.ForEachConstFast([&](i64 key, const f32* update) {

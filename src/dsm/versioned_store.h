@@ -1,0 +1,470 @@
+// Versioned, copy-on-write page layer over CellStore.
+//
+// The driver's master copy of every DistArray is a VersionedCellStore. It has
+// two modes:
+//
+//  - Flat: a plain CellStore (exactly the seed representation). All
+//    between-pass machinery — checkpoints, scatters, gathers, serial loops —
+//    keeps operating on `Flat()` with zero overhead.
+//  - Paged: the cells live on refcounted pages of kPageCells cells each
+//    (BeginServing() paginates; Flat() collapses back). In this mode
+//    `Pin()` publishes the current version as an immutable Snapshot — two
+//    shared_ptr refcount bumps, no copy — and writers clone only the pages
+//    they touch, so parameter-serving gather tasks copy cells out of a
+//    pinned snapshot without holding any lock across the copy.
+//
+// Concurrency contract (what makes this TSan-clean without a lock):
+//  - All mutation, Pin(), BeginServing() and Flat() happen on one writer
+//    thread (the master's service loop). Pool threads only read through
+//    Snapshots.
+//  - The store keeps a shared atomic pin counter. Snapshot's destructor
+//    drops its page-table/index references FIRST and then decrements the
+//    counter with release ordering; the writer reads it with acquire. So
+//    when the writer observes zero pins, every concurrent reader access
+//    happens-before the writer's next in-place write, and no clone is
+//    needed ("no copy when unique").
+//  - When pins are live, the writer clones before the first write to any
+//    page (or to the page table / hashed index) that predates the latest
+//    pin, tracked with a cheap epoch scheme: Pin() bumps `pin_epoch_`; a
+//    page whose `page_epoch_` lags it may be shared with a live snapshot
+//    and is cloned on write ("copy when pinned"). Cloned or freshly claimed
+//    pages carry the current epoch and are written in place thereafter.
+//
+// Version lifecycle: publish (Pin) -> pinned readers copy lock-free ->
+// writer clone-on-write builds the next version in place -> retire (last
+// Snapshot release drops the old pages' refcounts to zero).
+#ifndef ORION_SRC_DSM_VERSIONED_STORE_H_
+#define ORION_SRC_DSM_VERSIONED_STORE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/dsm/cell_store.h"
+
+namespace orion {
+
+class VersionedCellStore {
+ public:
+  // Cells per page. Small enough that a wavefront overwrite touching a few
+  // cells clones a few KB, large enough that pagination stays cheap.
+  static constexpr i64 kPageCells = 256;
+
+  struct Page {
+    std::vector<f32> v;  // kPageCells * value_dim floats
+  };
+  struct PageTable {
+    std::vector<std::shared_ptr<Page>> pages;
+  };
+  struct IndexState {
+    std::unordered_map<i64, i64> slot_of;  // hashed layout: key -> slot
+  };
+
+  // An immutable view of one published version. Move-only; releasing the
+  // last Snapshot of a version retires its private pages. Safe to read from
+  // any thread; Get() mirrors CellStore::Get() exactly (dense keys are
+  // bounds-CHECKed, hashed misses return nullptr) so replies built from a
+  // snapshot are byte-identical to replies built from the live store.
+  class Snapshot {
+   public:
+    Snapshot() = default;
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+    Snapshot(Snapshot&& other) noexcept = default;
+    Snapshot& operator=(Snapshot&& other) noexcept {
+      if (this != &other) {
+        Release();
+        table_ = std::move(other.table_);
+        index_ = std::move(other.index_);
+        pins_ = std::move(other.pins_);
+        dense_ = other.dense_;
+        lo_ = other.lo_;
+        hi_ = other.hi_;
+        vdim_ = other.vdim_;
+      }
+      return *this;
+    }
+    ~Snapshot() { Release(); }
+
+    bool valid() const { return pins_ != nullptr; }
+    i32 value_dim() const { return vdim_; }
+    bool dense() const { return dense_; }
+    i64 range_lo() const { return lo_; }
+    i64 range_hi() const { return hi_; }
+
+    const f32* Get(i64 key) const {
+      i64 slot;
+      if (dense_) {
+        ORION_CHECK(key >= lo_ && key <= hi_)
+            << "key" << key << "outside dense range [" << lo_ << "," << hi_ << "]";
+        slot = key - lo_;
+      } else {
+        auto it = index_->slot_of.find(key);
+        if (it == index_->slot_of.end()) {
+          return nullptr;
+        }
+        slot = it->second;
+      }
+      const Page& p = *table_->pages[static_cast<size_t>(slot / kPageCells)];
+      return p.v.data() + static_cast<size_t>(slot % kPageCells) * vdim_;
+    }
+
+    // Drops the version references, then the pin. Order matters: the
+    // release-decrement must come last so a writer that observes zero pins
+    // also observes every reference already dropped.
+    void Release() {
+      if (pins_ == nullptr) {
+        return;
+      }
+      table_.reset();
+      index_.reset();
+      pins_->fetch_sub(1, std::memory_order_release);
+      pins_.reset();
+    }
+
+   private:
+    friend class VersionedCellStore;
+    std::shared_ptr<const PageTable> table_;
+    std::shared_ptr<const IndexState> index_;
+    std::shared_ptr<std::atomic<int>> pins_;
+    bool dense_ = false;
+    i64 lo_ = 0;
+    i64 hi_ = -1;
+    i32 vdim_ = 1;
+  };
+
+  // Writer-side pass stats (clone traffic and pins since the last Take).
+  struct Stats {
+    u64 pins = 0;
+    u64 pages_cloned = 0;
+    u64 cow_bytes = 0;
+  };
+
+  VersionedCellStore() = default;
+  explicit VersionedCellStore(CellStore flat) : flat_(std::move(flat)) {}
+
+  // Replaces the contents wholesale (restores, re-creates). Requires no
+  // live snapshots — recovery quiesces the ParamServer first.
+  VersionedCellStore& operator=(CellStore flat) {
+    DropPages();
+    flat_ = std::move(flat);
+    return *this;
+  }
+
+  bool paged() const { return paged_; }
+  i32 value_dim() const { return paged_ ? vdim_ : flat_.value_dim(); }
+  i64 NumCells() const { return paged_ ? num_cells_ : flat_.NumCells(); }
+
+  // The flat CellStore view, collapsing the pages back first if needed.
+  // Collapse requires no live snapshots (call after ParamServer::Quiesce).
+  CellStore& Flat() {
+    if (paged_) {
+      Collapse();
+    }
+    return flat_;
+  }
+
+  // Paginates the flat store so Pin() becomes available. Idempotent; cheap
+  // relative to one pass of serving (one bulk copy of the values).
+  void BeginServing() {
+    if (paged_) {
+      return;
+    }
+    vdim_ = flat_.value_dim();
+    layout_ = flat_.layout();
+    lo_ = flat_.range_lo();
+    hi_ = flat_.range_hi();
+    num_cells_ = flat_.NumCells();
+    if (layout_ == CellStore::Layout::kHashed) {
+      keys_ = flat_.keys();
+      index_ = std::make_shared<IndexState>();
+      index_->slot_of.reserve(keys_.size());
+      for (size_t i = 0; i < keys_.size(); ++i) {
+        index_->slot_of.emplace(keys_[i], static_cast<i64>(i));
+      }
+    }
+    const i64 npages = (num_cells_ + kPageCells - 1) / kPageCells;
+    table_ = std::make_shared<PageTable>();
+    table_->pages.reserve(static_cast<size_t>(npages));
+    // Both layouts keep values in slot order (dense: key order, hashed:
+    // insertion order), so pagination is a straight chop of the backing span.
+    const std::vector<f32>& src = flat_.raw_values();
+    const size_t page_floats = static_cast<size_t>(kPageCells) * vdim_;
+    for (i64 p = 0; p < npages; ++p) {
+      auto page = std::make_shared<Page>();
+      page->v.assign(page_floats, 0.0f);
+      const size_t off = static_cast<size_t>(p) * page_floats;
+      const size_t n = std::min(page_floats, src.size() - off);
+      std::memcpy(page->v.data(), src.data() + off, n * sizeof(f32));
+      table_->pages.push_back(std::move(page));
+    }
+    page_epoch_.assign(static_cast<size_t>(npages), 0);
+    pin_epoch_ = 0;
+    table_epoch_ = 0;
+    index_epoch_ = 0;
+    flat_ = CellStore(vdim_, CellStore::Layout::kHashed, 0);  // release memory
+    paged_ = true;
+  }
+
+  // Publishes the current version. Refcount bumps only — no copy.
+  Snapshot Pin() {
+    ORION_CHECK(paged_) << "Pin() requires BeginServing()";
+    ++pin_epoch_;
+    ++stats_.pins;
+    pins_->fetch_add(1, std::memory_order_acq_rel);
+    Snapshot s;
+    s.table_ = table_;
+    s.index_ = index_;
+    s.pins_ = pins_;
+    s.dense_ = layout_ != CellStore::Layout::kHashed;
+    s.lo_ = lo_;
+    s.hi_ = hi_;
+    s.vdim_ = vdim_;
+    return s;
+  }
+
+  // ---- CellStore-compatible access (writer thread) ----
+  // In flat mode these delegate 1:1; in paged mode writes go through
+  // clone-on-write so pinned snapshots never observe them.
+
+  const f32* Get(i64 key) const {
+    if (!paged_) {
+      return flat_.Get(key);
+    }
+    const i64 slot = SlotOf(key);
+    if (slot < 0) {
+      return nullptr;
+    }
+    return SlotPtr(slot);
+  }
+
+  f32* GetOrCreate(i64 key) {
+    if (!paged_) {
+      return flat_.GetOrCreate(key);
+    }
+    i64 slot;
+    if (layout_ != CellStore::Layout::kHashed) {
+      ORION_CHECK(key >= lo_ && key <= hi_)
+          << "key" << key << "outside dense range [" << lo_ << "," << hi_ << "]";
+      slot = key - lo_;
+    } else {
+      auto it = index_->slot_of.find(key);
+      slot = it != index_->slot_of.end() ? it->second : InsertSlot(key);
+    }
+    return WritableSlot(slot);
+  }
+
+  void Reserve(i64 additional_cells) {
+    if (!paged_) {
+      flat_.Reserve(additional_cells);
+    }
+  }
+
+  void MergeAdd(const CellStore& other) {
+    if (!paged_) {
+      flat_.MergeAdd(other);
+      return;
+    }
+    ORION_CHECK(other.value_dim() == vdim_);
+    other.ForEachConstFast([this](i64 key, const f32* v) {
+      f32* dst = GetOrCreate(key);
+      for (i32 d = 0; d < vdim_; ++d) {
+        dst[d] += v[d];
+      }
+    });
+  }
+
+  template <typename F>
+  void ForEachConstFast(F&& fn) const {
+    if (!paged_) {
+      flat_.ForEachConstFast(std::forward<F>(fn));
+      return;
+    }
+    if (layout_ != CellStore::Layout::kHashed) {
+      for (i64 k = lo_; k <= hi_; ++k) {
+        fn(k, SlotPtr(k - lo_));
+      }
+      return;
+    }
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      fn(keys_[i], SlotPtr(static_cast<i64>(i)));
+    }
+  }
+
+  void ForEachConst(const std::function<void(i64 key, const f32* value)>& fn) const {
+    ForEachConstFast([&fn](i64 key, const f32* v) { fn(key, v); });
+  }
+
+  // ---- Introspection (tests, metrics) ----
+
+  Stats TakeStats() {
+    Stats out = stats_;
+    stats_ = Stats{};
+    return out;
+  }
+  const Stats& stats() const { return stats_; }
+  i64 num_pages() const { return paged_ ? static_cast<i64>(table_->pages.size()) : 0; }
+  int live_pins() const {
+    return pins_->load(std::memory_order_acquire);
+  }
+  // Refcount of the page holding `key` (paged mode; tests assert the
+  // no-copy-when-unique / copy-when-pinned lifecycle through this).
+  long PageUseCount(i64 key) const {
+    ORION_CHECK(paged_);
+    const i64 slot = SlotOf(key);
+    ORION_CHECK(slot >= 0);
+    return table_->pages[static_cast<size_t>(slot / kPageCells)].use_count();
+  }
+
+ private:
+  // Slot of `key`, or -1 when absent (hashed). Mirrors CellStore::Get's
+  // dense bounds CHECK.
+  i64 SlotOf(i64 key) const {
+    if (layout_ != CellStore::Layout::kHashed) {
+      ORION_CHECK(key >= lo_ && key <= hi_)
+          << "key" << key << "outside dense range [" << lo_ << "," << hi_ << "]";
+      return key - lo_;
+    }
+    auto it = index_->slot_of.find(key);
+    return it == index_->slot_of.end() ? -1 : it->second;
+  }
+
+  const f32* SlotPtr(i64 slot) const {
+    const Page& p = *table_->pages[static_cast<size_t>(slot / kPageCells)];
+    return p.v.data() + static_cast<size_t>(slot % kPageCells) * vdim_;
+  }
+
+  bool NoLivePins() const { return pins_->load(std::memory_order_acquire) == 0; }
+
+  void EnsureTableOwned() {
+    if (table_epoch_ == pin_epoch_) {
+      return;
+    }
+    table_ = std::make_shared<PageTable>(*table_);
+    table_epoch_ = pin_epoch_;
+  }
+
+  // Returns a writable pointer to `slot`, cloning its page first when a live
+  // snapshot might still reference it.
+  f32* WritableSlot(i64 slot) {
+    const size_t pi = static_cast<size_t>(slot / kPageCells);
+    if (page_epoch_[pi] != pin_epoch_) {
+      if (NoLivePins()) {
+        // Every snapshot that ever saw this page is released; claim it.
+        table_epoch_ = pin_epoch_;
+        page_epoch_[pi] = pin_epoch_;
+      } else {
+        EnsureTableOwned();
+        auto clone = std::make_shared<Page>(*table_->pages[pi]);
+        table_->pages[pi] = std::move(clone);
+        page_epoch_[pi] = pin_epoch_;
+        ++stats_.pages_cloned;
+        stats_.cow_bytes += table_->pages[pi]->v.size() * sizeof(f32);
+      }
+    }
+    Page& p = *table_->pages[pi];
+    return p.v.data() + static_cast<size_t>(slot % kPageCells) * vdim_;
+  }
+
+  // Hashed insert while paged: clone the index (and possibly grow the table)
+  // under the same epoch rules, then hand the fresh slot to WritableSlot.
+  i64 InsertSlot(i64 key) {
+    if (index_epoch_ != pin_epoch_) {
+      if (!NoLivePins()) {
+        index_ = std::make_shared<IndexState>(*index_);
+      }
+      index_epoch_ = pin_epoch_;
+    }
+    const i64 slot = num_cells_;
+    const size_t pi = static_cast<size_t>(slot / kPageCells);
+    if (pi == table_->pages.size()) {
+      if (!NoLivePins()) {
+        EnsureTableOwned();
+      } else {
+        table_epoch_ = pin_epoch_;
+      }
+      auto page = std::make_shared<Page>();
+      page->v.assign(static_cast<size_t>(kPageCells) * vdim_, 0.0f);
+      table_->pages.push_back(std::move(page));
+      page_epoch_.push_back(pin_epoch_);  // fresh page: writer-owned
+    }
+    index_->slot_of.emplace(key, slot);
+    keys_.push_back(key);
+    ++num_cells_;
+    return slot;
+  }
+
+  void Collapse() {
+    ORION_CHECK(NoLivePins()) << "collapsing a versioned store with live snapshots";
+    CellStore out = layout_ == CellStore::Layout::kFullDense
+                        ? CellStore(vdim_, CellStore::Layout::kFullDense, hi_ - lo_ + 1)
+                        : layout_ == CellStore::Layout::kDenseRange
+                              ? CellStore::DenseRange(vdim_, lo_, hi_)
+                              : CellStore(vdim_, CellStore::Layout::kHashed, 0);
+    if (layout_ == CellStore::Layout::kHashed) {
+      out.Reserve(num_cells_);
+      for (size_t i = 0; i < keys_.size(); ++i) {
+        const f32* src = SlotPtr(static_cast<i64>(i));
+        std::memcpy(out.GetOrCreate(keys_[i]), src, sizeof(f32) * static_cast<size_t>(vdim_));
+      }
+    } else {
+      f32* dst = out.raw_values_data();
+      const size_t page_floats = static_cast<size_t>(kPageCells) * vdim_;
+      const size_t total = static_cast<size_t>(num_cells_) * vdim_;
+      for (size_t pi = 0; pi < table_->pages.size(); ++pi) {
+        const size_t off = pi * page_floats;
+        const size_t n = std::min(page_floats, total - off);
+        std::memcpy(dst + off, table_->pages[pi]->v.data(), n * sizeof(f32));
+      }
+    }
+    flat_ = std::move(out);
+    DropPages();
+  }
+
+  void DropPages() {
+    if (paged_) {
+      ORION_CHECK(NoLivePins()) << "dropping a versioned store with live snapshots";
+    }
+    table_.reset();
+    index_.reset();
+    keys_.clear();
+    page_epoch_.clear();
+    num_cells_ = 0;
+    paged_ = false;
+  }
+
+  CellStore flat_;
+  bool paged_ = false;
+
+  // Paged-mode state. `keys_` (hashed insertion order) is writer-private:
+  // snapshots resolve keys through their pinned IndexState only.
+  CellStore::Layout layout_ = CellStore::Layout::kHashed;
+  i32 vdim_ = 1;
+  i64 lo_ = 0;
+  i64 hi_ = -1;
+  i64 num_cells_ = 0;
+  std::shared_ptr<PageTable> table_;
+  std::shared_ptr<IndexState> index_;
+  std::vector<i64> keys_;
+
+  // COW bookkeeping. pin_epoch_ advances on every Pin(); a page/table/index
+  // whose epoch lags it may be shared with a live snapshot.
+  std::shared_ptr<std::atomic<int>> pins_ = std::make_shared<std::atomic<int>>(0);
+  u64 pin_epoch_ = 0;
+  u64 table_epoch_ = 0;
+  u64 index_epoch_ = 0;
+  std::vector<u64> page_epoch_;
+
+  Stats stats_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_DSM_VERSIONED_STORE_H_

@@ -1,6 +1,7 @@
 #include "src/runtime/driver.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <set>
 
@@ -33,7 +34,8 @@ Driver::Driver(const DriverConfig& config)
   dir_.SetSupervisor(config_.supervisor);
   if (config_.async_param_serving) {
     param_server_ = std::make_unique<ParamServer>(
-        fabric_.get(), std::max(1, config_.param_server_shards), config_.num_workers);
+        fabric_.get(), std::max(1, config_.param_server_shards), config_.num_workers,
+        config_.param_key_range_stripes);
   }
   live_ranks_.resize(static_cast<size_t>(config.num_workers));
   for (int w = 0; w < config.num_workers; ++w) {
@@ -105,7 +107,10 @@ const DistArrayMeta& Driver::Meta(DistArrayId id) const { return Host(id).meta; 
 
 CellStore& Driver::MutableCells(DistArrayId id) {
   GatherToDriver(id);
-  return Host(id).master;
+  // Flat() collapses the versioned pages back into a plain CellStore; legal
+  // here because no pass is in flight (the ParamServer quiesced at pass end,
+  // so no snapshot pins are live).
+  return Host(id).master.Flat();
 }
 
 void Driver::FillRandomNormal(DistArrayId id, f32 scale, u64 seed) {
@@ -186,7 +191,7 @@ DistArrayId Driver::GroupByDim(DistArrayId src, int dim, const std::string& name
   const KeySpace& ks = h.meta.key_space;
   ORION_CHECK(dim >= 0 && dim < ks.num_dims());
   const DistArrayId out = CreateDistArray(name, {ks.dim(dim)}, out_value_dim, Density::kDense);
-  CellStore& out_cells = Host(out).master;
+  CellStore& out_cells = Host(out).master.Flat();
   IndexVec idx(static_cast<size_t>(ks.num_dims()));
   h.master.ForEachConst([&](i64 key, const f32* value) {
     ks.DecodeInto(key, idx);
@@ -685,7 +690,8 @@ void Driver::EnsureScattered(const CompiledLoop& cl) {
 void Driver::ServeParamRequestInline(const ParamRequest& req, WorkerId from) {
   ArrayHost& h = Host(req.array);
   CpuStopwatch sw;
-  Message reply = BuildParamReply(req, h.master, h.meta.value_dim, fabric_->zero_copy());
+  Message reply =
+      BuildParamReply(req, h.master.Flat(), h.meta.value_dim, fabric_->zero_copy());
   reply.to = from;
   last_metrics_.param_serve_seconds += sw.ElapsedSeconds();
   fabric_->Send(std::move(reply));
@@ -701,7 +707,7 @@ void Driver::BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array)
     shared->pd.array = array;
     shared->pd.part = -1;
     shared->pd.mode = PartDataMode::kReplicaSnapshot;
-    shared->pd.cells = h.master;  // one copy for the whole broadcast
+    shared->pd.cells = h.master.Flat();  // one copy for the whole broadcast
     shared->multi_reader = true;  // receivers copy; concurrent moves would race
   }
   for (int w : live_ranks_) {
@@ -716,7 +722,7 @@ void Driver::BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array)
       pd.array = array;
       pd.part = -1;
       pd.mode = PartDataMode::kReplicaSnapshot;
-      pd.cells = h.master;  // copy
+      pd.cells = h.master.Flat();  // copy
       m.payload = pd.Encode();
     }
     fabric_->Send(std::move(m));
@@ -769,16 +775,26 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
   last_metrics_.param_serve_seconds = 0.0;
   last_metrics_.param_shard_queue_depth_max = 0;
   last_metrics_.prefetch_ring_depth_used = 0;
+  last_metrics_.versioned_snapshot_pins = 0;
+  last_metrics_.versioned_pages_cloned = 0;
+  last_metrics_.versioned_cow_bytes = 0;
+  last_metrics_.stripes.clear();
   last_metrics_.worker_reply_wait.assign(static_cast<size_t>(active), WaitHistogram{});
   std::vector<DistArrayId> returned;
 
-  // Sharded async serving is sound for 2D passes only: rotation loops defer
+  // Sharded async serving. 2D passes were always sound: rotation loops defer
   // kServer buffered applies to pass end (server state is pass-constant), and
   // wavefront mid-step overwrites are disjoint from concurrent readers' key
   // lists. 1D chunked loops rely on prompt mid-pass freshness (a round's
   // request, queued behind its flushes on the FIFO master link, must read the
-  // just-applied state), so they keep the inline path.
-  const bool async_serving = param_server_ != nullptr && cl.Is2D();
+  // just-applied state); the versioned store preserves exactly that — the
+  // snapshot is pinned here, at dequeue time on this single-threaded service
+  // loop, so it already reflects every update dequeued before the request —
+  // which makes the async path bit-for-bit identical to inline serving and
+  // lets 1D loops join it.
+  const bool versioned = config_.versioned_store && param_server_ != nullptr;
+  const bool async_serving =
+      param_server_ != nullptr && (cl.Is2D() || versioned);
   if (async_serving) {
     param_server_->ResetPassStats();
   }
@@ -873,7 +889,7 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
           m.from = kMasterRank;
           m.to = w;
           m.kind = MsgKind::kControl;
-          m.payload = StartPass{cl.loop_id, pass}.Encode();
+          m.payload = StartPass{cl.loop_id, pass, pass_prefetch_depth_}.Encode();
           fabric_->SendReliable(std::move(m));
           retry_delay[w] *= sup.retry_backoff_factor;
           next_retry[w] = now + retry_delay[w];
@@ -908,8 +924,19 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         ParamRequest req = TakeParamRequest(*msg);
         if (async_serving) {
           ArrayHost& h = Host(req.array);
-          param_server_->HandleRequest(std::move(req), msg->from, &h.master,
-                                       h.meta.value_dim);
+          if (versioned) {
+            // Paginate lazily on the first request ever served for this
+            // array; pages then persist across passes (mutations between
+            // requests go through the copy-on-write writer path).
+            if (!h.master.paged()) {
+              h.master.BeginServing();
+            }
+            param_server_->HandleRequestSnapshot(std::move(req), msg->from,
+                                                 h.master.Pin(), h.meta.value_dim);
+          } else {
+            param_server_->HandleRequest(std::move(req), msg->from, &h.master.Flat(),
+                                         h.meta.value_dim);
+          }
         } else {
           ServeParamRequestInline(req, msg->from);
         }
@@ -925,13 +952,23 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
             pit->second.scheme == PartitionScheme::kServer;
         if (server_buffered) {
           deferred_server.emplace_back(msg->from, std::move(pd));
-        } else if (async_serving) {
+        } else if (async_serving && !versioned) {
           // Mid-pass writer (wavefront kOverwrite flush): dependence analysis
           // makes its cells disjoint from every concurrent reader's key list,
-          // but concurrent gathers still need exclusion against rehash.
-          auto locks = param_server_->LockAllShards();
+          // but concurrent gathers still need exclusion against torn reads
+          // and rehash. Key-range ownership narrows that to the stripes the
+          // update actually touches (dense masters only; hashed masters fall
+          // back to locking every stripe because an insert can rehash).
+          ArrayHost& h = Host(pd.array);
+          const CellStore& m = h.master.Flat();
+          const i64 lo = m.IsDense() ? m.range_lo() : 0;
+          const i64 hi = m.IsDense() ? m.range_hi() : -1;
+          auto locks = param_server_->LockForUpdate(pd.cells, lo, hi);
           ApplyParamUpdate(&cl, std::move(pd), msg->tag);
         } else {
+          // Versioned store: the writer clones only the pages it touches, so
+          // in-flight snapshot gathers keep reading their pinned version and
+          // no stripe lock is needed at all.
           ApplyParamUpdate(&cl, std::move(pd), msg->tag);
         }
         break;
@@ -986,7 +1023,7 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
             m.from = kMasterRank;
             m.to = msg->from;
             m.kind = MsgKind::kControl;
-            m.payload = StartPass{cl.loop_id, pass}.Encode();
+            m.payload = StartPass{cl.loop_id, pass, pass_prefetch_depth_}.Encode();
             fabric_->SendReliable(std::move(m));
           }
           break;
@@ -1047,6 +1084,25 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
     param_server_->Quiesce();
     last_metrics_.param_serve_seconds += param_server_->serve_seconds();
     last_metrics_.param_shard_queue_depth_max = param_server_->max_queue_depth();
+    const std::vector<ParamStripeStats> stripes = param_server_->StripeStatsSnapshot();
+    if (stripe_totals_.size() < stripes.size()) {
+      stripe_totals_.resize(stripes.size());
+    }
+    last_metrics_.stripes.resize(stripes.size());
+    for (size_t i = 0; i < stripes.size(); ++i) {
+      auto& d = last_metrics_.stripes[i];
+      d.busy_ns = stripes[i].busy_ns;
+      d.gather_ns = stripes[i].gather_ns;
+      d.wait_ns = stripes[i].wait_ns;
+      d.tasks = stripes[i].tasks;
+      d.queue_depth_max = stripes[i].queue_depth_max;
+      stripe_totals_[i].busy_ns += stripes[i].busy_ns;
+      stripe_totals_[i].gather_ns += stripes[i].gather_ns;
+      stripe_totals_[i].wait_ns += stripes[i].wait_ns;
+      stripe_totals_[i].tasks += stripes[i].tasks;
+      stripe_totals_[i].queue_depth_max =
+          std::max(stripe_totals_[i].queue_depth_max, stripes[i].queue_depth_max);
+    }
   }
 
   // Pass-end application of the deferred server updates, in logical-rank
@@ -1077,6 +1133,24 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
   // Rotated arrays that returned to the master need a re-scatter next pass.
   for (DistArrayId id : returned) {
     Host(id).on_workers = false;
+  }
+
+  // Copy-on-write accounting for this pass (pins taken, pages cloned by
+  // mid-pass writers, bytes copied for those clones).
+  if (versioned) {
+    for (const auto& [id, placement] : cl.plan.placements) {
+      if (placement.scheme != PartitionScheme::kServer) {
+        continue;
+      }
+      ArrayHost& h = Host(id);
+      if (!h.master.paged()) {
+        continue;
+      }
+      const VersionedCellStore::Stats vs = h.master.TakeStats();
+      last_metrics_.versioned_snapshot_pins += vs.pins;
+      last_metrics_.versioned_pages_cloned += vs.pages_cloned;
+      last_metrics_.versioned_cow_bytes += vs.cow_bytes;
+    }
   }
   return {true, -1};
 }
@@ -1237,7 +1311,26 @@ Status Driver::DumpTrace(const std::string& path) {
 }
 
 std::string Driver::CriticalPathReport() {
-  return trace::FormatCriticalPathTable(trace::AnalyzeCriticalPath(CollectTrace()));
+  std::string out =
+      trace::FormatCriticalPathTable(trace::AnalyzeCriticalPath(CollectTrace()));
+  if (!stripe_totals_.empty()) {
+    // Stripe-contention heatmap, cumulative over all async passes: where
+    // gathers spend lock-held time (busy), copy time (gather) and lock
+    // acquisition (wait). Snapshot serving shows up as busy == 0.
+    out += "param stripes (cumulative):";
+    for (size_t i = 0; i < stripe_totals_.size(); ++i) {
+      const auto& s = stripe_totals_[i];
+      char buf[128];
+      std::snprintf(buf, sizeof buf, " [%zu] busy=%.3fms gather=%.3fms wait=%.3fms tasks=%llu",
+                    i, static_cast<double>(s.busy_ns) / 1e6,
+                    static_cast<double>(s.gather_ns) / 1e6,
+                    static_cast<double>(s.wait_ns) / 1e6,
+                    static_cast<unsigned long long>(s.tasks));
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 MetricsRegistry Driver::ExportMetrics() const {
@@ -1253,6 +1346,20 @@ MetricsRegistry Driver::ExportMetrics() const {
                  static_cast<u64>(lm.param_shard_queue_depth_max));
   reg.SetCounter("pass.prefetch_ring_depth_used",
                  static_cast<u64>(lm.prefetch_ring_depth_used));
+  reg.SetGauge("prefetch.depth_effective",
+               static_cast<double>(lm.prefetch_depth_effective));
+  reg.SetCounter("versioned.snapshot_pins", lm.versioned_snapshot_pins);
+  reg.SetCounter("versioned.pages_cloned", lm.versioned_pages_cloned);
+  reg.SetCounter("versioned.cow_bytes", lm.versioned_cow_bytes);
+  for (size_t i = 0; i < lm.stripes.size(); ++i) {
+    const auto& s = lm.stripes[i];
+    const std::string p = "param.stripe." + std::to_string(i);
+    reg.SetCounter(p + ".busy_ns", s.busy_ns);
+    reg.SetCounter(p + ".gather_ns", s.gather_ns);
+    reg.SetCounter(p + ".wait_ns", s.wait_ns);
+    reg.SetCounter(p + ".tasks", s.tasks);
+    reg.SetCounter(p + ".queue_depth_max", static_cast<u64>(s.queue_depth_max));
+  }
   reg.SetCounter("pass.bytes_sent", lm.bytes_sent);
   reg.SetCounter("pass.messages_sent", lm.messages_sent);
   reg.SetGauge("pass.virtual_net_seconds", lm.virtual_net_seconds);
@@ -1281,6 +1388,12 @@ MetricsRegistry Driver::ExportMetrics() const {
   reg.SetGauge("recovery.seconds", rm.recovery_seconds);
   reg.SetCounter("checkpoint.count", rm.checkpoints_written);
   reg.SetGauge("checkpoint.seconds", rm.checkpoint_seconds);
+
+  for (const auto& [name, points] : metrics_series_) {
+    for (double v : points) {
+      reg.AppendSeries(name, v);
+    }
+  }
   return reg;
 }
 
@@ -1364,7 +1477,7 @@ Status Driver::ExecuteSerial(const LoopSpec& spec, const LoopKernel& kernel) {
   for (const auto& a : spec.accesses) {
     if (stores.count(a.array) == 0) {
       GatherToDriver(a.array);
-      stores[a.array] = &Host(a.array).master;
+      stores[a.array] = &Host(a.array).master.Flat();
     }
   }
 
@@ -1437,6 +1550,21 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
   const CompiledLoop& cl = *it->second;
   EnsureScattered(cl);
 
+  // Adaptive prefetch depth: re-pick the effective ring depth for this pass
+  // from the previous pass's merged reply-wait p90. Any depth in
+  // [1, prefetch_depth_max] is bit-for-bit identical for rotation loops
+  // (server state is pass-constant), so the controller only trades latency
+  // hiding against ring memory / request burstiness.
+  pass_prefetch_depth_ = 0;
+  if (cl.options.prefetch_depth_max > 0) {
+    auto [dit, inserted] = adaptive_depth_.try_emplace(
+        loop_id,
+        std::clamp(cl.options.prefetch_depth, 1, cl.options.prefetch_depth_max));
+    (void)inserted;
+    pass_prefetch_depth_ = dit->second;
+  }
+  last_metrics_.prefetch_depth_effective = pass_prefetch_depth_;
+
   const FabricStats before = fabric_->Stats();
   Stopwatch sw;
   const i32 pass = pass_counter_++;
@@ -1449,7 +1577,7 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
       m.from = kMasterRank;
       m.to = w;
       m.kind = MsgKind::kControl;
-      m.payload = StartPass{loop_id, pass}.Encode();
+      m.payload = StartPass{loop_id, pass, pass_prefetch_depth_}.Encode();
       fabric_->Send(std::move(m));
     }
   }
@@ -1469,6 +1597,46 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
   last_metrics_.messages_sent = after.messages_sent - before.messages_sent;
   last_metrics_.virtual_net_seconds = after.virtual_net_seconds - before.virtual_net_seconds;
   last_metrics_.zero_copy_bytes = after.zero_copy_bytes - before.zero_copy_bytes;
+
+  // Controller update for the next pass: deepen while blocking reply waits
+  // dominate and the ring was actually filled; shrink once waits are fully
+  // hidden so idle slots stop holding memory.
+  if (cl.options.prefetch_depth_max > 0) {
+    constexpr double kDeepenP90Seconds = 50e-6;
+    constexpr double kShrinkP90Seconds = 5e-6;
+    WaitHistogram merged;
+    for (const WaitHistogram& h : last_metrics_.worker_reply_wait) {
+      merged.Merge(h);
+    }
+    int& depth = adaptive_depth_[loop_id];
+    if (merged.total_count() > 0) {
+      const double p90 = merged.ApproxPercentile(0.90);
+      if (p90 > kDeepenP90Seconds &&
+          last_metrics_.prefetch_ring_depth_used >= depth) {
+        depth = std::min(depth + 1, cl.options.prefetch_depth_max);
+      } else if (p90 < kShrinkP90Seconds && depth > 1) {
+        --depth;
+      }
+    }
+  }
+
+  // Per-pass metric series (flattened into MetricsRegistry by
+  // ExportMetrics): the trend the controller and the stripe heatmap read.
+  metrics_series_["pass.wall_seconds"].push_back(last_metrics_.pass_wall_seconds);
+  metrics_series_["pass.param_serve_seconds"].push_back(
+      last_metrics_.param_serve_seconds);
+  metrics_series_["prefetch.depth_effective"].push_back(
+      static_cast<double>(last_metrics_.prefetch_depth_effective));
+  metrics_series_["versioned.pages_cloned"].push_back(
+      static_cast<double>(last_metrics_.versioned_pages_cloned));
+  metrics_series_["versioned.snapshot_pins"].push_back(
+      static_cast<double>(last_metrics_.versioned_snapshot_pins));
+  double stripe_busy_ns = 0.0;
+  for (const auto& s : last_metrics_.stripes) {
+    stripe_busy_ns += static_cast<double>(s.busy_ns);
+  }
+  metrics_series_["param.stripe.busy_ns"].push_back(stripe_busy_ns);
+
   if (recovery_enabled_) {
     pass_log_.emplace_back(loop_id, pass);
   }

@@ -29,6 +29,7 @@
 #include "src/common/status.h"
 #include "src/common/trace.h"
 #include "src/dsm/checkpoint.h"
+#include "src/dsm/versioned_store.h"
 #include "src/net/fabric.h"
 #include "src/runtime/compiled_loop.h"
 #include "src/runtime/executor.h"
@@ -54,13 +55,25 @@ struct DriverConfig {
   // Heartbeat / retry / death-timeout parameters. Supervision can also be
   // enabled without a fault plan to harden against real failures.
   SupervisorConfig supervisor{};
-  // Sharded asynchronous parameter serving for 2D passes: kParamRequests are
-  // gathered by a lock-striped thread pool and replies ship through
-  // per-worker comm lanes instead of blocking the master service loop.
-  // Bit-for-bit identical to inline serving. 1D chunked loops always serve
-  // inline (their rounds rely on prompt mid-pass freshness).
+  // Sharded asynchronous parameter serving: kParamRequests are gathered by
+  // a stripe-sharded thread pool and replies ship through per-worker comm
+  // lanes instead of blocking the master service loop. Bit-for-bit
+  // identical to inline serving.
   bool async_param_serving = true;
   int param_server_shards = 4;
+  // Versioned copy-on-write page store under async serving: the service
+  // loop pins a snapshot at request-dequeue time (a refcount bump) and
+  // gather tasks copy from it with no lock held; writers clone only the
+  // pages they touch. This also lets 1D chunked loops join async serving —
+  // a worker's own round-r flushes are dequeued (and applied) before its
+  // round-r+1 request on the same FIFO link, so the pinned snapshot
+  // preserves read-own-writes freshness exactly like the inline path.
+  bool versioned_store = true;
+  // Key-range stripe ownership for dense masters: each stripe owns an equal
+  // contiguous key slice, so a mid-pass writer locks only the owning
+  // stripe(s) on the locked path. Hashed masters keep hash-mixed stripes
+  // and full writer locking.
+  bool param_key_range_stripes = true;
 };
 
 class Driver {
@@ -205,7 +218,10 @@ class Driver {
  private:
   struct ArrayHost {
     DistArrayMeta meta;
-    CellStore master;
+    // The authoritative driver-resident cells. Flat (a plain CellStore)
+    // between passes; paginated into the copy-on-write page store while a
+    // pass serves parameters from it (versioned_store).
+    VersionedCellStore master;
     bool on_workers = false;
     // Valid when on_workers: how and under which grid it was scattered.
     ArrayPlacement placement;
@@ -296,6 +312,18 @@ class Driver {
   RuntimeMetrics runtime_metrics_;
   std::map<DistArrayId, u32> last_replica_bcast_tag_;
   int pass_counter_ = 0;
+
+  // Adaptive prefetch-depth controller (per loop): the effective depth the
+  // next pass will ship in StartPass, re-picked from the previous pass's
+  // merged reply-wait p90. pass_prefetch_depth_ is the depth of the pass in
+  // flight, reused verbatim by supervision retransmits.
+  std::map<i32, int> adaptive_depth_;
+  int pass_prefetch_depth_ = 0;
+
+  // Per-pass metric series (flattened into ExportMetrics' "series" section)
+  // and driver-lifetime stripe-contention totals for CriticalPathReport.
+  std::map<std::string, std::vector<double>> metrics_series_;
+  std::vector<ParamStripeStats> stripe_totals_;
 };
 
 }  // namespace orion

@@ -250,8 +250,11 @@ void Executor::Run() {
           r.Get<u16>();
           const i32 loop_id = r.Get<i32>();
           const i32 pass = r.Get<i32>();
+          // Trailing adaptive-depth field; tolerate its absence so older
+          // encoders stay decodable.
+          const i32 depth = r.AtEnd() ? 0 : r.Get<i32>();
           if (pass > last_completed_pass_) {
-            RunPass(loop_id, pass);
+            RunPass(loop_id, pass, depth);
             continue;
           }
           // Retransmit of an already-finished pass: fall through to the
@@ -937,7 +940,7 @@ void Executor::DrainReturningParts(const CompiledLoop& cl) {
   }
 }
 
-void Executor::RunPass(i32 loop_id, i32 pass) {
+void Executor::RunPass(i32 loop_id, i32 pass, int depth_override) {
   current_pass_ = pass;
   trace::SetThreadRank(logical_rank_);
   trace::SetThreadPass(pass);
@@ -973,6 +976,11 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
     // are never pipelined: round r+1's prefetch must observe round r's
     // flushes, so issue and await stay back to back (the master-bound link
     // is FIFO, so the request queued behind the flushes reads fresh state).
+    // With the versioned master store these requests are served from a
+    // snapshot pinned at dequeue time — same bytes, but the gather copies
+    // run on the server pool outside any stripe lock. Cross-round prefetch
+    // stays illegal regardless: the snapshot for round r+1 must be pinned
+    // *after* round r's flushes are applied.
     const int rounds = cl->options.server_sync_rounds;
     for (int round = 0; round < rounds; ++round) {
       trace::SetThreadStep(round);
@@ -995,7 +1003,9 @@ void Executor::RunPass(i32 loop_id, i32 pass) {
     // overwrites every step that the *next* step must observe, so they keep
     // the synchronous issue-await pairing.
     const bool pipelined = overlap_ && has_server && cl->UsesRotation();
-    const int depth = pipelined ? std::max(1, cl->options.prefetch_depth) : 1;
+    const int static_depth =
+        depth_override > 0 ? depth_override : cl->options.prefetch_depth;
+    const int depth = pipelined ? std::max(1, static_depth) : 1;
     // Next step at which this worker executes a block (-1 when none): the
     // step the early issue targets.
     auto next_active = [&](int after) {

@@ -76,7 +76,9 @@ class Executor {
   ArrayState& GetArray(DistArrayId id);
   DistArrayBuffer& GetBuffer(DistArrayId target);
 
-  void RunPass(i32 loop_id, i32 pass);
+  // depth_override > 0 replaces the loop's static prefetch_depth for this
+  // pass (the master's adaptive controller ships it in StartPass).
+  void RunPass(i32 loop_id, i32 pass, int depth_override = 0);
   void ExecuteCells(const CompiledLoop& cl, int tau, int chunk, int num_chunks);
 
   // ---- Prefetch pipeline (paper Sec. 4.4 + comm/compute overlap) ----

@@ -29,10 +29,28 @@ struct LoopMetrics {
   // flight through the sharded path.
   double param_serve_seconds = 0.0;
   int param_shard_queue_depth_max = 0;
-  // Depth-k prefetch ring: the deepest any worker's ring actually got.
+  // Depth-k prefetch ring: the deepest any worker's ring actually got, and
+  // the depth the adaptive controller chose for the pass (0 = static).
   int prefetch_ring_depth_used = 0;
+  int prefetch_depth_effective = 0;
   // Per-worker reply-wait histograms, indexed by logical rank.
   std::vector<WaitHistogram> worker_reply_wait;
+  // Versioned copy-on-write store (master side): snapshots pinned for
+  // serving, pages cloned by concurrent writers, and bytes those clones
+  // copied.
+  u64 versioned_snapshot_pins = 0;
+  u64 versioned_pages_cloned = 0;
+  u64 versioned_cow_bytes = 0;
+  // Per-stripe contention heatmap, indexed by stripe. Empty when the pass
+  // had no sharded serving.
+  struct StripeMetrics {
+    u64 busy_ns = 0;    // lock-held gather time (0 on the snapshot path)
+    u64 gather_ns = 0;  // cell-copy time
+    u64 wait_ns = 0;    // lock-acquire wait (readers + writers)
+    u64 tasks = 0;
+    int queue_depth_max = 0;
+  };
+  std::vector<StripeMetrics> stripes;
 };
 
 // Cumulative fault-tolerance counters for one Driver lifetime: what the fault

@@ -1,6 +1,7 @@
 #include "src/runtime/param_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/common/status.h"
@@ -8,6 +9,24 @@
 #include "src/common/trace.h"
 
 namespace orion {
+
+namespace {
+
+u64 NowNs() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AtomicMax(std::atomic<int>* target, int value) {
+  int prev = target->load(std::memory_order_relaxed);
+  while (value > prev &&
+         !target->compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 Message BuildParamReply(const ParamRequest& req, const CellStore& master, i32 value_dim,
                         bool zero_copy) {
@@ -35,10 +54,12 @@ Message BuildParamReply(const ParamRequest& req, const CellStore& master, i32 va
   return reply;
 }
 
-ParamServer::ParamServer(Fabric* fabric, int num_shards, int num_workers)
+ParamServer::ParamServer(Fabric* fabric, int num_shards, int num_workers,
+                         bool key_range_stripes)
     : fabric_(fabric),
       num_shards_(num_shards),
-      stripes_(std::make_unique<std::shared_mutex[]>(static_cast<size_t>(num_shards))),
+      key_range_stripes_(key_range_stripes),
+      stripes_(std::make_unique<StripeState[]>(static_cast<size_t>(num_shards))),
       sender_(fabric, std::max(1, num_workers)),
       pool_(num_shards) {
   ORION_CHECK(num_shards > 0);
@@ -46,7 +67,14 @@ ParamServer::ParamServer(Fabric* fabric, int num_shards, int num_workers)
 
 ParamServer::~ParamServer() { Quiesce(); }
 
-int ParamServer::ShardOf(i64 key) const {
+int ParamServer::StripeOf(i64 key, i64 lo, i64 hi) const {
+  if (key_range_stripes_ && hi >= lo && key >= lo && key <= hi) {
+    // Equal contiguous key slices: stripe i owns
+    // [lo + i*span/S, lo + (i+1)*span/S).
+    const u64 span = static_cast<u64>(hi - lo + 1);
+    return static_cast<int>(static_cast<u64>(key - lo) *
+                            static_cast<u64>(num_shards_) / span);
+  }
   // Cheap mix so strided key lists spread across stripes.
   u64 h = static_cast<u64>(key) * 0x9E3779B97F4A7C15ull;
   return static_cast<int>((h >> 32) % static_cast<u64>(num_shards_));
@@ -59,9 +87,40 @@ void ParamServer::HandleRequest(ParamRequest req, WorkerId from, const CellStore
   r->from = from;
   r->master = master;
   r->value_dim = value_dim;
+  if (master->IsDense()) {
+    r->range_lo = master->range_lo();
+    r->range_hi = master->range_hi();
+  } else {
+    r->range_lo = 0;
+    r->range_hi = -1;
+  }
+  Start(r);
+}
+
+void ParamServer::HandleRequestSnapshot(ParamRequest req, WorkerId from,
+                                        VersionedCellStore::Snapshot snap,
+                                        i32 value_dim) {
+  ORION_CHECK(snap.valid());
+  auto r = std::make_shared<Request>();
+  r->req = std::move(req);
+  r->from = from;
+  r->value_dim = value_dim;
+  if (snap.dense()) {
+    r->range_lo = snap.range_lo();
+    r->range_hi = snap.range_hi();
+  } else {
+    r->range_lo = 0;
+    r->range_hi = -1;
+  }
+  r->snap = std::move(snap);
+  Start(r);
+}
+
+void ParamServer::Start(const std::shared_ptr<Request>& r) {
   r->shard_keys.resize(static_cast<size_t>(num_shards_));
   for (i64 key : r->req.keys) {
-    r->shard_keys[static_cast<size_t>(ShardOf(key))].push_back(key);
+    r->shard_keys[static_cast<size_t>(StripeOf(key, r->range_lo, r->range_hi))]
+        .push_back(key);
   }
   int active_shards = 0;
   for (const auto& keys : r->shard_keys) {
@@ -90,22 +149,46 @@ void ParamServer::HandleRequest(ParamRequest req, WorkerId from, const CellStore
 
 void ParamServer::Gather(const std::shared_ptr<Request>& r, int shard) {
   CpuStopwatch sw;
+  StripeState& st = stripes_[static_cast<size_t>(shard)];
   {
     // Span closes before the possible tail call into Finish so gather and
     // assemble time never overlap in the trace.
     ORION_TRACE_SPAN(kParamServer, "shard_gather");
-    std::shared_lock<std::shared_mutex> lock(stripes_[static_cast<size_t>(shard)]);
+    AtomicMax(&st.queue_depth_max, st.inflight.fetch_add(1, std::memory_order_relaxed) + 1);
     const auto& keys = r->shard_keys[static_cast<size_t>(shard)];
     CellStore out(r->value_dim, CellStore::Layout::kHashed, 0);
     out.Reserve(static_cast<i64>(keys.size()));
-    for (i64 key : keys) {
-      const f32* v = r->master->Get(key);
-      if (v != nullptr) {
-        f32* dst = out.GetOrCreate(key);
-        std::copy(v, v + r->value_dim, dst);
+    if (r->snap.valid()) {
+      // Snapshot path: the version is immutable, so no lock is held across
+      // the copy — the stripe's lock scope ended at the pin.
+      const u64 t0 = NowNs();
+      for (i64 key : keys) {
+        const f32* v = r->snap.Get(key);
+        if (v != nullptr) {
+          f32* dst = out.GetOrCreate(key);
+          std::copy(v, v + r->value_dim, dst);
+        }
       }
+      st.gather_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    } else {
+      const u64 t0 = NowNs();
+      std::shared_lock<std::shared_mutex> lock(st.mu);
+      const u64 t1 = NowNs();
+      for (i64 key : keys) {
+        const f32* v = r->master->Get(key);
+        if (v != nullptr) {
+          f32* dst = out.GetOrCreate(key);
+          std::copy(v, v + r->value_dim, dst);
+        }
+      }
+      const u64 t2 = NowNs();
+      st.wait_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+      st.busy_ns.fetch_add(t2 - t1, std::memory_order_relaxed);
+      st.gather_ns.fetch_add(t2 - t1, std::memory_order_relaxed);
     }
     r->shard_results[static_cast<size_t>(shard)] = std::move(out);
+    st.inflight.fetch_sub(1, std::memory_order_relaxed);
+    st.tasks.fetch_add(1, std::memory_order_relaxed);
   }
   const double elapsed = sw.ElapsedSeconds();
   {
@@ -133,13 +216,19 @@ void ParamServer::Finish(const std::shared_ptr<Request>& r) {
   pd.cells.Reserve(static_cast<i64>(r->req.keys.size()));
   if (!r->shard_results.empty()) {
     for (i64 key : r->req.keys) {
-      const f32* v = r->shard_results[static_cast<size_t>(ShardOf(key))].Get(key);
+      const f32* v =
+          r->shard_results[static_cast<size_t>(StripeOf(key, r->range_lo, r->range_hi))]
+              .Get(key);
       if (v != nullptr) {
         f32* dst = pd.cells.GetOrCreate(key);
         std::copy(v, v + r->value_dim, dst);
       }
     }
   }
+  // Retire this request's pin before it counts as done: once Quiesce()
+  // returns, the caller may collapse or mutate the store, so the pin must
+  // not linger until the pool thread drops its Request reference.
+  r->snap.Release();
   Message reply;
   reply.from = kMasterRank;
   reply.to = r->from;
@@ -173,15 +262,66 @@ std::vector<std::unique_lock<std::shared_mutex>> ParamServer::LockAllShards() {
   std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(static_cast<size_t>(num_shards_));
   for (int s = 0; s < num_shards_; ++s) {
-    locks.emplace_back(stripes_[static_cast<size_t>(s)]);
+    StripeState& st = stripes_[static_cast<size_t>(s)];
+    const u64 t0 = NowNs();
+    locks.emplace_back(st.mu);
+    st.wait_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+  }
+  return locks;
+}
+
+std::vector<std::unique_lock<std::shared_mutex>> ParamServer::LockForUpdate(
+    const CellStore& updates, i64 range_lo, i64 range_hi) {
+  if (!key_range_stripes_ || range_hi < range_lo) {
+    // Hashed master (an insert can rehash the whole store) or key-range
+    // ownership off: writers need full exclusion.
+    return LockAllShards();
+  }
+  std::vector<bool> owned(static_cast<size_t>(num_shards_), false);
+  updates.ForEachConstFast([&](i64 key, const f32*) {
+    owned[static_cast<size_t>(StripeOf(key, range_lo, range_hi))] = true;
+  });
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  for (int s = 0; s < num_shards_; ++s) {
+    if (!owned[static_cast<size_t>(s)]) {
+      continue;
+    }
+    StripeState& st = stripes_[static_cast<size_t>(s)];
+    const u64 t0 = NowNs();
+    locks.emplace_back(st.mu);
+    st.wait_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
   }
   return locks;
 }
 
 void ParamServer::ResetPassStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  serve_seconds_ = 0.0;
-  max_queue_depth_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    serve_seconds_ = 0.0;
+    max_queue_depth_ = 0;
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    StripeState& st = stripes_[static_cast<size_t>(s)];
+    st.busy_ns.store(0, std::memory_order_relaxed);
+    st.gather_ns.store(0, std::memory_order_relaxed);
+    st.wait_ns.store(0, std::memory_order_relaxed);
+    st.tasks.store(0, std::memory_order_relaxed);
+    st.queue_depth_max.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ParamStripeStats> ParamServer::StripeStatsSnapshot() const {
+  std::vector<ParamStripeStats> out(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    const StripeState& st = stripes_[static_cast<size_t>(s)];
+    ParamStripeStats& o = out[static_cast<size_t>(s)];
+    o.busy_ns = st.busy_ns.load(std::memory_order_relaxed);
+    o.gather_ns = st.gather_ns.load(std::memory_order_relaxed);
+    o.wait_ns = st.wait_ns.load(std::memory_order_relaxed);
+    o.tasks = st.tasks.load(std::memory_order_relaxed);
+    o.queue_depth_max = st.queue_depth_max.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 double ParamServer::serve_seconds() const {

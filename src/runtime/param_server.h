@@ -5,28 +5,40 @@
 // (~N x latency) and bounded what deep prefetch could hide. ParamServer moves
 // that work off the loop:
 //
-//   HandleRequest — splits the request's key list into S hash shards and
-//       enqueues one gather task per non-empty shard on a thread pool. Each
-//       gather holds its stripe's lock shared and copies hits out of the
-//       master store; the last shard to finish assembles the reply *in
-//       request-key order* and hands it to a per-destination reply lane
-//       (AsyncSender), so sends to different workers overlap.
-//   LockAllShards — server-state writers (mid-pass wavefront overwrites,
-//       recovery restores) take every stripe exclusively. CellStore rehashes
-//       on insert, so writers need full exclusion, not per-cell atomicity.
-//   Quiesce — barrier: every in-flight request assembled and its reply
-//       delivered. Called at pass end, on pass abort, and before recovery
-//       mutates master state.
+//   HandleRequestSnapshot — the versioned-store path. The service loop pins a
+//       VersionedCellStore::Snapshot at dequeue time (a refcount bump) and
+//       hands it over; gather tasks copy hits out of the immutable snapshot
+//       with NO lock held — the stripe's lock scope ends at the pin. Writers
+//       never block readers: they clone-on-write the next version instead.
+//   HandleRequest — the legacy locked path (versioned_store = false): each
+//       gather holds its stripe's lock shared across the copy out of the
+//       live master store.
+//   Both split the key list into stripes. With key-range ownership (the
+//       default for dense masters) stripe i owns an equal contiguous slice
+//       of [range_lo, range_hi], so a mid-pass writer locks only the stripes
+//       its keys fall in (LockForUpdate) and disjoint readers/writers
+//       proceed concurrently. Hashed masters fall back to hash-mixed stripes
+//       and full locking, because an insert can rehash the whole store.
+//   The last stripe to finish assembles the reply *in request-key order* and
+//       hands it to a per-destination reply lane (AsyncSender), so sends to
+//       different workers overlap.
+//   Quiesce — barrier: every in-flight request assembled, its reply
+//       delivered, and its snapshot pin released. Called at pass end, on
+//       pass abort, and before recovery mutates master state.
 //
-// Determinism: reply contents depend only on (request keys, master state) —
-// exactly what the inline path saw, because 2D kServer buffered applies are
-// deferred to pass end (server state is pass-constant for rotation loops)
-// and wavefront mid-step overwrites touch cells disjoint from any concurrent
-// reader's key list (dependence analysis) with the stripe locks preventing
-// torn reads. Key-order assembly makes the reply bytes identical to the
-// inline gather's, and per-destination lanes keep each worker's replies in
-// FIFO order. kParamReply is not a faultable message kind, so moving replies
-// onto lane threads cannot perturb the injected-fault sequence.
+// Determinism: reply contents depend only on (request keys, master state at
+// dequeue time) — exactly what the inline path saw. On the snapshot path the
+// pin happens on the single-threaded service loop at the same point the
+// inline path would have served, and copy-on-write guarantees the pinned
+// version is immutable, so the gathered bytes are identical no matter when
+// the pool thread runs. On the locked path 2D kServer buffered applies are
+// deferred to pass end and wavefront mid-step overwrites touch cells
+// disjoint from any concurrent reader's key list (dependence analysis) with
+// the stripe locks preventing torn reads. Key-order assembly makes the
+// reply bytes identical to the inline gather's, and per-destination lanes
+// keep each worker's replies in FIFO order. kParamReply is not a faultable
+// message kind, so moving replies onto lane threads cannot perturb the
+// injected-fault sequence.
 #ifndef ORION_SRC_RUNTIME_PARAM_SERVER_H_
 #define ORION_SRC_RUNTIME_PARAM_SERVER_H_
 
@@ -39,6 +51,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/dsm/cell_store.h"
+#include "src/dsm/versioned_store.h"
 #include "src/net/async_sender.h"
 #include "src/net/fabric.h"
 #include "src/runtime/protocol.h"
@@ -49,56 +62,102 @@ namespace orion {
 // request-key order (the order the reply store's insertion-ordered layout
 // makes observable) into a store pre-sized for the key list. Shared by the
 // inline serving path and tests; the sharded path assembles from its
-// per-shard gathers instead.
+// per-stripe gathers instead.
 Message BuildParamReply(const ParamRequest& req, const CellStore& master, i32 value_dim,
                         bool zero_copy);
+
+// Per-stripe contention stats for one pass (the stripe heatmap).
+struct ParamStripeStats {
+  u64 busy_ns = 0;    // lock-held time inside gather tasks (0 on the snapshot path)
+  u64 gather_ns = 0;  // cell-copy time, locked or not
+  u64 wait_ns = 0;    // time spent blocked acquiring the stripe lock
+  u64 tasks = 0;      // gather tasks routed to this stripe
+  int queue_depth_max = 0;  // peak concurrent gather tasks on this stripe
+};
 
 class ParamServer {
  public:
   // `num_shards` gather stripes and pool threads; one reply lane per worker.
-  ParamServer(Fabric* fabric, int num_shards, int num_workers);
+  // `key_range_stripes` keys stripe ownership off contiguous key ranges for
+  // dense masters (hash-mixed otherwise).
+  ParamServer(Fabric* fabric, int num_shards, int num_workers,
+              bool key_range_stripes = true);
   ~ParamServer();
 
   ParamServer(const ParamServer&) = delete;
   ParamServer& operator=(const ParamServer&) = delete;
 
   int num_shards() const { return num_shards_; }
+  bool key_range_stripes() const { return key_range_stripes_; }
 
-  // Non-blocking: enqueues the gather work and returns. `master` must stay
-  // valid and un-mutated (except under LockAllShards) until Quiesce().
+  // Locked path. Non-blocking: enqueues the gather work and returns.
+  // `master` must stay valid and un-mutated (except under LockAllShards /
+  // LockForUpdate) until Quiesce().
   void HandleRequest(ParamRequest req, WorkerId from, const CellStore* master,
                      i32 value_dim);
 
-  // Blocks until every in-flight request has been assembled and its reply
-  // pushed into the destination inbox. Cheap when idle.
+  // Snapshot path. The caller pins the version to serve; gathers read it
+  // lock-free and the pin is released when the reply has been assembled.
+  void HandleRequestSnapshot(ParamRequest req, WorkerId from,
+                             VersionedCellStore::Snapshot snap, i32 value_dim);
+
+  // Blocks until every in-flight request has been assembled, its reply
+  // pushed into the destination inbox, and its snapshot pin released.
+  // Cheap when idle.
   void Quiesce();
 
-  // Exclusive access w.r.t. all in-flight gathers, for master-state writers.
+  // Exclusive access w.r.t. all in-flight locked gathers, for master-state
+  // writers on the locked path.
   std::vector<std::unique_lock<std::shared_mutex>> LockAllShards();
+
+  // Locks only the stripes owning the keys of `updates` (key-range mode,
+  // dense master [range_lo, range_hi]). Falls back to LockAllShards for
+  // hashed masters — an insert may rehash — or when key-range ownership is
+  // off.
+  std::vector<std::unique_lock<std::shared_mutex>> LockForUpdate(
+      const CellStore& updates, i64 range_lo, i64 range_hi);
 
   // Pass-scoped stats (reset at pass start by the driver).
   void ResetPassStats();
   double serve_seconds() const;    // CPU time across gather + assembly tasks
   int max_queue_depth() const;     // peak requests concurrently in flight
+  std::vector<ParamStripeStats> StripeStatsSnapshot() const;
+
+  // Stripe of `key` for a master spanning [lo, hi] (hi < lo: hashed master).
+  int StripeOf(i64 key, i64 lo, i64 hi) const;
 
  private:
   struct Request {
     ParamRequest req;
     WorkerId from = 0;
-    const CellStore* master = nullptr;
+    const CellStore* master = nullptr;          // locked path
+    VersionedCellStore::Snapshot snap;          // snapshot path (valid() => on)
+    i64 range_lo = 0;                           // stripe domain of the master
+    i64 range_hi = -1;
     i32 value_dim = 0;
     std::vector<std::vector<i64>> shard_keys;
     std::vector<CellStore> shard_results;
     std::atomic<int> remaining{0};
   };
 
-  int ShardOf(i64 key) const;
+  struct StripeState {
+    std::shared_mutex mu;
+    std::atomic<u64> busy_ns{0};
+    std::atomic<u64> gather_ns{0};
+    std::atomic<u64> wait_ns{0};
+    std::atomic<u64> tasks{0};
+    std::atomic<int> inflight{0};
+    std::atomic<int> queue_depth_max{0};
+  };
+
+  void Start(const std::shared_ptr<Request>& r);
   void Gather(const std::shared_ptr<Request>& r, int shard);
   void Finish(const std::shared_ptr<Request>& r);
 
   Fabric* fabric_;
   int num_shards_;
-  std::unique_ptr<std::shared_mutex[]> stripes_;
+  bool key_range_stripes_;
+  std::unique_ptr<StripeState[]> stripes_;
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

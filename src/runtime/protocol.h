@@ -31,12 +31,17 @@ enum class ControlOp : u16 {
 struct StartPass {
   i32 loop_id = 0;
   i32 pass = 0;
+  // Effective prefetch-ring depth for this pass, chosen by the driver's
+  // adaptive controller. 0 = use the loop's static option. Serialized last
+  // so older decoders simply stop before it.
+  i32 prefetch_depth = 0;
 
   std::vector<u8> Encode() const {
     ByteWriter w;
     w.Put<u16>(static_cast<u16>(ControlOp::kStartPass));
     w.Put<i32>(loop_id);
     w.Put<i32>(pass);
+    w.Put<i32>(prefetch_depth);
     return w.Take();
   }
 };

@@ -1,4 +1,5 @@
-// Foundation utilities: status, serde, RNG, histogram, queues, thread pool.
+// Foundation utilities: status, serde, RNG, histogram, queues, thread pool,
+// metrics registry.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -6,6 +7,7 @@
 
 #include "src/common/blocking_queue.h"
 #include "src/common/histogram.h"
+#include "src/common/metrics_registry.h"
 #include "src/common/rng.h"
 #include "src/common/serde.h"
 #include "src/common/status.h"
@@ -333,6 +335,60 @@ TEST(WaitHistogram, ApproxPercentileStaysInsideBucketBounds) {
   EXPECT_LT(mix.ApproxPercentile(0.5), 1e-3);
   EXPECT_GT(mix.ApproxPercentile(0.99), 0.05);
   EXPECT_LE(mix.ApproxPercentile(1.0), mix.max_seconds + 1e-12);
+}
+
+// ---- MetricsRegistry ----
+
+TEST(MetricsRegistry, CountersGaugesAndDefaults) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.Counter("absent"), 0u);
+  EXPECT_DOUBLE_EQ(reg.Gauge("absent"), 0.0);
+  EXPECT_FALSE(reg.HasHistogram("absent"));
+
+  reg.SetCounter("a", 3);
+  reg.AddCounter("a", 2);
+  reg.SetGauge("g", 1.5);
+  EXPECT_EQ(reg.Counter("a"), 5u);
+  EXPECT_DOUBLE_EQ(reg.Gauge("g"), 1.5);
+}
+
+TEST(MetricsRegistry, SeriesAccumulatesPerPassPoints) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.Series("pass.wall_seconds"), nullptr);
+  reg.AppendSeries("pass.wall_seconds", 0.5);
+  reg.AppendSeries("pass.wall_seconds", 0.25);
+  reg.AppendSeries("prefetch.depth_effective", 2.0);
+  const std::vector<double>* s = reg.Series("pass.wall_seconds");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(*s, (std::vector<double>{0.5, 0.25}));
+  ASSERT_NE(reg.Series("prefetch.depth_effective"), nullptr);
+  EXPECT_EQ(reg.Series("prefetch.depth_effective")->size(), 1u);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndCarriesSeries) {
+  auto build = [] {
+    MetricsRegistry reg;
+    reg.SetCounter("z.count", 7);
+    reg.SetGauge("a.gauge", 0.125);
+    reg.Histogram("w").Add(5e-4);
+    reg.AppendSeries("s.two", 1.0);
+    reg.AppendSeries("s.two", 2.5);
+    reg.AppendSeries("s.one", -3.0);
+    return reg;
+  };
+  const std::string a = build().ToJson();
+  const std::string b = build().ToJson();
+  EXPECT_EQ(a, b);  // byte-stable for identical contents (sorted keys)
+
+  // The series section lists names sorted, each as a plain number array.
+  EXPECT_NE(a.find("\"series\":{\"s.one\":[-3],\"s.two\":[1,2.5]}"), std::string::npos)
+      << a;
+  EXPECT_NE(a.find("\"counters\":{\"z.count\":7}"), std::string::npos) << a;
+
+  // Empty registry still emits all four sections.
+  const std::string empty = MetricsRegistry().ToJson();
+  EXPECT_NE(empty.find("\"series\":{}"), std::string::npos);
+  EXPECT_NE(empty.find("\"histograms\":{}"), std::string::npos);
 }
 
 TEST(ThreadPool, WaitIsReusable) {
