@@ -1,0 +1,132 @@
+#include "src/common/durable_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace orion {
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const u8* data, size_t size, const std::string& path) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status FsyncParentDir(const std::string& path) {
+  struct stat st;
+  std::string dir = path;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    dir = ParentDir(path);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  if (::fsync(fd) != 0) {
+    const Status s = Errno("fsync dir", dir);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status DurableWriteFile(const std::string& path, const u8* data, size_t size) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status s = WriteAll(fd, data, size, tmp);
+  if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", tmp);
+  ::close(fd);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rs = Errno("rename", path);
+    ::unlink(tmp.c_str());
+    return rs;
+  }
+  return FsyncParentDir(path);
+}
+
+StatusOr<u64> DurableAppendFile(const std::string& path, const u8* data,
+                                size_t size) {
+  struct stat st;
+  const bool fresh = ::stat(path.c_str(), &st) != 0;
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  Status s = WriteAll(fd, data, size, path);
+  if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", path);
+  u64 end = 0;
+  if (s.ok()) {
+    const off_t pos = ::lseek(fd, 0, SEEK_END);
+    if (pos < 0) s = Errno("lseek", path);
+    end = static_cast<u64>(pos);
+  }
+  ::close(fd);
+  if (!s.ok()) return s;
+  if (fresh) {
+    const Status ds = FsyncParentDir(path);
+    if (!ds.ok()) return ds;
+  }
+  return end;
+}
+
+Status DurableTruncateFile(const std::string& path, u64 size) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Errno("open", path);
+  Status s = Status::Ok();
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) s = Errno("ftruncate", path);
+  if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", path);
+  ::close(fd);
+  return s;
+}
+
+StatusOr<std::vector<u8>> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  std::vector<u8> out;
+  u8 buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+}  // namespace orion

@@ -143,6 +143,11 @@ struct PassBreakdown {
   double master_apply_seconds = 0.0;   // deferred applies + checkpoint + recovery
   double other_seconds = 0.0;          // residual vs wall
   double param_serve_seconds = 0.0;    // informational, overlaps worker time
+  // Checkpoint stall charged to this pass: driver "checkpoint" spans between
+  // this pass window and the next (durability appends happen after the pass
+  // commits). Informational, outside the sum — like serve — because the
+  // stall is not inside the pass's wall window.
+  double checkpoint_seconds = 0.0;
 
   double Sum() const {
     return compute_seconds + prefetch_wait_seconds + rotation_seconds +

@@ -1,9 +1,9 @@
 #include "src/dsm/checkpoint.h"
 
-#include <cstdio>
 #include <fstream>
 #include <vector>
 
+#include "src/common/durable_io.h"
 #include "src/common/serde.h"
 
 namespace orion {
@@ -14,15 +14,6 @@ constexpr u32 kMagic = 0x4f52434b;  // "ORCK"
 // bit-flipped files are rejected with a Status instead of feeding garbage
 // into the deserializer.
 constexpr u32 kVersion = 3;
-
-u64 Fnv1a(const u8* data, size_t n) {
-  u64 h = 14695981039346656037ull;
-  for (size_t i = 0; i < n; ++i) {
-    h ^= data[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 }  // namespace
 
 Status CheckpointWrite(const std::string& path, const CellStore& store) {
@@ -34,26 +25,13 @@ Status CheckpointWrite(const std::string& path, const CellStore& store) {
   w.Put<u32>(kMagic);
   w.Put<u32>(kVersion);
   w.Put<u64>(static_cast<u64>(body.size()));
-  w.Put<u64>(Fnv1a(body.data(), body.size()));
+  w.Put<u64>(Fnv1a64(body.data(), body.size()));
   w.PutBytes(body.data(), body.size());
 
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IoError("cannot open " + tmp + " for writing");
-    }
-    const auto& bytes = w.bytes();
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    if (!out) {
-      return Status::IoError("short write to " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("rename " + tmp + " -> " + path + " failed");
-  }
-  return Status::Ok();
+  // fsync the temp file before rename and the directory after, so a crash
+  // right after "success" cannot lose the checkpoint's directory entry.
+  const auto& bytes = w.bytes();
+  return DurableWriteFile(path, bytes.data(), bytes.size());
 }
 
 StatusOr<CellStore> CheckpointRead(const std::string& path) {
@@ -85,7 +63,7 @@ StatusOr<CellStore> CheckpointRead(const std::string& path) {
     return Status::InvalidArgument(path + " is truncated");
   }
   const u8* body = bytes.data() + (bytes.size() - r.remaining());
-  if (Fnv1a(body, static_cast<size_t>(*payload_size)) != *checksum) {
+  if (Fnv1a64(body, static_cast<size_t>(*payload_size)) != *checksum) {
     return Status::InvalidArgument(path + " failed checksum verification");
   }
   auto store = CellStore::TryDeserialize(&r);

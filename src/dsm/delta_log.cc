@@ -1,0 +1,416 @@
+#include "src/dsm/delta_log.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/durable_io.h"
+
+namespace orion {
+namespace {
+
+constexpr u32 kBaseMagic = 0x4f524442;  // "ORDB"
+constexpr u32 kWalMagic = 0x4f52444c;   // "ORDL"
+constexpr u32 kLogVersion = 1;
+
+std::string BasePath(const std::string& dir) { return dir + "/base.orib"; }
+std::string WalPath(const std::string& dir) { return dir + "/wal.oril"; }
+
+// The checksum covers seq + size + payload, so a flipped bit in the header's
+// ordering fields is caught, not just payload damage.
+u64 FrameCrc(u64 seq, const u8* payload, size_t payload_size) {
+  ByteWriter h;
+  h.Put<u64>(seq);
+  h.Put<u64>(static_cast<u64>(payload_size));
+  return Fnv1a64(payload, payload_size, Fnv1a64(h.bytes().data(), h.bytes().size()));
+}
+
+// Frames `payload` as {magic, version, seq, size, crc, payload}.
+std::vector<u8> FrameRecord(u32 magic, u64 seq, const std::vector<u8>& payload) {
+  ByteWriter w;
+  w.Put<u32>(magic);
+  w.Put<u32>(kLogVersion);
+  w.Put<u64>(seq);
+  w.Put<u64>(static_cast<u64>(payload.size()));
+  w.Put<u64>(FrameCrc(seq, payload.data(), payload.size()));
+  w.PutBytes(payload.data(), payload.size());
+  return w.Take();
+}
+
+constexpr size_t kFrameHeaderBytes = 2 * sizeof(u32) + 3 * sizeof(u64);
+
+// Validates one frame starting at `r`'s position. Returns the seq and the
+// payload span on success; nullopt on a torn or corrupt frame (magic,
+// version, size or checksum mismatch).
+struct Frame {
+  u64 seq = 0;
+  const u8* payload = nullptr;
+  size_t payload_size = 0;
+};
+std::optional<Frame> ReadFrame(const std::vector<u8>& bytes, size_t* pos, u32 magic) {
+  if (bytes.size() - *pos < kFrameHeaderBytes) {
+    return std::nullopt;
+  }
+  ByteReader r(bytes.data() + *pos, bytes.size() - *pos);
+  if (r.Get<u32>() != magic || r.Get<u32>() != kLogVersion) {
+    return std::nullopt;
+  }
+  Frame f;
+  f.seq = r.Get<u64>();
+  f.payload_size = static_cast<size_t>(r.Get<u64>());
+  const u64 crc = r.Get<u64>();
+  if (f.payload_size > r.remaining()) {
+    return std::nullopt;  // torn tail
+  }
+  f.payload = bytes.data() + *pos + kFrameHeaderBytes;
+  if (FrameCrc(f.seq, f.payload, f.payload_size) != crc) {
+    return std::nullopt;
+  }
+  *pos += kFrameHeaderBytes + f.payload_size;
+  return f;
+}
+
+void EncodeFullArray(const ArrayCheckpointRef& a, ByteWriter* w) {
+  w->PutString(a.name);
+  w->Put<u8>(1);  // full
+  a.store->SerializeTo(w);
+}
+
+void EncodeDeltaArray(const ArrayCheckpointRef& a, ByteWriter* w, u64* pages_out) {
+  const VersionedCellStore& s = *a.store;
+  w->PutString(a.name);
+  w->Put<u8>(0);  // delta
+  w->Put<u8>(static_cast<u8>(s.layout()));
+  w->Put<i32>(s.value_dim());
+  w->Put<i64>(s.range_lo());
+  w->Put<i64>(s.range_hi());
+  w->Put<i64>(s.NumCells());
+  std::vector<i64> new_keys;
+  if (s.layout() == CellStore::Layout::kHashed) {
+    const auto& keys = s.paged_keys();
+    new_keys.assign(keys.begin() + static_cast<size_t>(s.checkpoint_cells()), keys.end());
+  }
+  w->PutVec(new_keys);
+  const std::vector<u32> dirty = s.DirtyPages();
+  w->Put<u64>(static_cast<u64>(dirty.size()));
+  const size_t page_floats = s.PageFloats();
+  std::vector<f32> page(page_floats);
+  for (const u32 pi : dirty) {
+    w->Put<u32>(pi);
+    // Full fixed-size pages (zero-padded tail); the reader clamps the
+    // overlay to num_cells * vdim.
+    std::memcpy(page.data(), s.PageData(pi), page_floats * sizeof(f32));
+    w->PutVec(page);
+  }
+  *pages_out += dirty.size();
+}
+
+StatusOr<std::map<std::string, CellStore>> DecodeFullArrays(ByteReader* r, u64 count) {
+  std::map<std::string, CellStore> out;
+  for (u64 i = 0; i < count; ++i) {
+    std::string name = r->GetString();
+    auto store = CellStore::TryDeserialize(r);
+    if (!store.ok()) {
+      return Status::InvalidArgument("array " + name + ": " + store.status().message());
+    }
+    out.emplace(std::move(name), std::move(store).value());
+  }
+  return out;
+}
+
+}  // namespace
+
+void MasterRecord::Encode(ByteWriter* w) const {
+  w->Put<i64>(next_pass);
+  w->Put<u64>(config_seed);
+  w->Put<u64>(fault_seed);
+  w->Put<i32>(num_workers);
+  w->PutVec(live_ranks);
+  w->PutVec(loop_ids);
+  w->PutVec(accumulators);
+}
+
+MasterRecord MasterRecord::Decode(ByteReader* r) {
+  MasterRecord m;
+  m.next_pass = r->Get<i64>();
+  m.config_seed = r->Get<u64>();
+  m.fault_seed = r->Get<u64>();
+  m.num_workers = r->Get<i32>();
+  m.live_ranks = r->GetVec<i32>();
+  m.loop_ids = r->GetVec<i32>();
+  m.accumulators = r->GetVec<f64>();
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+StatusOr<DeltaLogReader> DeltaLogReader::Open(const std::string& dir) {
+  DeltaLogReader out;
+
+  auto base_bytes = ReadFileBytes(BasePath(dir));
+  if (!base_bytes.ok()) {
+    return Status::NotFound("delta log " + dir + " has no base image: " +
+                            base_bytes.status().message());
+  }
+  size_t pos = 0;
+  auto base = ReadFrame(*base_bytes, &pos, kBaseMagic);
+  if (!base.has_value() || pos != base_bytes->size()) {
+    return Status::InvalidArgument("delta log " + dir + " base image is corrupt");
+  }
+  {
+    ByteReader r(base->payload, base->payload_size);
+    out.base_seq_ = base->seq;
+    out.base_master_ = MasterRecord::Decode(&r);
+    const u64 count = r.Get<u64>();
+    auto arrays = DecodeFullArrays(&r, count);
+    if (!arrays.ok()) {
+      return Status::InvalidArgument("delta log " + dir + " base: " +
+                                     arrays.status().message());
+    }
+    out.base_arrays_ = std::move(arrays).value();
+  }
+  out.points_.push_back({out.base_seq_, out.base_master_.next_pass});
+
+  auto wal_bytes = ReadFileBytes(WalPath(dir));
+  if (!wal_bytes.ok()) {
+    if (wal_bytes.status().code() != StatusCode::kNotFound) {
+      return wal_bytes.status();
+    }
+    return out;  // base only — fresh log or just-compacted
+  }
+  pos = 0;
+  while (pos < wal_bytes->size()) {
+    const size_t frame_start = pos;
+    auto f = ReadFrame(*wal_bytes, &pos, kWalMagic);
+    if (!f.has_value()) {
+      out.torn_tail_ = true;
+      out.valid_wal_bytes_ = frame_start;
+      return out;
+    }
+    if (f->seq <= out.base_seq_) {
+      // Survivor from the crash window between base rename and WAL
+      // truncation — already folded into the base.
+      out.valid_wal_bytes_ = pos;
+      continue;
+    }
+    Record rec;
+    rec.seq = f->seq;
+    ByteReader r(f->payload, f->payload_size);
+    rec.master = MasterRecord::Decode(&r);
+    const u64 count = r.Get<u64>();
+    for (u64 i = 0; i < count; ++i) {
+      ArrayDelta d;
+      d.name = r.GetString();
+      d.full = r.Get<u8>() != 0;
+      if (d.full) {
+        auto store = CellStore::TryDeserialize(&r);
+        if (!store.ok()) {
+          return Status::InvalidArgument("delta log " + dir + " record " +
+                                         std::to_string(f->seq) + ": " +
+                                         store.status().message());
+        }
+        d.full_store = std::move(store).value();
+      } else {
+        d.layout = r.Get<u8>();
+        d.vdim = r.Get<i32>();
+        d.lo = r.Get<i64>();
+        d.hi = r.Get<i64>();
+        d.num_cells = r.Get<i64>();
+        d.new_keys = r.GetVec<i64>();
+        const u64 npages = r.Get<u64>();
+        d.pages.reserve(static_cast<size_t>(npages));
+        for (u64 p = 0; p < npages; ++p) {
+          const u32 pi = r.Get<u32>();
+          d.pages.emplace_back(pi, r.GetVec<f32>());
+        }
+      }
+      rec.arrays.push_back(std::move(d));
+    }
+    out.points_.push_back({rec.seq, rec.master.next_pass});
+    out.records_.push_back(std::move(rec));
+    out.valid_wal_bytes_ = pos;
+  }
+  return out;
+}
+
+StatusOr<DeltaLogReader::State> DeltaLogReader::StateAt(u64 seq) const {
+  if (seq < base_seq_) {
+    return Status::NotFound("checkpoint seq " + std::to_string(seq) +
+                            " predates the base image (compacted away)");
+  }
+  const bool known =
+      seq == base_seq_ ||
+      std::any_of(records_.begin(), records_.end(),
+                  [seq](const Record& r) { return r.seq == seq; });
+  if (!known) {
+    return Status::NotFound("no checkpoint with seq " + std::to_string(seq));
+  }
+
+  State s;
+  s.master = base_master_;
+  s.arrays = base_arrays_;
+  for (const Record& rec : records_) {
+    if (rec.seq > seq) {
+      break;
+    }
+    s.master = rec.master;
+    for (const ArrayDelta& d : rec.arrays) {
+      if (d.full) {
+        s.arrays[d.name] = d.full_store;
+        continue;
+      }
+      auto it = s.arrays.find(d.name);
+      if (it == s.arrays.end()) {
+        return Status::InvalidArgument("delta for unknown array " + d.name);
+      }
+      CellStore& cells = it->second;
+      if (cells.value_dim() != d.vdim ||
+          static_cast<u8>(cells.layout()) != d.layout) {
+        return Status::InvalidArgument("delta layout mismatch for array " + d.name);
+      }
+      if (d.layout == static_cast<u8>(CellStore::Layout::kHashed)) {
+        for (const i64 key : d.new_keys) {
+          cells.GetOrCreate(key);
+        }
+      }
+      if (cells.NumCells() != d.num_cells) {
+        return Status::InvalidArgument("delta cell count mismatch for array " + d.name);
+      }
+      const size_t page_floats =
+          static_cast<size_t>(VersionedCellStore::kPageCells) * d.vdim;
+      const size_t total = static_cast<size_t>(d.num_cells) * d.vdim;
+      f32* dst = cells.raw_values_data();
+      for (const auto& [pi, page] : d.pages) {
+        const size_t off = static_cast<size_t>(pi) * page_floats;
+        if (off >= total) {
+          return Status::InvalidArgument("delta page out of range for array " + d.name);
+        }
+        const size_t n = std::min(page_floats, total - off);
+        std::memcpy(dst + off, page.data(), n * sizeof(f32));
+      }
+    }
+  }
+  return s;
+}
+
+StatusOr<DeltaLogReader::State> DeltaLogReader::StateAtPass(i64 pass) const {
+  for (const RestorePoint& p : points_) {
+    if (p.pass == pass) {
+      return StateAt(p.seq);
+    }
+  }
+  return Status::NotFound("no checkpoint at pass " + std::to_string(pass));
+}
+
+StatusOr<DeltaLogReader::State> DeltaLogReader::Latest() const {
+  return StateAt(points_.back().seq);
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+StatusOr<std::unique_ptr<DeltaLogWriter>> DeltaLogWriter::Open(
+    std::string dir, DeltaLogOptions options) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create log directory " + dir + ": " + ec.message());
+  }
+  auto w = std::unique_ptr<DeltaLogWriter>(new DeltaLogWriter(std::move(dir), options));
+
+  auto existing = DeltaLogReader::Open(w->dir_);
+  if (existing.ok()) {
+    const DeltaLogReader& log = existing.value();
+    w->seq_ = log.points_.back().seq;
+    w->records_since_base_ = static_cast<int>(log.records_.size());
+    if (log.torn_tail()) {
+      // Drop the torn tail so the next append starts at a record boundary.
+      const Status s = DurableTruncateFile(WalPath(w->dir_), log.valid_wal_bytes());
+      if (!s.ok()) {
+        return s;
+      }
+    }
+  } else if (existing.status().code() != StatusCode::kNotFound) {
+    return existing.status();  // corrupt base: refuse to append over it
+  }
+  return w;
+}
+
+Status DeltaLogWriter::WriteBase(const MasterRecord& master,
+                                 const std::vector<ArrayCheckpointRef>& arrays,
+                                 u64* bytes) {
+  ByteWriter payload;
+  master.Encode(&payload);
+  payload.Put<u64>(static_cast<u64>(arrays.size()));
+  for (const ArrayCheckpointRef& a : arrays) {
+    payload.PutString(a.name);
+    a.store->SerializeTo(&payload);
+  }
+  const std::vector<u8> frame = FrameRecord(kBaseMagic, seq_, payload.bytes());
+  *bytes += frame.size();
+  Status s = DurableWriteFile(BasePath(dir_), frame.data(), frame.size());
+  if (!s.ok()) {
+    return s;
+  }
+  // The WAL prefix is now folded into the base; drop it. A crash before the
+  // truncate is benign — readers skip records with seq <= base seq.
+  std::error_code ec;
+  if (std::filesystem::exists(WalPath(dir_), ec)) {
+    s = DurableTruncateFile(WalPath(dir_), 0);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  records_since_base_ = 0;
+  return Status::Ok();
+}
+
+StatusOr<DeltaAppendStats> DeltaLogWriter::AppendCheckpoint(
+    const MasterRecord& master, const std::vector<ArrayCheckpointRef>& arrays) {
+  DeltaAppendStats stats;
+  ++seq_;
+
+  const bool have_base = seq_ > 1 || records_since_base_ > 0;
+  const bool compact = options_.compact_every > 0 &&
+                       records_since_base_ + 1 > options_.compact_every;
+  if (!have_base || compact) {
+    const Status s = WriteBase(master, arrays, &stats.bytes_appended);
+    if (!s.ok()) {
+      --seq_;
+      return s;
+    }
+    stats.wrote_base = true;
+    stats.compacted = have_base;
+    stats.full_arrays = static_cast<int>(arrays.size());
+  } else {
+    ByteWriter payload;
+    master.Encode(&payload);
+    payload.Put<u64>(static_cast<u64>(arrays.size()));
+    for (const ArrayCheckpointRef& a : arrays) {
+      if (a.store->delta_tracking_valid()) {
+        EncodeDeltaArray(a, &payload, &stats.pages_deltad);
+      } else {
+        EncodeFullArray(a, &payload);
+        ++stats.full_arrays;
+      }
+    }
+    const std::vector<u8> frame = FrameRecord(kWalMagic, seq_, payload.bytes());
+    stats.bytes_appended = frame.size();
+    auto end = DurableAppendFile(WalPath(dir_), frame.data(), frame.size());
+    if (!end.ok()) {
+      --seq_;
+      return end.status();
+    }
+    ++records_since_base_;
+  }
+
+  // Only after the record is durable: arm/reset dirty tracking so the next
+  // checkpoint captures exactly the writes from this point on.
+  for (const ArrayCheckpointRef& a : arrays) {
+    a.store->MarkCheckpointed();
+  }
+  return stats;
+}
+
+}  // namespace orion

@@ -206,6 +206,10 @@ class VersionedCellStore {
       table_->pages.push_back(std::move(page));
     }
     page_epoch_.assign(static_cast<size_t>(npages), 0);
+    // Flat-mode mutations were not page-tracked, so a fresh pagination can
+    // not know what changed since the last checkpoint mark.
+    dirty_.assign(static_cast<size_t>(npages), 1);
+    delta_tracking_ = false;
     pin_epoch_ = 0;
     table_epoch_ = 0;
     index_epoch_ = 0;
@@ -302,6 +306,78 @@ class VersionedCellStore {
     ForEachConstFast([&fn](i64 key, const f32* v) { fn(key, v); });
   }
 
+  // ---- Delta export (durability log) ----
+  // The writer thread calls MarkCheckpointed() right after a checkpoint
+  // record is taken; from then on `dirty_` records exactly the pages touched
+  // since that mark (WritableSlot is the sole paged-write choke point, and
+  // fresh InsertSlot pages are born dirty). Any transition back to flat mode
+  // (Collapse / wholesale assignment) loses page granularity and invalidates
+  // tracking, so the next checkpoint honestly falls back to a full record.
+
+  // True when DirtyPages() describes every mutation since MarkCheckpointed().
+  bool delta_tracking_valid() const { return paged_ && delta_tracking_; }
+
+  // Indices of pages dirtied since the last MarkCheckpointed(). Only
+  // meaningful when delta_tracking_valid().
+  std::vector<u32> DirtyPages() const {
+    std::vector<u32> out;
+    for (size_t pi = 0; pi < dirty_.size(); ++pi) {
+      if (dirty_[pi]) {
+        out.push_back(static_cast<u32>(pi));
+      }
+    }
+    return out;
+  }
+
+  // Number of cells present at the last MarkCheckpointed() (hashed stores
+  // grow; the delta ships keys_[checkpoint_cells()..num_cells)).
+  i64 checkpoint_cells() const { return checkpoint_cells_; }
+
+  // Clears the dirty set and (in paged mode) arms delta tracking.
+  void MarkCheckpointed() {
+    if (!paged_) {
+      delta_tracking_ = false;
+      return;
+    }
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    checkpoint_cells_ = num_cells_;
+    delta_tracking_ = true;
+  }
+
+  // Paged-mode layout accessors for the delta writer.
+  CellStore::Layout layout() const { return paged_ ? layout_ : flat_.layout(); }
+  i64 range_lo() const { return paged_ ? lo_ : flat_.range_lo(); }
+  i64 range_hi() const { return paged_ ? hi_ : flat_.range_hi(); }
+  const std::vector<i64>& paged_keys() const { return keys_; }
+  const f32* PageData(size_t pi) const { return table_->pages[pi]->v.data(); }
+  size_t PageFloats() const { return static_cast<size_t>(kPageCells) * vdim_; }
+
+  // Serializes the current contents in exactly the CellStore wire format —
+  // byte-identical to Flat().Serialize(w) — without collapsing, so a base
+  // image can be written while pagination and dirty tracking stay intact.
+  void SerializeTo(ByteWriter* w) const {
+    if (!paged_) {
+      flat_.Serialize(w);
+      return;
+    }
+    w->Put<i32>(vdim_);
+    w->Put<u8>(static_cast<u8>(layout_));
+    if (layout_ != CellStore::Layout::kHashed) {
+      w->Put<i64>(lo_);
+      w->Put<i64>(hi_);
+    } else {
+      w->PutVec(keys_);
+    }
+    const size_t total = static_cast<size_t>(num_cells_) * vdim_;
+    w->Put<u64>(static_cast<u64>(total));  // PutVec(values_) size prefix
+    const size_t page_floats = PageFloats();
+    for (size_t pi = 0; pi < table_->pages.size(); ++pi) {
+      const size_t off = pi * page_floats;
+      const size_t n = std::min(page_floats, total - off);
+      w->PutBytes(table_->pages[pi]->v.data(), n * sizeof(f32));
+    }
+  }
+
   // ---- Introspection (tests, metrics) ----
 
   Stats TakeStats() {
@@ -369,6 +445,7 @@ class VersionedCellStore {
         stats_.cow_bytes += table_->pages[pi]->v.size() * sizeof(f32);
       }
     }
+    dirty_[pi] = 1;
     Page& p = *table_->pages[pi];
     return p.v.data() + static_cast<size_t>(slot % kPageCells) * vdim_;
   }
@@ -394,6 +471,7 @@ class VersionedCellStore {
       page->v.assign(static_cast<size_t>(kPageCells) * vdim_, 0.0f);
       table_->pages.push_back(std::move(page));
       page_epoch_.push_back(pin_epoch_);  // fresh page: writer-owned
+      dirty_.push_back(1);
     }
     index_->slot_of.emplace(key, slot);
     keys_.push_back(key);
@@ -436,6 +514,9 @@ class VersionedCellStore {
     index_.reset();
     keys_.clear();
     page_epoch_.clear();
+    dirty_.clear();
+    delta_tracking_ = false;
+    checkpoint_cells_ = 0;
     num_cells_ = 0;
     paged_ = false;
   }
@@ -461,6 +542,14 @@ class VersionedCellStore {
   u64 table_epoch_ = 0;
   u64 index_epoch_ = 0;
   std::vector<u64> page_epoch_;
+
+  // Delta-checkpoint bookkeeping (see "Delta export" above). `dirty_` is a
+  // per-page flag rather than an epoch compare: claim-in-place writes with
+  // no live pins mutate a page without bumping its epoch, so epochs alone
+  // under-report dirtiness across a checkpoint mark.
+  std::vector<u8> dirty_;
+  bool delta_tracking_ = false;
+  i64 checkpoint_cells_ = 0;
 
   Stats stats_;
 };

@@ -520,6 +520,7 @@ void Driver::SendParts(DistArrayId array, std::map<std::pair<int, int>, CellStor
     m.kind = MsgKind::kPartitionData;
     m.tag = PartTag(tau);
     AttachPart(&m, std::move(pd), fabric_->zero_copy());
+    state_transfer_pending_.insert(m.to);
     fabric_->Send(std::move(m));
   }
 }
@@ -725,6 +726,7 @@ void Driver::BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array)
       pd.cells = h.master.Flat();  // copy
       m.payload = pd.Encode();
     }
+    state_transfer_pending_.insert(w);
     fabric_->Send(std::move(m));
   }
 }
@@ -876,7 +878,15 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         if (done[w]) {
           continue;
         }
-        if (now - last_heard[w] > sup.death_timeout_seconds) {
+        // A rank that was just sent bulk state (scatter, replica snapshot,
+        // rejoin stream) gets extra grace until it first speaks: installing
+        // a large transfer can silently exceed the death timeout, and
+        // retiring a healthy rank mid-install would cascade restores.
+        double deadline = sup.death_timeout_seconds;
+        if (state_transfer_pending_.count(w) != 0) {
+          deadline += sup.state_transfer_grace_seconds;
+        }
+        if (now - last_heard[w] > deadline) {
           return abort_pass(w);
         }
         if (!started[w] && now >= next_retry[w]) {
@@ -917,6 +927,7 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
       continue;  // zombie traffic from a retired rank
     }
     last_heard[msg->from] = clock.ElapsedSeconds();
+    state_transfer_pending_.erase(msg->from);  // it spoke: installs are done
 
     switch (msg->kind) {
       case MsgKind::kParamRequest: {
@@ -1179,11 +1190,75 @@ std::string Driver::RecoveryPath(DistArrayId id) const {
   return recover_dir_ + "/" + Host(id).meta.name + ".ckpt";
 }
 
+Status Driver::EnableDurability(std::vector<DistArrayId> arrays, std::string directory,
+                                DurabilityOptions options) {
+  recover_arrays_ = std::move(arrays);
+  recover_dir_ = std::move(directory);
+  recover_every_ = options.every_n_passes;
+  durability_options_ = options;
+  auto writer = DeltaLogWriter::Open(recover_dir_, DeltaLogOptions{options.compact_every});
+  if (!writer.ok()) {
+    return writer.status();
+  }
+  delta_writer_ = std::move(writer).value();
+  recovery_enabled_ = true;
+  baseline_ckpt_done_ = false;
+  return Status::Ok();
+}
+
+MasterRecord Driver::BuildMasterRecord() const {
+  MasterRecord m;
+  m.next_pass = pass_counter_;
+  m.config_seed = config_.seed;
+  m.fault_seed = config_.fault_plan.seed;
+  m.num_workers = config_.num_workers;
+  m.live_ranks.assign(live_ranks_.begin(), live_ranks_.end());
+  for (const auto& [id, loop] : loops_) {
+    (void)loop;
+    m.loop_ids.push_back(id);
+  }
+  m.accumulators = accumulators_;
+  return m;
+}
+
+std::vector<ArrayCheckpointRef> Driver::DurableArrayRefs() {
+  std::vector<ArrayCheckpointRef> refs;
+  refs.reserve(recover_arrays_.size());
+  for (DistArrayId id : recover_arrays_) {
+    ArrayHost& h = Host(id);
+    if (h.on_workers && h.placement.scheme != PartitionScheme::kServer &&
+        h.placement.scheme != PartitionScheme::kReplicated) {
+      // Worker-partitioned cells must round-trip home first. Server-hosted
+      // and replicated arrays keep their master authoritative between
+      // passes, so they are checkpointed in place — pagination (and with it
+      // the dirty-page tracking that makes deltas small) stays intact.
+      GatherToDriver(id);
+    }
+    refs.push_back({h.meta.name, &h.master});
+  }
+  return refs;
+}
+
 Status Driver::WriteRecoveryCheckpoint() {
   ORION_TRACE_SPAN(kDriver, "checkpoint");
   Stopwatch sw;
-  for (DistArrayId id : recover_arrays_) {
-    ORION_RETURN_IF_ERROR(CheckpointWrite(RecoveryPath(id), MutableCells(id)));
+  if (delta_writer_ != nullptr) {
+    auto stats = delta_writer_->AppendCheckpoint(BuildMasterRecord(), DurableArrayRefs());
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    runtime_metrics_.log_bytes_appended += stats->bytes_appended;
+    runtime_metrics_.pages_deltad += stats->pages_deltad;
+    if (stats->compacted) {
+      ++runtime_metrics_.compactions;
+    }
+    if (!stats->wrote_base) {
+      ++runtime_metrics_.delta_checkpoints;
+    }
+  } else {
+    for (DistArrayId id : recover_arrays_) {
+      ORION_RETURN_IF_ERROR(CheckpointWrite(RecoveryPath(id), MutableCells(id)));
+    }
   }
   ckpt_accumulators_ = accumulators_;
   pass_log_.clear();
@@ -1191,6 +1266,105 @@ Status Driver::WriteRecoveryCheckpoint() {
   ++runtime_metrics_.checkpoints_written;
   runtime_metrics_.checkpoint_seconds += sw.ElapsedSeconds();
   return Status::Ok();
+}
+
+Status Driver::InstallLogState(DeltaLogReader::State state, bool restore_pass_counter) {
+  for (auto& [id, host] : arrays_) {
+    (void)id;
+    host->on_workers = false;
+  }
+  last_replica_bcast_tag_.clear();
+  for (DistArrayId id : recover_arrays_) {
+    ArrayHost& h = Host(id);
+    auto it = state.arrays.find(h.meta.name);
+    if (it == state.arrays.end()) {
+      return Status::InvalidArgument("log state has no array named " + h.meta.name);
+    }
+    h.master = std::move(it->second);
+  }
+  if (state.master.accumulators.size() != accumulators_.size()) {
+    return Status::InvalidArgument(
+        "log state has " + std::to_string(state.master.accumulators.size()) +
+        " accumulators, driver has " + std::to_string(accumulators_.size()));
+  }
+  accumulators_ = state.master.accumulators;
+  ckpt_accumulators_ = accumulators_;
+  if (restore_pass_counter) {
+    pass_counter_ = static_cast<int>(state.master.next_pass);
+  }
+  pass_log_.clear();
+  return Status::Ok();
+}
+
+Status Driver::BroadcastReconfigure() {
+  for (i32 phase = 0; phase < 2; ++phase) {
+    for (size_t logical = 0; logical < live_ranks_.size(); ++logical) {
+      Retire r;
+      r.op = ControlOp::kRejoin;
+      r.phase = phase;
+      r.is_ack = false;
+      r.logical_rank = static_cast<i32>(logical);
+      r.ring.assign(live_ranks_.begin(), live_ranks_.end());
+      Message m;
+      m.from = kMasterRank;
+      m.to = live_ranks_[logical];
+      m.kind = MsgKind::kControl;
+      m.payload = r.Encode();
+      fabric_->SendReliable(std::move(m));
+    }
+    std::set<int> acked;
+    while (static_cast<int>(acked.size()) < ActiveWorkers()) {
+      auto msg = fabric_->Recv(kMasterRank);
+      if (!msg.has_value()) {
+        return Status::Internal("fabric shut down during reconfiguration");
+      }
+      // Drain everything else, including late retire acks — a rejoin ack
+      // echoes kRejoin, so stale retire traffic can never satisfy this
+      // collection.
+      if (msg->kind != MsgKind::kControl || !IsLive(msg->from) ||
+          PeekControlOp(msg->payload) != ControlOp::kRejoin) {
+        continue;
+      }
+      const Retire ack = Retire::Decode(msg->payload);
+      if (ack.is_ack && ack.phase == phase) {
+        acked.insert(msg->from);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Driver::RejoinWorker(int rank, bool saw_phase0_ack) {
+  if (!saw_phase0_ack) {
+    // No sign of life from the best-effort retire: the rank's executor
+    // thread almost certainly halted (injected crash). Shut it down
+    // definitively — if it is actually alive, the shutdown makes it exit —
+    // join the old thread, flush its inbox, and start a fresh executor. A
+    // fresh executor is indistinguishable from a rebooted worker process.
+    Message m;
+    m.from = kMasterRank;
+    m.to = rank;
+    m.kind = MsgKind::kShutdown;
+    fabric_->SendReliable(std::move(m));
+    std::thread& th = threads_[static_cast<size_t>(rank)];
+    if (th.joinable()) {
+      th.join();
+    }
+    while (fabric_->TryRecv(rank).has_value()) {
+      // Stale messages from its previous life; the new executor must not
+      // replay them.
+    }
+    executors_[static_cast<size_t>(rank)] =
+        std::make_unique<Executor>(rank, fabric_.get(), &dir_);
+    threads_[static_cast<size_t>(rank)] =
+        std::thread([ex = executors_[static_cast<size_t>(rank)].get()] { ex->Run(); });
+  }
+  live_ranks_.push_back(rank);
+  std::sort(live_ranks_.begin(), live_ranks_.end());
+  ++runtime_metrics_.worker_rejoins;
+  // All members — survivors and the re-entrant — adopt the full-N ring and
+  // drop local state; the next pass's scatter streams the restored cells.
+  return BroadcastReconfigure();
 }
 
 Status Driver::Recover(int lost_physical_rank) {
@@ -1219,6 +1393,7 @@ Status Driver::Recover(int lost_physical_rank) {
   // survivor's ack is in, no pre-failure message from it is still queued.
   // Phase 1 (sent only after all phase-0 acks): survivors drop all DistArray
   // state and caches so the master can re-scatter from the checkpoint.
+  bool lost_acked = false;
   for (i32 phase = 0; phase < 2; ++phase) {
     for (size_t logical = 0; logical < live_ranks_.size(); ++logical) {
       Retire r;
@@ -1254,8 +1429,18 @@ Status Driver::Recover(int lost_physical_rank) {
       if (!msg.has_value()) {
         return Status::Internal("fabric shut down during recovery");
       }
+      // An ack from the lost rank itself means it is alive (the death was a
+      // false positive) — the rejoin path can skip the executor restart.
+      if (msg->kind == MsgKind::kControl && msg->from == lost_physical_rank &&
+          PeekControlOp(msg->payload) == ControlOp::kRetire) {
+        const Retire ack = Retire::Decode(msg->payload);
+        if (ack.is_ack && ack.phase == 0) {
+          lost_acked = true;
+        }
+        continue;
+      }
       // Drain everything else: in-flight pass traffic, duplicated control
-      // messages, acks from the retired rank.
+      // messages, other traffic from the retired rank.
       if (msg->kind != MsgKind::kControl || !IsLive(msg->from) ||
           PeekControlOp(msg->payload) != ControlOp::kRetire) {
         continue;
@@ -1274,18 +1459,42 @@ Status Driver::Recover(int lost_physical_rank) {
   }
   last_replica_bcast_tag_.clear();
 
-  for (DistArrayId id : recover_arrays_) {
-    ORION_RETURN_IF_ERROR(Restore(id, RecoveryPath(id)));
+  // Capture the replay list before the restore machinery clears it.
+  auto log = std::move(pass_log_);
+  pass_log_.clear();
+
+  if (delta_writer_ != nullptr) {
+    // Restore from the delta log: base image plus the delta tail.
+    Stopwatch restore_sw;
+    auto reader = DeltaLogReader::Open(delta_writer_->dir());
+    if (!reader.ok()) {
+      return reader.status();
+    }
+    auto state = reader->Latest();
+    if (!state.ok()) {
+      return state.status();
+    }
+    ORION_RETURN_IF_ERROR(InstallLogState(std::move(state).value(),
+                                          /*restore_pass_counter=*/false));
+    runtime_metrics_.restore_seconds += restore_sw.ElapsedSeconds();
+    if (durability_options_.rejoin_crashed_workers) {
+      ORION_RETURN_IF_ERROR(RejoinWorker(lost_physical_rank, lost_acked));
+      // The rejoined rank receives its state with the next scatter; give it
+      // grace until it first speaks.
+      state_transfer_pending_.insert(lost_physical_rank);
+    }
+  } else {
+    for (DistArrayId id : recover_arrays_) {
+      ORION_RETURN_IF_ERROR(Restore(id, RecoveryPath(id)));
+    }
+    accumulators_ = ckpt_accumulators_;
   }
-  accumulators_ = ckpt_accumulators_;
 
   ORION_RETURN_IF_ERROR(RecompileLoops());
 
   // Replay the passes committed since the restored checkpoint, in order.
   // Terminates: crashes are one-shot, so nested recoveries are bounded by
   // the number of scheduled crash points.
-  auto log = std::move(pass_log_);
-  pass_log_.clear();
   runtime_metrics_.passes_replayed += log.size();
   for (const auto& [loop_id, pass] : log) {
     (void)pass;
@@ -1293,6 +1502,78 @@ Status Driver::Recover(int lost_physical_rank) {
   }
   runtime_metrics_.recovery_seconds += sw.ElapsedSeconds();
   return Status::Ok();
+}
+
+StatusOr<i64> Driver::ResumeFromLog() {
+  if (delta_writer_ == nullptr) {
+    return Status::FailedPrecondition("ResumeFromLog requires EnableDurability");
+  }
+  Stopwatch sw;
+  auto reader = DeltaLogReader::Open(delta_writer_->dir());
+  if (!reader.ok()) {
+    return reader.status();
+  }
+  auto state = reader->Latest();
+  if (!state.ok()) {
+    return state.status();
+  }
+  const MasterRecord& m = state->master;
+  if (m.config_seed != config_.seed ||
+      m.num_workers != static_cast<i32>(config_.num_workers)) {
+    return Status::InvalidArgument(
+        "log was written by a different configuration (seed or worker count)");
+  }
+  const i64 resumed = m.next_pass;
+  ORION_RETURN_IF_ERROR(InstallLogState(std::move(state).value(),
+                                        /*restore_pass_counter=*/true));
+  // The log already holds a restorable image of this state; don't force a
+  // fresh baseline before the next delta append.
+  baseline_ckpt_done_ = true;
+  if (!loops_.empty()) {
+    ORION_RETURN_IF_ERROR(RecompileLoops());
+  }
+  runtime_metrics_.restore_seconds += sw.ElapsedSeconds();
+  return resumed;
+}
+
+Status Driver::RestoreToPass(i64 pass) {
+  if (delta_writer_ == nullptr) {
+    return Status::FailedPrecondition("RestoreToPass requires EnableDurability");
+  }
+  Stopwatch sw;
+  auto reader = DeltaLogReader::Open(delta_writer_->dir());
+  if (!reader.ok()) {
+    return reader.status();
+  }
+  auto state = reader->StateAtPass(pass);
+  if (!state.ok()) {
+    return state.status();
+  }
+  if (param_server_ != nullptr) {
+    param_server_->Quiesce();
+  }
+  // Rewinding the pass counter means re-issuing pass numbers the workers
+  // have already seen; reconfigure resets their watermarks and drops their
+  // partitions so the next scatter streams the restored cells.
+  ORION_RETURN_IF_ERROR(BroadcastReconfigure());
+  ORION_RETURN_IF_ERROR(InstallLogState(std::move(state).value(),
+                                        /*restore_pass_counter=*/true));
+  if (!loops_.empty()) {
+    ORION_RETURN_IF_ERROR(RecompileLoops());
+  }
+  runtime_metrics_.restore_seconds += sw.ElapsedSeconds();
+  return Status::Ok();
+}
+
+StatusOr<std::vector<RestorePoint>> Driver::DurabilityPoints() const {
+  if (delta_writer_ == nullptr) {
+    return Status::FailedPrecondition("DurabilityPoints requires EnableDurability");
+  }
+  auto reader = DeltaLogReader::Open(delta_writer_->dir());
+  if (!reader.ok()) {
+    return reader.status();
+  }
+  return reader->points();
 }
 
 const std::vector<trace::Span>& Driver::CollectTrace() {
@@ -1388,6 +1669,12 @@ MetricsRegistry Driver::ExportMetrics() const {
   reg.SetGauge("recovery.seconds", rm.recovery_seconds);
   reg.SetCounter("checkpoint.count", rm.checkpoints_written);
   reg.SetGauge("checkpoint.seconds", rm.checkpoint_seconds);
+  reg.SetCounter("durability.delta_checkpoints", rm.delta_checkpoints);
+  reg.SetCounter("durability.log_bytes_appended", rm.log_bytes_appended);
+  reg.SetCounter("durability.pages_deltad", rm.pages_deltad);
+  reg.SetCounter("durability.compactions", rm.compactions);
+  reg.SetCounter("durability.worker_rejoins", rm.worker_rejoins);
+  reg.SetGauge("durability.restore_seconds", rm.restore_seconds);
 
   for (const auto& [name, points] : metrics_series_) {
     for (double v : points) {

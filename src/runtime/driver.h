@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "src/common/status.h"
 #include "src/common/trace.h"
 #include "src/dsm/checkpoint.h"
+#include "src/dsm/delta_log.h"
 #include "src/dsm/versioned_store.h"
 #include "src/net/fabric.h"
 #include "src/runtime/compiled_loop.h"
@@ -182,6 +184,46 @@ class Driver {
   void EnableRecovery(std::vector<DistArrayId> arrays, std::string directory,
                       int every_n_passes);
 
+  // ---- Log-structured durability (delta log; supersedes EnableRecovery's
+  // whole-store checkpoint cycle) ----
+
+  struct DurabilityOptions {
+    int every_n_passes = 1;   // checkpoint cadence, like EnableRecovery
+    int compact_every = 8;    // fold the WAL into a fresh base after this
+                              // many delta records (<= 0: never)
+    // After a worker is declared dead and the survivors retire to N-1, bring
+    // the rank back: restart its executor if it halted, stream the base plus
+    // the delta tail, and flip the cluster back to N partitions before the
+    // failed pass is retried.
+    bool rejoin_crashed_workers = false;
+  };
+
+  // Like EnableRecovery, but checkpoints go to an append-only delta log in
+  // `directory`: each checkpoint appends only the pages dirtied since the
+  // previous one (CRC-framed, fsynced), periodically compacted into a full
+  // base image. The same log then powers Recover(), RestoreToPass() and
+  // ResumeFromLog().
+  Status EnableDurability(std::vector<DistArrayId> arrays, std::string directory,
+                          DurabilityOptions options);
+  Status EnableDurability(std::vector<DistArrayId> arrays, std::string directory) {
+    return EnableDurability(std::move(arrays), std::move(directory), DurabilityOptions());
+  }
+
+  // Master-restart path: a fresh Driver (same config, arrays, buffers and
+  // accumulators re-created by the deterministic driver program) restores
+  // array cells, accumulator values and the pass counter from the log's
+  // latest checkpoint. Returns the number of completed passes; training
+  // resumes from there. Requires EnableDurability on the same directory.
+  StatusOr<i64> ResumeFromLog();
+
+  // Point-in-time restore: rewinds the cluster (master masters, worker state,
+  // accumulators, pass counter) to the recorded checkpoint taken after
+  // `pass` completed passes — bit-for-bit the live state at that point.
+  Status RestoreToPass(i64 pass);
+
+  // Checkpoints currently restorable from the log (seq + completed passes).
+  StatusOr<std::vector<RestorePoint>> DurabilityPoints() const;
+
   // Convenience: compile (cached by site id) + execute.
   const ParallelizationPlan& PlanOf(i32 loop_id) const;
 
@@ -253,6 +295,18 @@ class Driver {
   std::string RecoveryPath(DistArrayId id) const;
   Status Recover(int lost_physical_rank);
   Status RecompileLoops();
+  MasterRecord BuildMasterRecord() const;
+  std::vector<ArrayCheckpointRef> DurableArrayRefs();
+  // Installs a materialized log state into the master (arrays, accumulators;
+  // `restore_pass_counter` additionally rewinds pass_counter_).
+  Status InstallLogState(DeltaLogReader::State state, bool restore_pass_counter);
+  // Two-phase kRejoin broadcast of the current live_ranks_ ring to all
+  // members, with reliable acks: every member adopts the (re-)expanded
+  // configuration and drops local array state for the re-scatter.
+  Status BroadcastReconfigure();
+  // Brings `rank` back after the N-1 retire: restarts its executor thread if
+  // it halted, re-inserts it into live_ranks_, and reconfigures.
+  Status RejoinWorker(int rank, bool saw_phase0_ack);
   void ApplyParamUpdate(const CompiledLoop* cl, PartData pd, u32 tag);
   void BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array);
 
@@ -303,6 +357,17 @@ class Driver {
   bool baseline_ckpt_done_ = false;
   std::vector<std::pair<i32, i32>> pass_log_;  // (loop_id, pass) since last checkpoint
   std::vector<f64> ckpt_accumulators_;
+
+  // Log-structured durability (EnableDurability). When delta_writer_ is set,
+  // WriteRecoveryCheckpoint appends to the log instead of rewriting .ckpt
+  // files, and Recover restores from the log.
+  std::unique_ptr<DeltaLogWriter> delta_writer_;
+  DurabilityOptions durability_options_;
+
+  // Physical ranks that were just sent bulk state (scatter / replica
+  // snapshot / rejoin stream) and have not spoken since; their death
+  // deadline is extended by supervisor.state_transfer_grace_seconds.
+  std::set<int> state_transfer_pending_;
 
   // Merged cluster timeline: spans shipped in PassDone plus everything
   // drained locally by CollectTrace. Only grows while tracing is enabled.

@@ -305,6 +305,7 @@ void Executor::ProcessRetire(const Message& msg) {
     cached_pass_done_.reset();
   }
   Retire ack;
+  ack.op = t.op;  // echo, so rejoin acks are distinguishable from retire acks
   ack.phase = t.phase;
   ack.is_ack = true;
   ack.logical_rank = logical_rank_;
@@ -369,6 +370,9 @@ void Executor::Dispatch(Message& msg) {
       return;
     }
     case ControlOp::kRetire:
+    case ControlOp::kRejoin:
+      // Rejoin is a retire with a grown ring: same adopt-then-drop protocol,
+      // so a re-entering rank and the survivors converge identically.
       ProcessRetire(msg);
       throw RetireSignal{};
     case ControlOp::kGather: {

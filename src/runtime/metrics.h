@@ -76,6 +76,15 @@ struct RuntimeMetrics {
   // Checkpointing.
   u64 checkpoints_written = 0;
   double checkpoint_seconds = 0.0;
+
+  // Log-structured durability (delta checkpoints; zero when EnableDurability
+  // is not in use).
+  u64 delta_checkpoints = 0;     // checkpoints appended as WAL delta records
+  u64 log_bytes_appended = 0;    // bytes written to the log (base + WAL)
+  u64 pages_deltad = 0;          // dirty pages shipped in delta form
+  u64 compactions = 0;           // WAL folds into a fresh base image
+  u64 worker_rejoins = 0;        // ranks re-entered after a retire
+  double restore_seconds = 0.0;  // wall time materializing log states
 };
 
 }  // namespace orion

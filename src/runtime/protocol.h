@@ -26,6 +26,7 @@ enum class ControlOp : u16 {
   kStepGo = 6,       // master -> worker: proceed to next wavefront step
   kHeartbeat = 7,    // master <-> worker: liveness ping / pong
   kRetire = 8,       // master -> worker: adopt post-failure configuration
+  kRejoin = 9,       // master -> worker: adopt re-expanded configuration
 };
 
 struct StartPass {
@@ -114,20 +115,26 @@ struct Heartbeat {
   }
 };
 
-// Post-failure reconfiguration, delivered reliably in two phases (both
-// acked with is_ack = true). Phase 0: adopt the new logical rank and ring of
-// surviving physical ranks — after every ack, no pre-failure message can
-// still be produced. Phase 1: drop all local DistArray state and loop caches
-// so the driver can re-scatter from the checkpoint.
+// Cluster reconfiguration, delivered reliably in two phases (both acked
+// with is_ack = true). Phase 0: adopt the new logical rank and ring of
+// member physical ranks — after every ack, no pre-reconfiguration message
+// can still be produced. Phase 1: drop all local DistArray state and loop
+// caches so the driver can re-scatter from the checkpoint.
+//
+// Two ops share this shape: kRetire shrinks the ring after a failure, and
+// kRejoin re-expands it when a recovered rank re-enters (or resets the
+// current ring for a point-in-time restore). Acks echo the request's op so
+// a rejoin ack collection cannot be satisfied by a stale retire ack.
 struct Retire {
+  ControlOp op = ControlOp::kRetire;
   i32 phase = 0;
   bool is_ack = false;
   i32 logical_rank = 0;
-  std::vector<i32> ring;  // surviving physical ranks, in logical order
+  std::vector<i32> ring;  // member physical ranks, in logical order
 
   std::vector<u8> Encode() const {
     ByteWriter w;
-    w.Put<u16>(static_cast<u16>(ControlOp::kRetire));
+    w.Put<u16>(static_cast<u16>(op));
     w.Put<i32>(phase);
     w.Put<u8>(is_ack ? 1 : 0);
     w.Put<i32>(logical_rank);
@@ -137,8 +144,8 @@ struct Retire {
 
   static Retire Decode(const std::vector<u8>& payload) {
     ByteReader r(payload);
-    r.Get<u16>();  // op
     Retire t;
+    t.op = static_cast<ControlOp>(r.Get<u16>());
     t.phase = r.Get<i32>();
     t.is_ack = r.Get<u8>() != 0;
     t.logical_rank = r.Get<i32>();

@@ -61,6 +61,12 @@ struct SupervisorConfig {
   double retry_backoff_factor = 2.0;
   int max_retries = 10;                      // per worker per pass
   int max_recovery_attempts = 8;             // per Execute call
+  // Extra silence tolerated for a worker that was just sent bulk state
+  // (scatter parts, replica snapshots, rejoin streams) and has not spoken
+  // since: installing a large transfer can exceed death_timeout_seconds, and
+  // declaring the rank dead mid-install would turn every big restore into a
+  // false-positive retirement.
+  double state_transfer_grace_seconds = 10.0;
 };
 
 // A DistArray Buffer definition: how updates routed through the buffer for
