@@ -1,0 +1,159 @@
+#include "src/common/buffer_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace orion {
+namespace {
+
+constexpr int kMinClassShift = 6;    // 64 B
+constexpr int kMaxClassShift = 20;   // 1 MiB
+constexpr int kNumClasses = kMaxClassShift - kMinClassShift + 1;
+constexpr size_t kMaxClassBytes = size_t{1} << kMaxClassShift;
+constexpr size_t kClassDepth = 8;  // buffers parked per class per thread
+
+// Smallest class index whose size is >= bytes, or -1 when bytes exceeds the
+// largest class.
+int ClassCeil(size_t bytes) {
+  if (bytes > kMaxClassBytes) {
+    return -1;
+  }
+  for (int c = 0; c < kNumClasses; ++c) {
+    if ((size_t{1} << (kMinClassShift + c)) >= bytes) {
+      return c;
+    }
+  }
+  return -1;
+}
+
+// Largest class index whose size is <= bytes, or -1 when bytes is below the
+// smallest class. A released buffer parks here so any request of that class
+// fits in it.
+int ClassFloor(size_t bytes) {
+  if (bytes < (size_t{1} << kMinClassShift)) {
+    return -1;
+  }
+  int c = std::min(kNumClasses - 1, 63 - kMinClassShift);
+  while (c > 0 && (size_t{1} << (kMinClassShift + c)) > bytes) {
+    --c;
+  }
+  return c;
+}
+
+size_t ClassBytes(int c) { return size_t{1} << (kMinClassShift + c); }
+
+struct StatBlock {
+  std::atomic<u64> acquires{0};
+  std::atomic<u64> hits{0};
+  std::atomic<u64> releases{0};
+  std::atomic<u64> discards{0};
+  std::atomic<u64> pooled_high_water{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<StatBlock>> blocks;
+};
+
+Registry& GlobalRegistry() {
+  // Leaked on purpose: thread caches destruct at thread exit, possibly after
+  // static destruction begins.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+struct ThreadCache {
+  std::shared_ptr<StatBlock> stats;
+  std::vector<std::vector<u8>> classes[kNumClasses];
+  size_t pooled_bytes = 0;
+
+  ThreadCache() : stats(std::make_shared<StatBlock>()) {
+    Registry& reg = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.blocks.push_back(stats);
+  }
+};
+
+ThreadCache& Cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+}  // namespace
+
+std::vector<u8> BufferPool::Acquire(size_t min_capacity) {
+  ThreadCache& c = Cache();
+  c.stats->acquires.fetch_add(1, std::memory_order_relaxed);
+  const int cls = ClassCeil(std::max(min_capacity, size_t{1} << kMinClassShift));
+  if (cls >= 0 && !c.classes[cls].empty()) {
+    std::vector<u8> buf = std::move(c.classes[cls].back());
+    c.classes[cls].pop_back();
+    c.pooled_bytes -= buf.capacity();
+    buf.clear();
+    c.stats->hits.fetch_add(1, std::memory_order_relaxed);
+    return buf;
+  }
+  std::vector<u8> buf;
+  buf.reserve(cls >= 0 ? ClassBytes(cls) : min_capacity);
+  return buf;
+}
+
+void BufferPool::Release(std::vector<u8>&& buf) {
+  if (buf.capacity() == 0) {
+    return;  // nothing to park; not worth a stats entry
+  }
+  ThreadCache& c = Cache();
+  const int cls = buf.capacity() <= kMaxClassBytes ? ClassFloor(buf.capacity()) : -1;
+  if (cls < 0 || c.classes[cls].size() >= kClassDepth) {
+    c.stats->discards.fetch_add(1, std::memory_order_relaxed);
+    std::vector<u8>().swap(buf);
+    return;
+  }
+  c.pooled_bytes += buf.capacity();
+  buf.clear();
+  c.classes[cls].push_back(std::move(buf));
+  c.stats->releases.fetch_add(1, std::memory_order_relaxed);
+  u64 hw = c.stats->pooled_high_water.load(std::memory_order_relaxed);
+  if (c.pooled_bytes > hw) {
+    c.stats->pooled_high_water.store(c.pooled_bytes, std::memory_order_relaxed);
+  }
+}
+
+BufferPool::Stats BufferPool::AggregateStats() {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Stats out;
+  for (const auto& b : reg.blocks) {
+    out.acquires += b->acquires.load(std::memory_order_relaxed);
+    out.hits += b->hits.load(std::memory_order_relaxed);
+    out.releases += b->releases.load(std::memory_order_relaxed);
+    out.discards += b->discards.load(std::memory_order_relaxed);
+    out.pooled_bytes_high_water += b->pooled_high_water.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void BufferPool::ResetStatsForTest() {
+  Registry& reg = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& b : reg.blocks) {
+    b->acquires.store(0, std::memory_order_relaxed);
+    b->hits.store(0, std::memory_order_relaxed);
+    b->releases.store(0, std::memory_order_relaxed);
+    b->discards.store(0, std::memory_order_relaxed);
+    b->pooled_high_water.store(0, std::memory_order_relaxed);
+  }
+}
+
+void BufferPool::TrimThreadCacheForTest() {
+  ThreadCache& c = Cache();
+  for (auto& cls : c.classes) {
+    cls.clear();
+  }
+  c.pooled_bytes = 0;
+}
+
+}  // namespace orion

@@ -1,0 +1,64 @@
+// Size-classed, thread-local recycling pool for serialized-message buffers.
+//
+// Every message that crosses the fabric is carried in a std::vector<u8>.
+// Before this pool, each encode allocated a fresh vector and each decode
+// freed it, so a pass at high fan-out hammered the allocator with
+// short-lived, identically-sized blocks. The pool closes that loop:
+// ByteWriter acquires its backing storage here, and the message consumers
+// (driver service loop, executor loops, delta-log writer) release consumed
+// payloads back, so steady-state traffic recycles a handful of buffers per
+// thread with zero heap churn.
+//
+// Design:
+//  - Size classes are powers of two from 64 B to 1 MiB; a few buffers are
+//    parked per class per thread. Oversized buffers bypass the pool (plain
+//    heap allocation, counted as a miss; released oversized storage is
+//    freed, counted as a discard).
+//  - Caches are thread-local and lock-free on the hot path. A buffer
+//    released on a different thread than it was acquired on simply parks in
+//    the releasing thread's cache — each thread both encodes and decodes, so
+//    caches fill from either direction.
+//  - Stats blocks are shared_ptr-owned by a global registry, so
+//    AggregateStats() is safe after the owning threads exit.
+#ifndef ORION_SRC_COMMON_BUFFER_POOL_H_
+#define ORION_SRC_COMMON_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace orion {
+
+class BufferPool {
+ public:
+  struct Stats {
+    u64 acquires = 0;   // total Acquire() calls
+    u64 hits = 0;       // acquires served from a parked buffer (no heap alloc)
+    u64 releases = 0;   // buffers parked for reuse
+    u64 discards = 0;   // releases dropped (class full or oversized)
+    // Sum over threads of each thread's peak parked bytes — an upper bound
+    // on the pool's aggregate footprint at any instant.
+    u64 pooled_bytes_high_water = 0;
+  };
+
+  // A buffer with size 0 and capacity >= min_capacity: a parked buffer of
+  // the matching class when one is available, otherwise a fresh allocation
+  // rounded up to the class size (so it can re-enter the pool on release).
+  static std::vector<u8> Acquire(size_t min_capacity);
+
+  // Parks `buf`'s storage in this thread's cache for reuse. Buffers with no
+  // capacity are ignored; oversized buffers and full classes are freed.
+  static void Release(std::vector<u8>&& buf);
+
+  // Aggregated over every thread that ever touched the pool.
+  static Stats AggregateStats();
+
+  // Test helpers: zero all stat blocks / drop this thread's parked buffers.
+  static void ResetStatsForTest();
+  static void TrimThreadCacheForTest();
+};
+
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_BUFFER_POOL_H_

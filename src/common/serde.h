@@ -6,63 +6,63 @@
 #ifndef ORION_SRC_COMMON_SERDE_H_
 #define ORION_SRC_COMMON_SERDE_H_
 
+#include <algorithm>
 #include <cstring>
 #include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 
 namespace orion {
 
-// GCC 12's flow-sensitive object-size analysis misjudges the grow-then-copy
-// appends below when the whole Encode chain is inlined into a caller (it
-// assumes the pre-resize allocation), producing spurious -Wstringop-overflow
-// and -Warray-bounds reports. Suppress only for this class.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wstringop-overflow"
-#pragma GCC diagnostic ignored "-Warray-bounds"
-#endif
-
+// Append-only encoder. Backing storage comes from the BufferPool (acquired
+// lazily on the first append), growth is amortized doubling, and every
+// append lands via vector::insert — no resize-then-memcpy, so appended bytes
+// are written exactly once and GCC 12's object-size analysis no longer
+// produces the spurious -Wstringop-overflow reports the old grow-then-copy
+// pattern needed a pragma for. Encode chains that know their size call
+// Reserve() up front and append without ever reallocating.
 class ByteWriter {
  public:
   ByteWriter() = default;
+  explicit ByteWriter(size_t reserve_bytes) { Reserve(reserve_bytes); }
+
+  // Ensures capacity for `additional` more bytes beyond the current size.
+  void Reserve(size_t additional) { EnsureFor(additional); }
 
   template <typename T>
   void Put(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>, "Put requires a trivially copyable type");
-    const size_t offset = buf_.size();
-    buf_.resize(offset + sizeof(T));
-    std::memcpy(buf_.data() + offset, &v, sizeof(T));
+    const u8* p = reinterpret_cast<const u8*>(&v);
+    EnsureFor(sizeof(T));
+    buf_.insert(buf_.end(), p, p + sizeof(T));
   }
 
   void PutString(const std::string& s) {
+    EnsureFor(sizeof(u64) + s.size());
     Put<u64>(s.size());
-    const size_t offset = buf_.size();
-    buf_.resize(offset + s.size());
-    std::memcpy(buf_.data() + offset, s.data(), s.size());
+    PutBytes(s.data(), s.size());
   }
 
   template <typename T>
   void PutVec(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>, "PutVec requires a trivially copyable type");
+    EnsureFor(sizeof(u64) + v.size() * sizeof(T));
     Put<u64>(v.size());
-    const size_t offset = buf_.size();
-    buf_.resize(offset + v.size() * sizeof(T));
-    if (!v.empty()) {
-      std::memcpy(buf_.data() + offset, v.data(), v.size() * sizeof(T));
-    }
+    PutBytes(v.data(), v.size() * sizeof(T));
   }
 
   void PutBytes(const void* data, size_t n) {
-    const size_t offset = buf_.size();
-    buf_.resize(offset + n);
-    if (n > 0) {
-      std::memcpy(buf_.data() + offset, data, n);
+    if (n == 0) {
+      return;
     }
+    EnsureFor(n);
+    const u8* p = static_cast<const u8*>(data);
+    buf_.insert(buf_.end(), p, p + n);
   }
 
   size_t size() const { return buf_.size(); }
@@ -70,12 +70,24 @@ class ByteWriter {
   const std::vector<u8>& bytes() const { return buf_; }
 
  private:
+  // Grows capacity to hold `n` more bytes: first allocation comes from the
+  // pool, later growth at least doubles so N appends cost O(N) copies.
+  void EnsureFor(size_t n) {
+    const size_t need = buf_.size() + n;
+    if (need <= buf_.capacity()) {
+      return;
+    }
+    if (buf_.capacity() == 0) {
+      buf_ = BufferPool::Acquire(need < kInitialCapacity ? kInitialCapacity : need);
+    } else {
+      buf_.reserve(std::max(need, buf_.capacity() * 2));
+    }
+  }
+
+  static constexpr size_t kInitialCapacity = 64;
+
   std::vector<u8> buf_;
 };
-
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 class ByteReader {
  public:

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/serde.h"
+#include "src/common/simd.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 
@@ -202,6 +203,7 @@ class CellStore {
   }
 
   void Serialize(ByteWriter* w) const {
+    w->Reserve(SerializedBytes());
     w->Put<i32>(value_dim_);
     w->Put<u8>(static_cast<u8>(layout_));
     if (IsDense()) {
@@ -296,10 +298,7 @@ class CellStore {
     ORION_CHECK(other.value_dim_ == value_dim_);
     Reserve(other.NumCells());
     other.ForEachConstFast([this](i64 key, const f32* v) {
-      f32* dst = GetOrCreate(key);
-      for (i32 d = 0; d < value_dim_; ++d) {
-        dst[d] += v[d];
-      }
+      simd::AddF32(GetOrCreate(key), v, static_cast<size_t>(value_dim_));
     });
   }
 

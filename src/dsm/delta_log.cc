@@ -4,14 +4,18 @@
 #include <cstring>
 #include <filesystem>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/durable_io.h"
+#include "src/common/simd.h"
 
 namespace orion {
 namespace {
 
 constexpr u32 kBaseMagic = 0x4f524442;  // "ORDB"
 constexpr u32 kWalMagic = 0x4f52444c;   // "ORDL"
-constexpr u32 kLogVersion = 1;
+// v2: delta array records carry their page geometry (page sizes are
+// per-array runtime parameters now, not a compile-time constant).
+constexpr u32 kLogVersion = 2;
 
 std::string BasePath(const std::string& dir) { return dir + "/base.orib"; }
 std::string WalPath(const std::string& dir) { return dir + "/wal.oril"; }
@@ -19,15 +23,20 @@ std::string WalPath(const std::string& dir) { return dir + "/wal.oril"; }
 // The checksum covers seq + size + payload, so a flipped bit in the header's
 // ordering fields is caught, not just payload damage.
 u64 FrameCrc(u64 seq, const u8* payload, size_t payload_size) {
-  ByteWriter h;
-  h.Put<u64>(seq);
-  h.Put<u64>(static_cast<u64>(payload_size));
-  return Fnv1a64(payload, payload_size, Fnv1a64(h.bytes().data(), h.bytes().size()));
+  u8 hdr[2 * sizeof(u64)];
+  const u64 size64 = static_cast<u64>(payload_size);
+  std::memcpy(hdr, &seq, sizeof(u64));
+  std::memcpy(hdr + sizeof(u64), &size64, sizeof(u64));
+  return Fnv1a64(payload, payload_size, Fnv1a64(hdr, sizeof(hdr)));
 }
 
-// Frames `payload` as {magic, version, seq, size, crc, payload}.
+constexpr size_t kFrameHeaderBytes = 2 * sizeof(u32) + 3 * sizeof(u64);
+
+// Frames `payload` as {magic, version, seq, size, crc, payload}. The frame
+// buffer is pool-backed and exactly reserved; callers release it after the
+// durable write.
 std::vector<u8> FrameRecord(u32 magic, u64 seq, const std::vector<u8>& payload) {
-  ByteWriter w;
+  ByteWriter w(kFrameHeaderBytes + payload.size());
   w.Put<u32>(magic);
   w.Put<u32>(kLogVersion);
   w.Put<u64>(seq);
@@ -36,8 +45,6 @@ std::vector<u8> FrameRecord(u32 magic, u64 seq, const std::vector<u8>& payload) 
   w.PutBytes(payload.data(), payload.size());
   return w.Take();
 }
-
-constexpr size_t kFrameHeaderBytes = 2 * sizeof(u32) + 3 * sizeof(u64);
 
 // Validates one frame starting at `r`'s position. Returns the seq and the
 // payload span on success; nullopt on a torn or corrupt frame (magic,
@@ -85,6 +92,7 @@ void EncodeDeltaArray(const ArrayCheckpointRef& a, ByteWriter* w, u64* pages_out
   w->Put<i64>(s.range_lo());
   w->Put<i64>(s.range_hi());
   w->Put<i64>(s.NumCells());
+  w->Put<i64>(s.page_cells());
   std::vector<i64> new_keys;
   if (s.layout() == CellStore::Layout::kHashed) {
     const auto& keys = s.paged_keys();
@@ -94,13 +102,14 @@ void EncodeDeltaArray(const ArrayCheckpointRef& a, ByteWriter* w, u64* pages_out
   const std::vector<u32> dirty = s.DirtyPages();
   w->Put<u64>(static_cast<u64>(dirty.size()));
   const size_t page_floats = s.PageFloats();
-  std::vector<f32> page(page_floats);
+  w->Reserve(dirty.size() * (sizeof(u32) + sizeof(u64) + page_floats * sizeof(f32)));
   for (const u32 pi : dirty) {
     w->Put<u32>(pi);
-    // Full fixed-size pages (zero-padded tail); the reader clamps the
-    // overlay to num_cells * vdim.
-    std::memcpy(page.data(), s.PageData(pi), page_floats * sizeof(f32));
-    w->PutVec(page);
+    // Full fixed-size pages (zero-padded tail), written straight from the
+    // page storage — no scratch copy; the reader clamps the overlay to
+    // num_cells * vdim.
+    w->Put<u64>(static_cast<u64>(page_floats));  // PutVec-compatible prefix
+    w->PutBytes(s.PageData(pi), page_floats * sizeof(f32));
   }
   *pages_out += dirty.size();
 }
@@ -217,6 +226,7 @@ StatusOr<DeltaLogReader> DeltaLogReader::Open(const std::string& dir) {
         d.lo = r.Get<i64>();
         d.hi = r.Get<i64>();
         d.num_cells = r.Get<i64>();
+        d.page_cells = r.Get<i64>();
         d.new_keys = r.GetVec<i64>();
         const u64 npages = r.Get<u64>();
         d.pages.reserve(static_cast<size_t>(npages));
@@ -277,17 +287,19 @@ StatusOr<DeltaLogReader::State> DeltaLogReader::StateAt(u64 seq) const {
       if (cells.NumCells() != d.num_cells) {
         return Status::InvalidArgument("delta cell count mismatch for array " + d.name);
       }
-      const size_t page_floats =
-          static_cast<size_t>(VersionedCellStore::kPageCells) * d.vdim;
+      if (d.page_cells <= 0) {
+        return Status::InvalidArgument("delta page size invalid for array " + d.name);
+      }
+      const size_t page_floats = static_cast<size_t>(d.page_cells) * d.vdim;
       const size_t total = static_cast<size_t>(d.num_cells) * d.vdim;
       f32* dst = cells.raw_values_data();
       for (const auto& [pi, page] : d.pages) {
         const size_t off = static_cast<size_t>(pi) * page_floats;
-        if (off >= total) {
+        if (off >= total || page.size() < page_floats) {
           return Status::InvalidArgument("delta page out of range for array " + d.name);
         }
         const size_t n = std::min(page_floats, total - off);
-        std::memcpy(dst + off, page.data(), n * sizeof(f32));
+        simd::CopyF32(dst + off, page.data(), n);
       }
     }
   }
@@ -347,9 +359,13 @@ Status DeltaLogWriter::WriteBase(const MasterRecord& master,
     payload.PutString(a.name);
     a.store->SerializeTo(&payload);
   }
-  const std::vector<u8> frame = FrameRecord(kBaseMagic, seq_, payload.bytes());
+  std::vector<u8> frame = FrameRecord(kBaseMagic, seq_, payload.bytes());
   *bytes += frame.size();
   Status s = DurableWriteFile(BasePath(dir_), frame.data(), frame.size());
+  // Recycle both scratch buffers whether or not the write stuck; the next
+  // checkpoint's encode acquires them straight back from the pool.
+  BufferPool::Release(payload.Take());
+  BufferPool::Release(std::move(frame));
   if (!s.ok()) {
     return s;
   }
@@ -395,9 +411,13 @@ StatusOr<DeltaAppendStats> DeltaLogWriter::AppendCheckpoint(
         ++stats.full_arrays;
       }
     }
-    const std::vector<u8> frame = FrameRecord(kWalMagic, seq_, payload.bytes());
+    std::vector<u8> frame = FrameRecord(kWalMagic, seq_, payload.bytes());
     stats.bytes_appended = frame.size();
     auto end = DurableAppendFile(WalPath(dir_), frame.data(), frame.size());
+    // Steady-state appends stop allocating: payload and frame go back to the
+    // pool and the next record's ByteWriters acquire them again.
+    BufferPool::Release(payload.Take());
+    BufferPool::Release(std::move(frame));
     if (!end.ok()) {
       --seq_;
       return end.status();

@@ -156,6 +156,9 @@ class DeltaLogReader {
     i64 lo = 0;
     i64 hi = -1;
     i64 num_cells = 0;
+    // Page geometry of the writing store (page sizes are per-array and may
+    // be retuned between runs, so each delta record carries its own).
+    i64 page_cells = VersionedCellStore::kPageCells;
     std::vector<i64> new_keys;  // hashed growth since the previous record
     std::vector<std::pair<u32, std::vector<f32>>> pages;
   };

@@ -1,20 +1,18 @@
 #include "src/dsm/dist_array_buffer.h"
 
+#include "src/common/simd.h"
+
 namespace orion {
 
 BufferApplyFn MakeAddApplyFn() {
   return [](f32* cell, const f32* update, i32 value_dim) {
-    for (i32 d = 0; d < value_dim; ++d) {
-      cell[d] += update[d];
-    }
+    simd::AddF32(cell, update, static_cast<size_t>(value_dim));
   };
 }
 
 BufferCombineFn MakeAddCombineFn() {
   return [](f32* pending, const f32* incoming, i32 update_dim) {
-    for (i32 d = 0; d < update_dim; ++d) {
-      pending[d] += incoming[d];
-    }
+    simd::AddF32(pending, incoming, static_cast<size_t>(update_dim));
   };
 }
 

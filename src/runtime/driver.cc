@@ -5,8 +5,10 @@
 #include <filesystem>
 #include <set>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/histogram.h"
 #include "src/common/logging.h"
+#include "src/common/simd.h"
 #include "src/common/timer.h"
 #include "src/dsm/randomize.h"
 
@@ -486,8 +488,8 @@ void Driver::GatherToDriver(DistArrayId id) {
     PartData pd = TakePart(*msg);
     ORION_CHECK(pd.array == id && pd.mode == PartDataMode::kOverwrite);
     pd.cells.ForEachConstFast([&](i64 key, const f32* v) {
-      f32* dst = h.master.GetOrCreate(key);
-      std::copy(v, v + h.meta.value_dim, dst);
+      simd::CopyF32(h.master.GetOrCreate(key), v,
+                    static_cast<size_t>(h.meta.value_dim));
     });
     ++replies;
   }
@@ -736,8 +738,8 @@ void Driver::ApplyParamUpdate(const CompiledLoop* cl, PartData pd, u32 tag) {
   switch (pd.mode) {
     case PartDataMode::kOverwrite:
       pd.cells.ForEachConstFast([&](i64 key, const f32* v) {
-        f32* dst = h.master.GetOrCreate(key);
-        std::copy(v, v + h.meta.value_dim, dst);
+        simd::CopyF32(h.master.GetOrCreate(key), v,
+                      static_cast<size_t>(h.meta.value_dim));
       });
       break;
     case PartDataMode::kApplyAdd:
@@ -991,8 +993,8 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         PartData pd = TakePart(*msg);
         ArrayHost& h = Host(pd.array);
         pd.cells.ForEachConstFast([&](i64 key, const f32* v) {
-          f32* dst = h.master.GetOrCreate(key);
-          std::copy(v, v + h.meta.value_dim, dst);
+          simd::CopyF32(h.master.GetOrCreate(key), v,
+                        static_cast<size_t>(h.meta.value_dim));
         });
         returned.push_back(pd.array);
         break;
@@ -1086,6 +1088,9 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
       default:
         ORION_CHECK(false) << "unexpected message kind" << static_cast<int>(msg->kind);
     }
+    // The payload has been fully consumed (decoded or taken); park the
+    // allocation for the next encode instead of freeing it.
+    BufferPool::Release(std::move(msg->payload));
   }
 
   // Every worker has sent kPassDone, and worker->master links are FIFO, so
@@ -1161,6 +1166,10 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
       last_metrics_.versioned_snapshot_pins += vs.pins;
       last_metrics_.versioned_pages_cloned += vs.pages_cloned;
       last_metrics_.versioned_cow_bytes += vs.cow_bytes;
+      // Pass end is a quiesced point (param server drained, no live pins):
+      // safe to repaginate if the observed write sparsity says the page
+      // size is wrong for this array.
+      h.master.AutoTunePageSize();
     }
   }
   return {true, -1};
@@ -1675,6 +1684,21 @@ MetricsRegistry Driver::ExportMetrics() const {
   reg.SetCounter("durability.compactions", rm.compactions);
   reg.SetCounter("durability.worker_rejoins", rm.worker_rejoins);
   reg.SetGauge("durability.restore_seconds", rm.restore_seconds);
+
+  const BufferPool::Stats bp = BufferPool::AggregateStats();
+  reg.SetCounter("bufferpool.acquires", bp.acquires);
+  reg.SetCounter("bufferpool.hits", bp.hits);
+  reg.SetCounter("bufferpool.releases", bp.releases);
+  reg.SetCounter("bufferpool.discards", bp.discards);
+  reg.SetCounter("bufferpool.pooled_bytes_high_water", bp.pooled_bytes_high_water);
+  reg.SetGauge("bufferpool.hit_rate",
+               bp.acquires == 0
+                   ? 0.0
+                   : static_cast<double>(bp.hits) / static_cast<double>(bp.acquires));
+  for (const auto& [id, host] : arrays_) {
+    reg.SetGauge("versioned.page_cells." + host->meta.name,
+                 static_cast<double>(host->master.page_cells()));
+  }
 
   for (const auto& [name, points] : metrics_series_) {
     for (double v : points) {

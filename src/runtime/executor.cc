@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/logging.h"
+#include "src/common/simd.h"
 #include "src/common/trace.h"
 
 namespace orion {
@@ -62,7 +64,7 @@ class WorkerLoopContext : public LoopContext {
         if (!existed) {
           const f32* cur = r.st->prefetch_cache.Get(key);
           if (cur != nullptr) {
-            std::copy(cur, cur + r.st->meta.value_dim, dirty);
+            simd::CopyF32(dirty, cur, static_cast<size_t>(r.st->meta.value_dim));
           }
         }
         return dirty;
@@ -254,6 +256,7 @@ void Executor::Run() {
           // encoders stay decodable.
           const i32 depth = r.AtEnd() ? 0 : r.Get<i32>();
           if (pass > last_completed_pass_) {
+            BufferPool::Release(std::move(msg->payload));
             RunPass(loop_id, pass, depth);
             continue;
           }
@@ -261,6 +264,7 @@ void Executor::Run() {
           // dedupe path, which re-answers with the cached PassDone.
         }
         Dispatch(*msg);
+        BufferPool::Release(std::move(msg->payload));
       } catch (const RetireSignal&) {
         // Reconfigured mid-pass; the abandoned pass reports nothing.
       }
@@ -447,6 +451,7 @@ void Executor::DrainInbox() {
       return;
     }
     Dispatch(*msg);
+    BufferPool::Release(std::move(msg->payload));
   }
 }
 
@@ -463,6 +468,7 @@ Message Executor::WaitFor(const std::function<bool(const Message&)>& pred) {
       return *std::move(msg);
     }
     Dispatch(*msg);
+    BufferPool::Release(std::move(msg->payload));
   }
 }
 
@@ -487,6 +493,7 @@ std::optional<Message> Executor::WaitForTimeout(
       return msg;
     }
     Dispatch(*msg);
+    BufferPool::Release(std::move(msg->payload));
   }
 }
 

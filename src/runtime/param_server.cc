@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/simd.h"
 #include "src/common/status.h"
 #include "src/common/timer.h"
 #include "src/common/trace.h"
@@ -39,8 +40,7 @@ Message BuildParamReply(const ParamRequest& req, const CellStore& master, i32 va
   for (i64 key : req.keys) {
     const f32* v = master.Get(key);
     if (v != nullptr) {
-      f32* dst = pd.cells.GetOrCreate(key);
-      std::copy(v, v + value_dim, dst);
+      simd::CopyF32(pd.cells.GetOrCreate(key), v, static_cast<size_t>(value_dim));
     }
   }
   Message reply;
@@ -137,7 +137,8 @@ void ParamServer::Start(const std::shared_ptr<Request>& r) {
     Finish(r);  // empty key list: assemble the (empty) reply inline
     return;
   }
-  r->shard_results.resize(static_cast<size_t>(num_shards_));
+  r->shard_vals.resize(static_cast<size_t>(num_shards_));
+  r->shard_hits.resize(static_cast<size_t>(num_shards_));
   r->remaining.store(active_shards, std::memory_order_relaxed);
   for (int s = 0; s < num_shards_; ++s) {
     if (r->shard_keys[static_cast<size_t>(s)].empty()) {
@@ -156,17 +157,22 @@ void ParamServer::Gather(const std::shared_ptr<Request>& r, int shard) {
     ORION_TRACE_SPAN(kParamServer, "shard_gather");
     AtomicMax(&st.queue_depth_max, st.inflight.fetch_add(1, std::memory_order_relaxed) + 1);
     const auto& keys = r->shard_keys[static_cast<size_t>(shard)];
-    CellStore out(r->value_dim, CellStore::Layout::kHashed, 0);
-    out.Reserve(static_cast<i64>(keys.size()));
+    // Flat gather: cell i of this stripe lands at vals[i * value_dim] with a
+    // hit flag — a straight SIMD copy per hit, no hashed inserts.
+    const size_t vdim = static_cast<size_t>(r->value_dim);
+    std::vector<f32>& vals = r->shard_vals[static_cast<size_t>(shard)];
+    std::vector<u8>& hits = r->shard_hits[static_cast<size_t>(shard)];
+    vals.resize(keys.size() * vdim);
+    hits.assign(keys.size(), 0);
     if (r->snap.valid()) {
       // Snapshot path: the version is immutable, so no lock is held across
       // the copy — the stripe's lock scope ended at the pin.
       const u64 t0 = NowNs();
-      for (i64 key : keys) {
-        const f32* v = r->snap.Get(key);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        const f32* v = r->snap.Get(keys[i]);
         if (v != nullptr) {
-          f32* dst = out.GetOrCreate(key);
-          std::copy(v, v + r->value_dim, dst);
+          simd::CopyF32(vals.data() + i * vdim, v, vdim);
+          hits[i] = 1;
         }
       }
       st.gather_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
@@ -174,11 +180,11 @@ void ParamServer::Gather(const std::shared_ptr<Request>& r, int shard) {
       const u64 t0 = NowNs();
       std::shared_lock<std::shared_mutex> lock(st.mu);
       const u64 t1 = NowNs();
-      for (i64 key : keys) {
-        const f32* v = r->master->Get(key);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        const f32* v = r->master->Get(keys[i]);
         if (v != nullptr) {
-          f32* dst = out.GetOrCreate(key);
-          std::copy(v, v + r->value_dim, dst);
+          simd::CopyF32(vals.data() + i * vdim, v, vdim);
+          hits[i] = 1;
         }
       }
       const u64 t2 = NowNs();
@@ -186,7 +192,6 @@ void ParamServer::Gather(const std::shared_ptr<Request>& r, int shard) {
       st.busy_ns.fetch_add(t2 - t1, std::memory_order_relaxed);
       st.gather_ns.fetch_add(t2 - t1, std::memory_order_relaxed);
     }
-    r->shard_results[static_cast<size_t>(shard)] = std::move(out);
     st.inflight.fetch_sub(1, std::memory_order_relaxed);
     st.tasks.fetch_add(1, std::memory_order_relaxed);
   }
@@ -214,14 +219,19 @@ void ParamServer::Finish(const std::shared_ptr<Request>& r) {
   pd.mode = PartDataMode::kInstallPart;
   pd.cells = CellStore(r->value_dim, CellStore::Layout::kHashed, 0);
   pd.cells.Reserve(static_cast<i64>(r->req.keys.size()));
-  if (!r->shard_results.empty()) {
+  if (!r->shard_hits.empty()) {
+    // Start() bucketed the request keys into shard_keys in request order, so
+    // replaying the request keys with one running cursor per stripe visits
+    // each stripe's gathered slices in exactly the order they were produced
+    // (duplicate keys get their own slice each, same value every time).
+    const size_t vdim = static_cast<size_t>(r->value_dim);
+    std::vector<size_t> cursor(static_cast<size_t>(num_shards_), 0);
     for (i64 key : r->req.keys) {
-      const f32* v =
-          r->shard_results[static_cast<size_t>(StripeOf(key, r->range_lo, r->range_hi))]
-              .Get(key);
-      if (v != nullptr) {
-        f32* dst = pd.cells.GetOrCreate(key);
-        std::copy(v, v + r->value_dim, dst);
+      const size_t s = static_cast<size_t>(StripeOf(key, r->range_lo, r->range_hi));
+      const size_t i = cursor[s]++;
+      if (r->shard_hits[s][i] != 0) {
+        simd::CopyF32(pd.cells.GetOrCreate(key), r->shard_vals[s].data() + i * vdim,
+                      vdim);
       }
     }
   }

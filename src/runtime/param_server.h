@@ -136,7 +136,13 @@ class ParamServer {
     i64 range_hi = -1;
     i32 value_dim = 0;
     std::vector<std::vector<i64>> shard_keys;
-    std::vector<CellStore> shard_results;
+    // Per-stripe gather results as flat slices in shard-key order: no hashed
+    // intermediate store, just value_dim floats and a hit flag per key.
+    // Finish() walks the request keys with one running cursor per stripe, so
+    // assembly reproduces the inline path's reply bytes exactly (same hits,
+    // same insertion order, duplicates included).
+    std::vector<std::vector<f32>> shard_vals;
+    std::vector<std::vector<u8>> shard_hits;
     std::atomic<int> remaining{0};
   };
 

@@ -38,7 +38,7 @@ struct StartPass {
   i32 prefetch_depth = 0;
 
   std::vector<u8> Encode() const {
-    ByteWriter w;
+    ByteWriter w(sizeof(u16) + 3 * sizeof(i32));
     w.Put<u16>(static_cast<u16>(ControlOp::kStartPass));
     w.Put<i32>(loop_id);
     w.Put<i32>(pass);
@@ -68,7 +68,10 @@ struct PassDone {
   std::vector<trace::Span> spans;
 
   std::vector<u8> Encode() const {
-    ByteWriter w;
+    // Fixed fields plus the accumulator vector; the histogram and spans
+    // grow the buffer amortized if present.
+    ByteWriter w(sizeof(u16) + 3 * sizeof(i32) + 4 * sizeof(double) + sizeof(u64) +
+                 accumulators.size() * sizeof(f64) + 64);
     w.Put<u16>(static_cast<u16>(ControlOp::kPassDone));
     w.Put<i32>(loop_id);
     w.Put<i32>(pass);
@@ -94,7 +97,7 @@ struct Heartbeat {
   i32 last_completed_pass = -1;
 
   std::vector<u8> Encode() const {
-    ByteWriter w;
+    ByteWriter w(sizeof(u16) + sizeof(u8) + sizeof(u32) + 2 * sizeof(i32));
     w.Put<u16>(static_cast<u16>(ControlOp::kHeartbeat));
     w.Put<u8>(is_reply ? 1 : 0);
     w.Put<u32>(seq);
@@ -133,7 +136,8 @@ struct Retire {
   std::vector<i32> ring;  // member physical ranks, in logical order
 
   std::vector<u8> Encode() const {
-    ByteWriter w;
+    ByteWriter w(sizeof(u16) + 2 * sizeof(i32) + sizeof(u8) + sizeof(u64) +
+                 ring.size() * sizeof(i32));
     w.Put<u16>(static_cast<u16>(op));
     w.Put<i32>(phase);
     w.Put<u8>(is_ack ? 1 : 0);
@@ -162,7 +166,7 @@ struct BarrierMsg {
   bool release = false;
 
   std::vector<u8> Encode() const {
-    ByteWriter w;
+    ByteWriter w(sizeof(i32) + sizeof(u8));
     w.Put<i32>(pass);
     w.Put<u8>(release ? 1 : 0);
     return w.Take();
@@ -195,7 +199,7 @@ struct PartData {
   CellStore cells;
 
   std::vector<u8> Encode() const {
-    ByteWriter w;
+    ByteWriter w(EncodedSize());
     w.Put<i32>(array);
     w.Put<i32>(part);
     w.Put<u8>(static_cast<u8>(mode));
@@ -271,7 +275,7 @@ struct ParamRequest {
   bool per_key = false;
 
   std::vector<u8> Encode() const {
-    ByteWriter w;
+    ByteWriter w(EncodedSize());
     w.Put<i32>(array);
     w.Put<i32>(step);
     w.Put<u8>(per_key ? 1 : 0);
@@ -364,7 +368,7 @@ struct ArrayOp {
   DistArrayId array = kInvalidDistArrayId;
 
   std::vector<u8> Encode() const {
-    ByteWriter w;
+    ByteWriter w(sizeof(u16) + sizeof(i32));
     w.Put<u16>(static_cast<u16>(op));
     w.Put<i32>(array);
     return w.Take();
