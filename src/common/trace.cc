@@ -246,6 +246,18 @@ void SetRingCapacity(size_t capacity) {
   reg->ring_capacity = capacity;
 }
 
+double RingFillFraction() {
+  ThreadBuffer* b = Tls().buffer;
+  if (b == nullptr) {
+    return 0.0;  // thread has recorded nothing yet
+  }
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (b->capacity == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(b->count) / static_cast<double>(b->capacity);
+}
+
 void SerializeSpans(const std::vector<Span>& spans, ByteWriter* w) {
   w->Put<u32>(static_cast<u32>(spans.size()));
   for (const Span& s : spans) {
@@ -409,6 +421,8 @@ std::vector<PassBreakdown> AnalyzeCriticalPath(const std::vector<Span>& spans) {
           pb.compute_seconds += d;
         } else if (s.name == "prefetch_wait") {
           pb.prefetch_wait_seconds += d;
+        } else if (s.name == "spec_wait") {
+          pb.spec_wait_seconds += d;
         } else if (s.name == "rotation_wait" || s.name == "rotation_send" ||
                    s.name == "drain_returning") {
           pb.rotation_seconds += d;
@@ -465,23 +479,24 @@ std::string FormatCriticalPathTable(const std::vector<PassBreakdown>& passes) {
   std::ostringstream os;
   char line[256];
   os << "critical path per pass (ms; serve and ckpt overlap/follow the pass, outside the sum)\n";
-  std::snprintf(line, sizeof line, "%5s %5s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n", "pass",
-                "crit", "wall", "compute", "pf_wait", "rotation", "flush", "barrier", "apply",
-                "other", "serve", "ckpt");
+  std::snprintf(line, sizeof line, "%5s %5s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+                "pass", "crit", "wall", "compute", "pf_wait", "spec_wait", "rotation", "flush",
+                "barrier", "apply", "other", "serve", "ckpt");
   os << line;
   PassBreakdown total;
   for (const PassBreakdown& p : passes) {
     std::snprintf(line, sizeof line,
-                  "%5lld %5d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                  "%5lld %5d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
                   static_cast<long long>(p.pass), p.critical_rank, p.wall_seconds * 1e3,
                   p.compute_seconds * 1e3, p.prefetch_wait_seconds * 1e3,
-                  p.rotation_seconds * 1e3, p.flush_send_seconds * 1e3, p.barrier_seconds * 1e3,
-                  p.master_apply_seconds * 1e3, p.other_seconds * 1e3,
+                  p.spec_wait_seconds * 1e3, p.rotation_seconds * 1e3, p.flush_send_seconds * 1e3,
+                  p.barrier_seconds * 1e3, p.master_apply_seconds * 1e3, p.other_seconds * 1e3,
                   p.param_serve_seconds * 1e3, p.checkpoint_seconds * 1e3);
     os << line;
     total.wall_seconds += p.wall_seconds;
     total.compute_seconds += p.compute_seconds;
     total.prefetch_wait_seconds += p.prefetch_wait_seconds;
+    total.spec_wait_seconds += p.spec_wait_seconds;
     total.rotation_seconds += p.rotation_seconds;
     total.flush_send_seconds += p.flush_send_seconds;
     total.barrier_seconds += p.barrier_seconds;
@@ -491,12 +506,13 @@ std::string FormatCriticalPathTable(const std::vector<PassBreakdown>& passes) {
     total.checkpoint_seconds += p.checkpoint_seconds;
   }
   std::snprintf(line, sizeof line,
-                "%5s %5s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", "total",
-                "", total.wall_seconds * 1e3, total.compute_seconds * 1e3,
-                total.prefetch_wait_seconds * 1e3, total.rotation_seconds * 1e3,
-                total.flush_send_seconds * 1e3, total.barrier_seconds * 1e3,
-                total.master_apply_seconds * 1e3, total.other_seconds * 1e3,
-                total.param_serve_seconds * 1e3, total.checkpoint_seconds * 1e3);
+                "%5s %5s %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+                "total", "", total.wall_seconds * 1e3, total.compute_seconds * 1e3,
+                total.prefetch_wait_seconds * 1e3, total.spec_wait_seconds * 1e3,
+                total.rotation_seconds * 1e3, total.flush_send_seconds * 1e3,
+                total.barrier_seconds * 1e3, total.master_apply_seconds * 1e3,
+                total.other_seconds * 1e3, total.param_serve_seconds * 1e3,
+                total.checkpoint_seconds * 1e3);
   os << line;
   return os.str();
 }

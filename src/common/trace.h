@@ -107,6 +107,12 @@ u64 DroppedCount();
 // after the call. Existing rings are unaffected. Default 1 << 15.
 void SetRingCapacity(size_t capacity);
 
+// Fraction of the calling thread's ring currently occupied (0.0 when the
+// thread has recorded nothing yet). Executors use it to decide when a long
+// ordered pass should piggyback a partial drain on a barrier arrival
+// instead of letting the ring wrap before PassDone.
+double RingFillFraction();
+
 // ---- Serialization (PassDone piggyback) --------------------------------
 
 void SerializeSpans(const std::vector<Span>& spans, ByteWriter* w);
@@ -137,6 +143,7 @@ struct PassBreakdown {
   double wall_seconds = 0.0;
   double compute_seconds = 0.0;        // compute + record_keys
   double prefetch_wait_seconds = 0.0;  // blocking AwaitPrefetch
+  double spec_wait_seconds = 0.0;      // speculative-slot stalls + conflict repair
   double rotation_seconds = 0.0;       // rotation_wait/send + drain_returning
   double flush_send_seconds = 0.0;     // StepFlush + prefetch_issue
   double barrier_seconds = 0.0;        // barrier skew absorbed at Barrier()
@@ -150,7 +157,7 @@ struct PassBreakdown {
   double checkpoint_seconds = 0.0;
 
   double Sum() const {
-    return compute_seconds + prefetch_wait_seconds + rotation_seconds +
+    return compute_seconds + prefetch_wait_seconds + spec_wait_seconds + rotation_seconds +
            flush_send_seconds + barrier_seconds + master_apply_seconds + other_seconds;
   }
 };

@@ -66,6 +66,17 @@ struct ParallelForOptions {
   // depth is bit-for-bit identical (server state is pass-constant for
   // rotation loops).
   int prefetch_depth_max = 0;
+  // Speculative parameter prefetch for ordered (wavefront/lockstep)
+  // schedules: while step t computes, fetch step t+1's server-hosted reads
+  // from a snapshot of the master, then validate the payload at the step
+  // barrier against the dirty-range summary of the kOverwrite writes steps
+  // actually flushed, re-fetching only conflicting keys. Bit-for-bit
+  // identical to the synchronous fetch; the driver's speculation controller
+  // disables it per loop when the measured conflict rate makes repair cost
+  // exceed the hidden wait. Only engages when step t+1's key lists are
+  // computable early (synthesized prefetch program, or a warm kCached
+  // cache), so kBulk kernel-replay loops are unaffected.
+  bool speculate = true;
 };
 
 struct CompiledLoop {

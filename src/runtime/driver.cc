@@ -692,6 +692,9 @@ void Driver::EnsureScattered(const CompiledLoop& cl) {
 
 void Driver::ServeParamRequestInline(const ParamRequest& req, WorkerId from) {
   ArrayHost& h = Host(req.array);
+  if (req.speculative) {
+    ++last_metrics_.spec_requests_served;
+  }
   CpuStopwatch sw;
   Message reply =
       BuildParamReply(req, h.master.Flat(), h.meta.value_dim, fabric_->zero_copy());
@@ -779,6 +782,13 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
   last_metrics_.param_serve_seconds = 0.0;
   last_metrics_.param_shard_queue_depth_max = 0;
   last_metrics_.prefetch_ring_depth_used = 0;
+  last_metrics_.spec_issued = 0;
+  last_metrics_.spec_conflicts = 0;
+  last_metrics_.spec_repair_bytes = 0;
+  last_metrics_.spec_conflict_rate = 0.0;
+  last_metrics_.spec_hidden_seconds = 0.0;
+  last_metrics_.spec_wait_seconds = 0.0;
+  last_metrics_.spec_requests_served = 0;
   last_metrics_.versioned_snapshot_pins = 0;
   last_metrics_.versioned_pages_cloned = 0;
   last_metrics_.versioned_cow_bytes = 0;
@@ -857,13 +867,31 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
   int num_done = 0;
   const double poll = std::min(0.01, sup.heartbeat_interval_seconds / 4.0);
 
+  // Per-step dirty-range summaries of the kOverwrite flushes applied this
+  // pass, keyed by the flush tag (= the global step). Complete at release
+  // time by construction: a worker's flushes precede its barrier arrival on
+  // the same FIFO link, and the release waits for every arrival. Piggybacked
+  // on the release so speculative fetches that crossed this barrier can be
+  // validated; only maintained while the pass speculates.
+  std::map<u32, StepDirtySummary> step_dirty;
+
   auto send_release = [&](u32 tag, int to, bool reliable) {
     Message go;
     go.from = kMasterRank;
     go.to = to;
     go.kind = MsgKind::kBarrier;
     go.tag = tag;
-    go.payload = BarrierMsg{pass, /*release=*/true}.Encode();
+    BarrierMsg release{pass, /*release=*/true};
+    if (pass_spec_depth_ > 0) {
+      // Attach even when empty: "present and empty" proves nothing changed,
+      // where absence would force the validator to assume everything did.
+      release.has_dirty = true;
+      auto it = step_dirty.find(tag);
+      if (it != step_dirty.end()) {
+        release.dirty = it->second;
+      }
+    }
+    go.payload = release.Encode();
     if (reliable) {
       fabric_->SendReliable(std::move(go));
     } else {
@@ -901,7 +929,8 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
           m.from = kMasterRank;
           m.to = w;
           m.kind = MsgKind::kControl;
-          m.payload = StartPass{cl.loop_id, pass, pass_prefetch_depth_}.Encode();
+          m.payload =
+              StartPass{cl.loop_id, pass, pass_prefetch_depth_, pass_spec_depth_}.Encode();
           fabric_->SendReliable(std::move(m));
           retry_delay[w] *= sup.retry_backoff_factor;
           next_retry[w] = now + retry_delay[w];
@@ -958,6 +987,14 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
       case MsgKind::kParamUpdate: {
         started[msg->from] = true;
         PartData pd = TakePart(*msg);
+        if (pass_spec_depth_ > 0 && pd.mode == PartDataMode::kOverwrite) {
+          // Record what this step's flush overwrites before the update is
+          // consumed; the summary rides on the step's barrier release.
+          std::vector<i64> keys;
+          keys.reserve(pd.cells.NumCells());
+          pd.cells.ForEachConstFast([&](i64 key, const f32*) { keys.push_back(key); });
+          step_dirty[msg->tag].AddKeys(pd.array, std::move(keys));
+        }
         auto pit = cl.plan.placements.find(pd.array);
         const bool server_buffered =
             cl.Is2D() && pd.mode == PartDataMode::kApplyBufferUdf &&
@@ -1000,7 +1037,17 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         break;
       }
       case MsgKind::kBarrier: {
-        const BarrierMsg b = BarrierMsg::Decode(msg->payload);
+        BarrierMsg b = BarrierMsg::Decode(msg->payload);
+        // Piggybacked partial trace drain (rings >75% full mid-pass). Merge
+        // before the staleness check — spans from an abandoned attempt are
+        // still real history — deduped by the per-worker batch id so
+        // supervision resends of the same arrival append exactly once.
+        if (!b.release && !b.spans.empty() && b.span_seq > worker_span_seq_[msg->from]) {
+          worker_span_seq_[msg->from] = b.span_seq;
+          cluster_trace_.insert(cluster_trace_.end(),
+                                std::make_move_iterator(b.spans.begin()),
+                                std::make_move_iterator(b.spans.end()));
+        }
         if (b.pass != pass || b.release) {
           break;  // stale arrival from an earlier attempt
         }
@@ -1036,7 +1083,8 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
             m.from = kMasterRank;
             m.to = msg->from;
             m.kind = MsgKind::kControl;
-            m.payload = StartPass{cl.loop_id, pass, pass_prefetch_depth_}.Encode();
+            m.payload =
+                StartPass{cl.loop_id, pass, pass_prefetch_depth_, pass_spec_depth_}.Encode();
             fabric_->SendReliable(std::move(m));
           }
           break;
@@ -1066,6 +1114,17 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
           cluster_trace_.insert(cluster_trace_.end(),
                                 std::make_move_iterator(spans.begin()),
                                 std::make_move_iterator(spans.end()));
+        }
+        if (!r.AtEnd()) {
+          // Speculation report: counts/bytes sum across workers, times are
+          // maxima like the other per-worker time metrics.
+          last_metrics_.spec_issued += r.Get<u32>();
+          last_metrics_.spec_conflicts += r.Get<u32>();
+          last_metrics_.spec_repair_bytes += r.Get<u64>();
+          last_metrics_.spec_hidden_seconds =
+              std::max(last_metrics_.spec_hidden_seconds, r.Get<double>());
+          last_metrics_.spec_wait_seconds =
+              std::max(last_metrics_.spec_wait_seconds, r.Get<double>());
         }
         last_metrics_.max_worker_compute_seconds =
             std::max(last_metrics_.max_worker_compute_seconds, compute);
@@ -1100,6 +1159,7 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
     param_server_->Quiesce();
     last_metrics_.param_serve_seconds += param_server_->serve_seconds();
     last_metrics_.param_shard_queue_depth_max = param_server_->max_queue_depth();
+    last_metrics_.spec_requests_served += param_server_->speculative_served();
     const std::vector<ParamStripeStats> stripes = param_server_->StripeStatsSnapshot();
     if (stripe_totals_.size() < stripes.size()) {
       stripe_totals_.resize(stripes.size());
@@ -1641,6 +1701,16 @@ MetricsRegistry Driver::ExportMetrics() const {
   reg.SetCounter("versioned.snapshot_pins", lm.versioned_snapshot_pins);
   reg.SetCounter("versioned.pages_cloned", lm.versioned_pages_cloned);
   reg.SetCounter("versioned.cow_bytes", lm.versioned_cow_bytes);
+  reg.SetGauge("spec.enabled", lm.spec_depth_effective > 0 ? 1.0 : 0.0);
+  reg.SetGauge("spec.depth_effective",
+               static_cast<double>(lm.spec_depth_effective));
+  reg.SetGauge("spec.conflict_rate", lm.spec_conflict_rate);
+  reg.SetGauge("spec.hidden_seconds", lm.spec_hidden_seconds);
+  reg.SetGauge("spec.wait_seconds", lm.spec_wait_seconds);
+  reg.SetCounter("spec.issued", lm.spec_issued);
+  reg.SetCounter("spec.conflicts", lm.spec_conflicts);
+  reg.SetCounter("spec.repair_bytes", lm.spec_repair_bytes);
+  reg.SetCounter("spec.requests_served", lm.spec_requests_served);
   for (size_t i = 0; i < lm.stripes.size(); ++i) {
     const auto& s = lm.stripes[i];
     const std::string p = "param.stripe." + std::to_string(i);
@@ -1876,6 +1946,29 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
   }
   last_metrics_.prefetch_depth_effective = pass_prefetch_depth_;
 
+  // Speculative prefetch depth for ordered schedules. Eligibility is
+  // structural (overlap engine on, step barrier, a server-hosted array to
+  // fetch from); whether the loop *stays* speculative is the controller's
+  // call below — a loop whose measured conflict rate made repair cost exceed
+  // the hidden wait is sticky-disabled and reverts to synchronous fetches.
+  pass_spec_depth_ = 0;
+  bool spec_eligible = cl.options.speculate && cl.options.overlap &&
+                       cl.NeedsStepBarrier();
+  if (spec_eligible) {
+    spec_eligible = false;
+    for (const auto& [id, placement] : cl.plan.placements) {
+      if (placement.scheme == PartitionScheme::kServer) {
+        spec_eligible = true;
+        break;
+      }
+    }
+  }
+  if (spec_eligible) {
+    SpecState& ss = spec_state_[loop_id];
+    pass_spec_depth_ = ss.enabled ? ss.depth : 0;
+  }
+  last_metrics_.spec_depth_effective = pass_spec_depth_;
+
   const FabricStats before = fabric_->Stats();
   Stopwatch sw;
   const i32 pass = pass_counter_++;
@@ -1888,7 +1981,7 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
       m.from = kMasterRank;
       m.to = w;
       m.kind = MsgKind::kControl;
-      m.payload = StartPass{loop_id, pass, pass_prefetch_depth_}.Encode();
+      m.payload = StartPass{loop_id, pass, pass_prefetch_depth_, pass_spec_depth_}.Encode();
       fabric_->Send(std::move(m));
     }
   }
@@ -1931,6 +2024,32 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
     }
   }
 
+  // Speculation controller update. Conflict rate is slots-repaired over
+  // slots-issued; hidden vs wait compares what speculation bought (reply
+  // latency overlapped with compute) against what it cost (repair round
+  // trips + blocked awaits). Disable is *sticky*: a loop whose access
+  // pattern conflicts every step will conflict every step, and re-probing
+  // would pay the repair tax again each pass.
+  if (pass_spec_depth_ > 0 && last_metrics_.spec_issued > 0) {
+    SpecState& ss = spec_state_[loop_id];
+    const double rate = static_cast<double>(last_metrics_.spec_conflicts) /
+                        static_cast<double>(last_metrics_.spec_issued);
+    last_metrics_.spec_conflict_rate = rate;
+    const int cap = cl.options.prefetch_depth_max > 0
+                        ? cl.options.prefetch_depth_max
+                        : std::max(1, cl.options.prefetch_depth);
+    if (rate > 0.5 || (last_metrics_.spec_conflicts > 0 &&
+                       last_metrics_.spec_wait_seconds >
+                           last_metrics_.spec_hidden_seconds)) {
+      ss.enabled = false;
+    } else if (rate > 0.25 && ss.depth > 1) {
+      --ss.depth;
+    } else if (rate < 0.05 && last_metrics_.spec_wait_seconds > 50e-6 &&
+               ss.depth < cap) {
+      ++ss.depth;
+    }
+  }
+
   // Per-pass metric series (flattened into MetricsRegistry by
   // ExportMetrics): the trend the controller and the stripe heatmap read.
   metrics_series_["pass.wall_seconds"].push_back(last_metrics_.pass_wall_seconds);
@@ -1938,6 +2057,11 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
       last_metrics_.param_serve_seconds);
   metrics_series_["prefetch.depth_effective"].push_back(
       static_cast<double>(last_metrics_.prefetch_depth_effective));
+  metrics_series_["spec.depth_effective"].push_back(
+      static_cast<double>(last_metrics_.spec_depth_effective));
+  metrics_series_["spec.conflict_rate"].push_back(last_metrics_.spec_conflict_rate);
+  metrics_series_["spec.repair_bytes"].push_back(
+      static_cast<double>(last_metrics_.spec_repair_bytes));
   metrics_series_["versioned.pages_cloned"].push_back(
       static_cast<double>(last_metrics_.versioned_pages_cloned));
   metrics_series_["versioned.snapshot_pins"].push_back(

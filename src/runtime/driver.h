@@ -385,6 +385,25 @@ class Driver {
   std::map<i32, int> adaptive_depth_;
   int pass_prefetch_depth_ = 0;
 
+  // Speculation controller (per loop, ordered schedules): how many steps
+  // ahead executors may fetch against a possibly-stale snapshot. Deepens
+  // while conflicts are rare and blocked waits remain, shrinks as the
+  // conflict rate climbs, and disables speculation for the rest of the loop
+  // (sticky: re-enabling would re-pay the repair cost that proved it
+  // unprofitable) when repair cost exceeds the wait it hides.
+  // pass_spec_depth_ is the depth shipped for the pass in flight (0 =
+  // synchronous), reused verbatim by supervision retransmits.
+  struct SpecState {
+    bool enabled = true;
+    int depth = 1;
+  };
+  std::map<i32, SpecState> spec_state_;
+  int pass_spec_depth_ = 0;
+
+  // Highest barrier-piggybacked span-batch id appended per physical rank:
+  // supervision resends carry the same batch, which must merge exactly once.
+  std::map<int, u32> worker_span_seq_;
+
   // Per-pass metric series (flattened into ExportMetrics' "series" section)
   // and driver-lifetime stripe-contention totals for CriticalPathReport.
   std::map<std::string, std::vector<double>> metrics_series_;

@@ -252,12 +252,13 @@ void Executor::Run() {
           r.Get<u16>();
           const i32 loop_id = r.Get<i32>();
           const i32 pass = r.Get<i32>();
-          // Trailing adaptive-depth field; tolerate its absence so older
-          // encoders stay decodable.
+          // Trailing adaptive-depth and speculation-depth fields; tolerate
+          // their absence so older encoders stay decodable.
           const i32 depth = r.AtEnd() ? 0 : r.Get<i32>();
+          const i32 spec_depth = r.AtEnd() ? 0 : r.Get<i32>();
           if (pass > last_completed_pass_) {
             BufferPool::Release(std::move(msg->payload));
-            RunPass(loop_id, pass, depth);
+            RunPass(loop_id, pass, depth, spec_depth);
             continue;
           }
           // Retransmit of an already-finished pass: fall through to the
@@ -514,12 +515,28 @@ void Executor::Barrier(i32 pass, int step) {
   // The barrier is an ordering point: everything this step produced must be
   // on the wire before peers are released into the next step.
   sender_.Flush();
+  BarrierMsg arrival{pass, /*release=*/false};
+  if (trace::Enabled() && trace::RingFillFraction() > 0.75) {
+    // Long ordered passes wrap the span ring before PassDone can ship it;
+    // piggyback a partial drain on this arrival. The batch id lets the
+    // master append resent copies of the same batch exactly once. Fault
+    // injection stays deterministic: injector decisions never depend on
+    // payload size.
+    arrival.spans = trace::DrainRank(logical_rank_);
+    if (rank_ != logical_rank_) {
+      std::vector<trace::Span> extra = trace::DrainRank(rank_);
+      arrival.spans.insert(arrival.spans.end(), extra.begin(), extra.end());
+    }
+    if (!arrival.spans.empty()) {
+      arrival.span_seq = ++span_batch_seq_;
+    }
+  }
   Message m;
   m.from = rank_;
   m.to = kMasterRank;
   m.kind = MsgKind::kBarrier;
   m.tag = static_cast<u32>(step);
-  m.payload = BarrierMsg{pass, false}.Encode();
+  m.payload = arrival.Encode();
   fabric_->Send(std::move(m));
   auto matches = [&](const Message& msg) {
     if (msg.kind != MsgKind::kBarrier || msg.tag != static_cast<u32>(step)) {
@@ -528,8 +545,20 @@ void Executor::Barrier(i32 pass, int step) {
     const BarrierMsg b = BarrierMsg::Decode(msg.payload);
     return b.release && b.pass == pass;
   };
+  // The release for step s carries the dirty-range summary of the kOverwrite
+  // writes flushed during s — the validation input for any speculative fetch
+  // that was in flight across this barrier.
+  auto record_release = [&](const Message& msg) {
+    if (spec_depth_ <= 0) {
+      return;
+    }
+    BarrierMsg b = BarrierMsg::Decode(msg.payload);
+    if (b.has_dirty) {
+      step_dirty_[step] = std::move(b.dirty);
+    }
+  };
   if (!sup_.enabled) {
-    WaitFor(matches);
+    record_release(WaitFor(matches));
     return;
   }
   // Supervised: either our arrival or the master's release can be lost, so
@@ -537,7 +566,9 @@ void Executor::Barrier(i32 pass, int step) {
   // (pass, step) arrives. The master re-releases on duplicate arrivals.
   double backoff = sup_.retry_initial_seconds;
   while (true) {
-    if (WaitForTimeout(matches, backoff).has_value()) {
+    auto got = WaitForTimeout(matches, backoff);
+    if (got.has_value()) {
+      record_release(*got);
       return;
     }
     Message again;
@@ -545,7 +576,7 @@ void Executor::Barrier(i32 pass, int step) {
     again.to = kMasterRank;
     again.kind = MsgKind::kBarrier;
     again.tag = static_cast<u32>(step);
-    again.payload = BarrierMsg{pass, false}.Encode();
+    again.payload = arrival.Encode();
     fabric_->SendReliable(std::move(again));
     backoff *= sup_.retry_backoff_factor;
   }
@@ -655,6 +686,9 @@ bool Executor::CanIssueEarly(const CompiledLoop& cl, int step) const {
   if (cl.options.prefetch != PrefetchMode::kCached) {
     return false;  // kernel replay reads live local state; not safe early
   }
+  // The key cache is keyed by the step index — the block a worker runs at
+  // step s is the same every pass, so step names it uniquely per executor
+  // (CollectPrefetchKeys records and looks up under the same key).
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kServer) {
       continue;
@@ -667,7 +701,7 @@ bool Executor::CanIssueEarly(const CompiledLoop& cl, int step) const {
 }
 
 void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chunk,
-                             int num_chunks) {
+                             int num_chunks, bool speculative, int issued_during) {
   ORION_CHECK(prefetch_ring_.empty() || prefetch_ring_.back().step < step)
       << "prefetch ring issued out of step order";
   auto recorded = CollectPrefetchKeys(cl, tau, step, chunk, num_chunks);
@@ -677,6 +711,8 @@ void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chun
   ORION_TRACE_SPAN(kExecutor, "prefetch_issue");
   PrefetchSlot slot;
   slot.step = step;
+  slot.speculative = speculative;
+  slot.issued_during = issued_during;
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kServer) {
       continue;
@@ -687,6 +723,12 @@ void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chun
     auto it = recorded.find(array);
     const std::vector<i64> empty;
     const std::vector<i64>& keys = it != recorded.end() ? it->second : empty;
+    if (speculative) {
+      // Remember what was requested (sorted/unique from the collector) so
+      // the await can intersect it with the dirty ranges of intervening
+      // steps and repair only the overlap.
+      slot.keys[array] = keys;
+    }
     if (cl.options.prefetch == PrefetchMode::kPerKey) {
       // Naive remote random access: one coalesced wire message carrying the
       // whole key list, metered in the fabric as |keys| individual requests
@@ -699,6 +741,7 @@ void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chun
       }
       ParamRequest req{array, step, keys};
       req.per_key = true;
+      req.speculative = speculative;
       Message m;
       m.from = rank_;
       m.to = kMasterRank;
@@ -709,6 +752,7 @@ void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chun
       ++slot.expected;
     } else {
       ParamRequest req{array, step, keys};
+      req.speculative = speculative;
       Message m;
       m.from = rank_;
       m.to = kMasterRank;
@@ -735,16 +779,31 @@ void Executor::AwaitPrefetch(const CompiledLoop& cl, int step) {
     ORION_CHECK(front.outstanding >= 0 && front.outstanding <= front.expected)
         << "reply accounting out of range for step" << step;
   }
+  const bool spec = prefetch_ring_.front().speculative;
   if (prefetch_ring_.front().outstanding == 0) {
     // Fully overlapped: the wait collapsed to the buffer moves below.
-    prefetch_hidden_seconds_ += prefetch_ring_.front().issued_at.ElapsedSeconds();
+    const double hidden = prefetch_ring_.front().issued_at.ElapsedSeconds();
+    if (spec) {
+      spec_hidden_seconds_ += hidden;
+    } else {
+      prefetch_hidden_seconds_ += hidden;
+    }
     reply_wait_.Add(0.0);
   } else {
-    ORION_TRACE_SPAN(kExecutor, "prefetch_wait");
     Stopwatch blocked;
-    while (prefetch_ring_.front().outstanding > 0) {
-      Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
-      Dispatch(msg);
+    auto drain = [&] {
+      while (prefetch_ring_.front().outstanding > 0) {
+        Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
+        Dispatch(msg);
+      }
+    };
+    if (spec) {
+      ORION_TRACE_SPAN(kExecutor, "spec_wait");
+      drain();
+      spec_wait_seconds_ += blocked.ElapsedSeconds();
+    } else {
+      ORION_TRACE_SPAN(kExecutor, "prefetch_wait");
+      drain();
     }
     reply_wait_.Add(blocked.ElapsedSeconds());
   }
@@ -762,6 +821,88 @@ void Executor::AwaitPrefetch(const CompiledLoop& cl, int step) {
       st.prefetch_cache.Clear();
     }
   }
+  if (slot.speculative) {
+    RepairSpeculative(cl, slot);
+  }
+}
+
+void Executor::RepairSpeculative(const CompiledLoop& cl, const PrefetchSlot& slot) {
+  // Conflict window: the speculative payload was served from master state
+  // somewhere between "all writes of steps < issued_during applied" and "all
+  // writes of step issued_during applied" (the request raced only that
+  // step's flushes on the FIFO master link). Any key a step in
+  // [issued_during, step) overwrote may therefore be stale in the cache.
+  std::map<DistArrayId, std::vector<i64>> conflicts;
+  for (const auto& [array, keys] : slot.keys) {
+    if (keys.empty()) {
+      continue;
+    }
+    std::vector<i64> bad;
+    for (int t = slot.issued_during; t < slot.step; ++t) {
+      auto it = step_dirty_.find(t);
+      if (it == step_dirty_.end()) {
+        // No summary for an intervening step: assume everything conflicts
+        // rather than trust a payload we cannot validate.
+        bad = keys;
+        break;
+      }
+      auto ait = it->second.arrays.find(array);
+      if (ait == it->second.arrays.end()) {
+        continue;  // summary present and silent about this array: clean
+      }
+      std::vector<i64> hit = ait->second.ConflictKeys(keys);
+      bad.insert(bad.end(), hit.begin(), hit.end());
+    }
+    if (bad.empty()) {
+      continue;
+    }
+    std::sort(bad.begin(), bad.end());
+    bad.erase(std::unique(bad.begin(), bad.end()), bad.end());
+    conflicts.emplace(array, std::move(bad));
+  }
+  if (conflicts.empty()) {
+    return;  // validated clean: the speculation was a pure win
+  }
+  ++spec_conflicts_;
+  // Partial repair: re-fetch only the conflicting keys, synchronously (the
+  // barrier for step-1 has passed, so the master now serves exactly what a
+  // synchronous fetch would read), and overwrite-install them over the
+  // speculative payload. kOverwrite never deletes cells, so every stale key
+  // the master holds comes back.
+  ORION_TRACE_SPAN(kExecutor, "spec_wait");
+  Stopwatch sw;
+  PrefetchSlot repair;
+  repair.step = slot.step;
+  for (auto& [array, keys] : conflicts) {
+    const ArrayState& st = GetArray(array);
+    repair.buffers.emplace(array,
+                           CellStore(st.meta.value_dim, CellStore::Layout::kHashed, 0));
+    ParamRequest req{array, slot.step, std::move(keys)};
+    Message m;
+    m.from = rank_;
+    m.to = kMasterRank;
+    m.kind = MsgKind::kParamRequest;
+    AttachParamRequest(&m, std::move(req), fabric_->zero_copy());
+    SendData(std::move(m));
+    ++repair.expected;
+  }
+  repair.outstanding = repair.expected;
+  prefetch_ring_.push_front(std::move(repair));
+  while (prefetch_ring_.front().outstanding > 0) {
+    Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
+    Dispatch(msg);
+  }
+  PrefetchSlot done = std::move(prefetch_ring_.front());
+  prefetch_ring_.pop_front();
+  for (auto& [array, cells] : done.buffers) {
+    spec_repair_bytes_ += cells.SerializedBytes();
+    ArrayState& st = GetArray(array);
+    const size_t dim = static_cast<size_t>(st.meta.value_dim);
+    cells.ForEachConstFast([&](i64 key, const f32* v) {
+      simd::CopyF32(st.prefetch_cache.GetOrCreate(key), v, dim);
+    });
+  }
+  spec_wait_seconds_ += sw.ElapsedSeconds();
 }
 
 // Applies pending buffered updates whose targets this worker currently
@@ -951,7 +1092,7 @@ void Executor::DrainReturningParts(const CompiledLoop& cl) {
   }
 }
 
-void Executor::RunPass(i32 loop_id, i32 pass, int depth_override) {
+void Executor::RunPass(i32 loop_id, i32 pass, int depth_override, int spec_depth) {
   current_pass_ = pass;
   trace::SetThreadRank(logical_rank_);
   trace::SetThreadPass(pass);
@@ -970,6 +1111,13 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override) {
   prefetch_ring_.clear();
   ring_depth_used_ = 0;
   reply_wait_ = WaitHistogram{};
+  step_dirty_.clear();
+  spec_depth_ = spec_depth;
+  spec_issued_ = 0;
+  spec_conflicts_ = 0;
+  spec_repair_bytes_ = 0;
+  spec_hidden_seconds_ = 0.0;
+  spec_wait_seconds_ = 0.0;
   overlap_ = cl->options.overlap;
   sender_busy_at_pass_start_ = sender_.busy_seconds();
 
@@ -1014,6 +1162,12 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override) {
     // overwrites every step that the *next* step must observe, so they keep
     // the synchronous issue-await pairing.
     const bool pipelined = overlap_ && has_server && cl->UsesRotation();
+    // Speculative prefetch for ordered schedules: the master shipped a
+    // non-zero spec depth (the loop opted in and the controller has not
+    // disabled it), the loop barriers every step, and the overlap engine is
+    // on so the early requests ride the comm thread.
+    const bool speculating =
+        spec_depth_ > 0 && overlap_ && has_server && cl->NeedsStepBarrier();
     const int static_depth =
         depth_override > 0 ? depth_override : cl->options.prefetch_depth;
     const int depth = pipelined ? std::max(1, static_depth) : 1;
@@ -1030,6 +1184,28 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override) {
     // Deepest step a prefetch has been issued for; the deep/shallow issues
     // below always extend from here so the ring stays in step order.
     int issued_through = -1;
+    // Speculative deep issue: fetch upcoming steps' server reads against the
+    // master's current state before this step's writes land. Unlike the
+    // rotation pipeline below, server state is NOT pass-constant here —
+    // wavefront/lockstep steps flush overwrites mid-pass — so each slot
+    // records what it asked for and AwaitPrefetch validates the payload
+    // against the dirty-range summaries carried by the intervening barrier
+    // releases, re-fetching only conflicting keys. Runs on idle fill steps
+    // too: a worker that has not entered the wavefront yet still barriers
+    // every step, so its first block's fetch can ride ahead under the same
+    // validation window instead of gating its entry step.
+    auto speculative_issue = [&](int step) {
+      while (static_cast<int>(prefetch_ring_.size()) < spec_depth_) {
+        const int nstep = next_active(issued_through);
+        if (nstep < 0 || !CanIssueEarly(*cl, nstep)) {
+          break;
+        }
+        IssuePrefetch(*cl, cl->TimePartAt(logical_rank_, nstep), nstep, 0, 1,
+                      /*speculative=*/true, /*issued_during=*/step);
+        issued_through = nstep;
+        ++spec_issued_;
+      }
+    };
     for (int step = 0; step < steps; ++step) {
       trace::SetThreadStep(step);
       MaybeCrash(pass, step);
@@ -1048,6 +1224,9 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override) {
             issued_through = step;
           }
           AwaitPrefetch(*cl, step);
+          if (speculating) {
+            speculative_issue(step);
+          }
           if (pipelined) {
             // Deep issue: key lists for upcoming steps that don't depend on
             // local mutable state (synthesized program or warm cache) go out
@@ -1094,6 +1273,11 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override) {
             }
           }
         }
+      } else if (speculating && has_server) {
+        // Idle fill/drain step: no block to run, but the barrier still
+        // synchronizes us with the frontier, so pipeline the upcoming
+        // entry blocks' fetches now.
+        speculative_issue(step);
       }
       if (cl->NeedsStepBarrier()) {
         Barrier(pass, step);
@@ -1121,6 +1305,11 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override) {
   done.prefetch_ring_depth_used = ring_depth_used_;
   done.reply_wait = reply_wait_;
   done.accumulators = accum_;
+  done.spec_issued = spec_issued_;
+  done.spec_conflicts = spec_conflicts_;
+  done.spec_repair_bytes = spec_repair_bytes_;
+  done.spec_hidden_seconds = spec_hidden_seconds_;
+  done.spec_wait_seconds = spec_wait_seconds_;
   if (trace::Enabled()) {
     // Close the pass span, then ship everything this rank recorded (the
     // sender lane is quiesced by the Flush above, so its spans are in).

@@ -78,7 +78,10 @@ class Executor {
 
   // depth_override > 0 replaces the loop's static prefetch_depth for this
   // pass (the master's adaptive controller ships it in StartPass).
-  void RunPass(i32 loop_id, i32 pass, int depth_override = 0);
+  // spec_depth > 0 lets ordered (wavefront/lockstep) passes fetch up to that
+  // many steps ahead speculatively; 0 keeps the synchronous issue-await
+  // pairing.
+  void RunPass(i32 loop_id, i32 pass, int depth_override = 0, int spec_depth = 0);
   void ExecuteCells(const CompiledLoop& cl, int tau, int chunk, int num_chunks);
 
   // ---- Prefetch pipeline (paper Sec. 4.4 + comm/compute overlap) ----
@@ -92,12 +95,25 @@ class Executor {
   std::map<DistArrayId, std::vector<i64>> CollectPrefetchKeys(const CompiledLoop& cl, int tau,
                                                               int step, int chunk,
                                                               int num_chunks);
-  void IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chunk, int num_chunks);
+  // speculative = true marks the slot as fetched against a possibly-stale
+  // master snapshot while step `issued_during` was still executing; the slot
+  // then records its key lists so AwaitPrefetch can validate them against
+  // the dirty-range summaries of the steps that completed in between.
+  void IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chunk, int num_chunks,
+                     bool speculative = false, int issued_during = -1);
   void AwaitPrefetch(const CompiledLoop& cl, int step);
   // True when step `step`'s key lists are computable without this worker
   // having executed the preceding steps (synthesized program, or a warm
   // kCached key cache) — the condition for issuing before compute.
   bool CanIssueEarly(const CompiledLoop& cl, int step) const;
+
+  // Validates a speculative slot that AwaitPrefetch just moved into the
+  // prefetch caches: keys overlapping any dirty range flushed between issue
+  // and now are re-fetched synchronously and overwrite-installed (partial
+  // repair). After repair the cache is bit-for-bit what a synchronous fetch
+  // at this point would have returned.
+  struct PrefetchSlot;
+  void RepairSpeculative(const CompiledLoop& cl, const PrefetchSlot& slot);
 
   void FlushServerBuffers(const CompiledLoop& cl);
   void ApplyLocalBuffers(const CompiledLoop& cl, int tau);
@@ -186,6 +202,12 @@ class Executor {
     int outstanding = 0;  // reply messages not yet installed
     Stopwatch issued_at;
     std::map<DistArrayId, CellStore> buffers;  // per-array landing pads
+    // Speculative slots: issued against a possibly-stale snapshot while step
+    // `issued_during` ran; `keys` remembers what was requested so the await
+    // can validate against the dirty summaries of steps [issued_during, step).
+    bool speculative = false;
+    int issued_during = -1;
+    std::map<DistArrayId, std::vector<i64>> keys;
   };
   std::deque<PrefetchSlot> prefetch_ring_;
   int ring_depth_used_ = 0;      // peak ring occupancy this pass
@@ -195,6 +217,21 @@ class Executor {
   double wait_seconds_ = 0.0;
   double prefetch_hidden_seconds_ = 0.0;
   double sender_busy_at_pass_start_ = 0.0;
+
+  // ---- Speculation state (reset per pass) ----
+  // Dirty-range summaries decoded from barrier releases, keyed by step: what
+  // the cluster's kOverwrite flushes touched during that step. Consumed by
+  // RepairSpeculative to find the conflict window of a speculative slot.
+  std::map<int, StepDirtySummary> step_dirty_;
+  int spec_depth_ = 0;  // from StartPass; 0 = synchronous
+  u32 spec_issued_ = 0;
+  u32 spec_conflicts_ = 0;
+  u64 spec_repair_bytes_ = 0;
+  double spec_hidden_seconds_ = 0.0;
+  double spec_wait_seconds_ = 0.0;
+  // Monotonic id of barrier-piggybacked span batches (NOT reset per pass:
+  // the master dedupes resends by comparing against the last seq it saw).
+  u32 span_batch_seq_ = 0;
 };
 
 }  // namespace orion

@@ -35,6 +35,19 @@ struct LoopMetrics {
   int prefetch_depth_effective = 0;
   // Per-worker reply-wait histograms, indexed by logical rank.
   std::vector<WaitHistogram> worker_reply_wait;
+  // Speculative prefetch engine for ordered schedules. Depth 0 = the pass
+  // ran synchronous fetches (speculation off or controller-disabled).
+  // `spec_issued`/`spec_conflicts` count speculative slots (summed over
+  // workers); conflict_rate = conflicts / issued for the pass. Hidden/wait
+  // are maxima over workers, like the other per-worker time metrics.
+  int spec_depth_effective = 0;
+  u64 spec_issued = 0;
+  u64 spec_conflicts = 0;
+  u64 spec_repair_bytes = 0;
+  double spec_conflict_rate = 0.0;
+  double spec_hidden_seconds = 0.0;
+  double spec_wait_seconds = 0.0;
+  u64 spec_requests_served = 0;  // master-side: requests flagged speculative
   // Versioned copy-on-write store (master side): snapshots pinned for
   // serving, pages cloned by concurrent writers, and bytes those clones
   // copied.

@@ -82,6 +82,9 @@ int ParamServer::StripeOf(i64 key, i64 lo, i64 hi) const {
 
 void ParamServer::HandleRequest(ParamRequest req, WorkerId from, const CellStore* master,
                                 i32 value_dim) {
+  if (req.speculative) {
+    speculative_served_.fetch_add(1, std::memory_order_relaxed);
+  }
   auto r = std::make_shared<Request>();
   r->req = std::move(req);
   r->from = from;
@@ -101,6 +104,9 @@ void ParamServer::HandleRequestSnapshot(ParamRequest req, WorkerId from,
                                         VersionedCellStore::Snapshot snap,
                                         i32 value_dim) {
   ORION_CHECK(snap.valid());
+  if (req.speculative) {
+    speculative_served_.fetch_add(1, std::memory_order_relaxed);
+  }
   auto r = std::make_shared<Request>();
   r->req = std::move(req);
   r->from = from;
@@ -310,6 +316,7 @@ void ParamServer::ResetPassStats() {
     serve_seconds_ = 0.0;
     max_queue_depth_ = 0;
   }
+  speculative_served_.store(0, std::memory_order_relaxed);
   for (int s = 0; s < num_shards_; ++s) {
     StripeState& st = stripes_[static_cast<size_t>(s)];
     st.busy_ns.store(0, std::memory_order_relaxed);

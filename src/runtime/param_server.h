@@ -121,6 +121,9 @@ class ParamServer {
   void ResetPassStats();
   double serve_seconds() const;    // CPU time across gather + assembly tasks
   int max_queue_depth() const;     // peak requests concurrently in flight
+  // Requests flagged speculative this pass (served identically; the flag is
+  // observational for the spec.requests_served metric).
+  u64 speculative_served() const { return speculative_served_.load(std::memory_order_relaxed); }
   std::vector<ParamStripeStats> StripeStatsSnapshot() const;
 
   // Stripe of `key` for a master spanning [lo, hi] (hi < lo: hashed master).
@@ -170,6 +173,7 @@ class ParamServer {
   int in_flight_ = 0;
   double serve_seconds_ = 0.0;
   int max_queue_depth_ = 0;
+  std::atomic<u64> speculative_served_{0};
 
   // sender_ before pool_: members destroy in reverse order, and pool tasks
   // enqueue replies, so the pool must drain before the lanes go away.

@@ -14,6 +14,7 @@
 #include "src/dsm/cell_store.h"
 #include "src/net/message.h"
 #include "src/runtime/metrics.h"
+#include "src/runtime/speculation.h"
 
 namespace orion {
 
@@ -36,13 +37,19 @@ struct StartPass {
   // adaptive controller. 0 = use the loop's static option. Serialized last
   // so older decoders simply stop before it.
   i32 prefetch_depth = 0;
+  // Speculation depth for ordered schedules: how many steps ahead the
+  // executor may fetch parameters speculatively. 0 = synchronous fetch
+  // (speculation off, or the controller disabled it). Trailing like
+  // prefetch_depth.
+  i32 spec_depth = 0;
 
   std::vector<u8> Encode() const {
-    ByteWriter w(sizeof(u16) + 3 * sizeof(i32));
+    ByteWriter w(sizeof(u16) + 4 * sizeof(i32));
     w.Put<u16>(static_cast<u16>(ControlOp::kStartPass));
     w.Put<i32>(loop_id);
     w.Put<i32>(pass);
     w.Put<i32>(prefetch_depth);
+    w.Put<i32>(spec_depth);
     return w.Take();
   }
 };
@@ -66,6 +73,15 @@ struct PassDone {
   // Span tracer piggyback: the worker's drained spans (empty when tracing
   // is disabled). Serialized last so older decoders simply stop before it.
   std::vector<trace::Span> spans;
+  // Speculative prefetch engine (ordered schedules): slots issued early,
+  // slots that needed repair, repair bytes re-fetched, in-flight time hidden
+  // under compute, and blocked wait (initial await + repair round trips).
+  // Trailing after the spans; decoders AtEnd-guard them.
+  u32 spec_issued = 0;
+  u32 spec_conflicts = 0;
+  u64 spec_repair_bytes = 0;
+  double spec_hidden_seconds = 0.0;
+  double spec_wait_seconds = 0.0;
 
   std::vector<u8> Encode() const {
     // Fixed fields plus the accumulator vector; the histogram and spans
@@ -83,6 +99,11 @@ struct PassDone {
     reply_wait.Serialize(&w);
     w.PutVec(accumulators);
     trace::SerializeSpans(spans, &w);
+    w.Put<u32>(spec_issued);
+    w.Put<u32>(spec_conflicts);
+    w.Put<u64>(spec_repair_bytes);
+    w.Put<double>(spec_hidden_seconds);
+    w.Put<double>(spec_wait_seconds);
     return w.Take();
   }
 };
@@ -161,14 +182,40 @@ struct Retire {
 // Payload of kBarrier messages. The pass number disambiguates retransmitted
 // or delayed barrier traffic across passes (the tag alone carries only the
 // step). `release` marks the master -> worker "go" broadcast.
+//
+// Two optional trailing sections (section-mask framed, AtEnd-guarded so the
+// bare two-field form stays decodable):
+//   bit 0 — releases while speculation is on carry the dirty-range summary
+//           of the kOverwrite writes flushed during this step (present even
+//           when empty: "present and empty" proves nothing changed, where
+//           absence would force the validator to assume everything did).
+//   bit 1 — arrivals piggyback a partial trace-ring drain when the worker's
+//           span ring ran >75% full mid-pass, so long wavefront passes stop
+//           wrapping rings before PassDone. `span_seq` is a per-worker
+//           monotonic batch id: supervision resends ship the same batch and
+//           the master appends each batch once.
 struct BarrierMsg {
   i32 pass = 0;
   bool release = false;
+  bool has_dirty = false;
+  StepDirtySummary dirty;
+  u32 span_seq = 0;
+  std::vector<trace::Span> spans;
 
   std::vector<u8> Encode() const {
-    ByteWriter w(sizeof(i32) + sizeof(u8));
+    ByteWriter w(sizeof(i32) + 2 * sizeof(u8));
     w.Put<i32>(pass);
     w.Put<u8>(release ? 1 : 0);
+    const u8 mask =
+        static_cast<u8>((has_dirty ? 1 : 0) | (spans.empty() ? 0 : 2));
+    w.Put<u8>(mask);
+    if (has_dirty) {
+      dirty.Serialize(&w);
+    }
+    if (!spans.empty()) {
+      w.Put<u32>(span_seq);
+      trace::SerializeSpans(spans, &w);
+    }
     return w.Take();
   }
 
@@ -177,6 +224,18 @@ struct BarrierMsg {
     BarrierMsg b;
     b.pass = r.Get<i32>();
     b.release = r.Get<u8>() != 0;
+    if (r.AtEnd()) {
+      return b;
+    }
+    const u8 mask = r.Get<u8>();
+    if ((mask & 1) != 0) {
+      b.has_dirty = true;
+      b.dirty = StepDirtySummary::Deserialize(&r);
+    }
+    if ((mask & 2) != 0) {
+      b.span_seq = r.Get<u32>();
+      b.spans = trace::DeserializeSpans(&r);
+    }
     return b;
   }
 };
@@ -273,6 +332,11 @@ struct ParamRequest {
   // Marks a coalesced kPerKey storm: the keys travel in one wire message but
   // the exchange is metered as keys.size() per-key request/reply pairs.
   bool per_key = false;
+  // Marks a speculative fetch issued against a pinned snapshot while an
+  // earlier step still runs; repair re-fetches after validation stay false.
+  // Purely observational on the master (counted into spec.requests_served);
+  // serving is identical either way.
+  bool speculative = false;
 
   std::vector<u8> Encode() const {
     ByteWriter w(EncodedSize());
@@ -280,6 +344,7 @@ struct ParamRequest {
     w.Put<i32>(step);
     w.Put<u8>(per_key ? 1 : 0);
     w.PutVec(keys);
+    w.Put<u8>(speculative ? 1 : 0);
     return w.Take();
   }
 
@@ -290,6 +355,9 @@ struct ParamRequest {
     p.step = r.Get<i32>();
     p.per_key = r.Get<u8>() != 0;
     p.keys = r.GetVec<i64>();
+    if (!r.AtEnd()) {
+      p.speculative = r.Get<u8>() != 0;
+    }
     return p;
   }
 
@@ -297,7 +365,7 @@ struct ParamRequest {
   // request travels zero-copy.
   size_t EncodedSize() const {
     return sizeof(i32) + sizeof(i32) + sizeof(u8) + sizeof(u64) +
-           keys.size() * sizeof(i64);
+           keys.size() * sizeof(i64) + sizeof(u8);
   }
 };
 
