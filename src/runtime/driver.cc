@@ -881,7 +881,9 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
     go.to = to;
     go.kind = MsgKind::kBarrier;
     go.tag = tag;
-    BarrierMsg release{pass, /*release=*/true};
+    BarrierMsg release;
+    release.pass = pass;
+    release.release = true;
     if (pass_spec_depth_ > 0) {
       // Attach even when empty: "present and empty" proves nothing changed,
       // where absence would force the validator to assume everything did.
@@ -1009,6 +1011,10 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
           // and rehash. Key-range ownership narrows that to the stripes the
           // update actually touches (dense masters only; hashed masters fall
           // back to locking every stripe because an insert can rehash).
+          // Speculative fetches would break the disjointness premise (they
+          // read exactly the keys upcoming flushes overwrite), which is why
+          // eligibility in RunPassOnce excludes this non-versioned async
+          // mode: pool-thread gathers read live state, not a pinned version.
           ArrayHost& h = Host(pd.array);
           const CellStore& m = h.master.Flat();
           const i64 lo = m.IsDense() ? m.range_lo() : 0;
@@ -1430,6 +1436,11 @@ Status Driver::RejoinWorker(int rank, bool saw_phase0_ack) {
   }
   live_ranks_.push_back(rank);
   std::sort(live_ranks_.begin(), live_ranks_.end());
+  // A fresh executor restarts its span-batch counter at 0; forget the
+  // pre-crash high-water mark or the rejoined worker's piggybacked trace
+  // batches would be dropped as duplicates until it caught up. (Safe when
+  // the executor actually survived, too: its counter only ever grows.)
+  worker_span_seq_[rank] = 0;
   ++runtime_metrics_.worker_rejoins;
   // All members — survivors and the re-entrant — adopt the full-N ring and
   // drop local state; the next pass's scatter streams the restored cells.
@@ -1951,9 +1962,21 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
   // fetch from); whether the loop *stays* speculative is the controller's
   // call below — a loop whose measured conflict rate made repair cost exceed
   // the hidden wait is sticky-disabled and reverts to synchronous fetches.
+  //
+  // Speculation additionally requires a serving mode whose served state is
+  // fixed at request-dequeue order: inline serving (the single-threaded
+  // service loop serves at dequeue time) or versioned serving (the snapshot
+  // is pinned at dequeue time). Non-versioned async serving hands gathers to
+  // pool threads that read *live* master state at an arbitrary later moment;
+  // a speculative gather still queued when step t's barrier release goes out
+  // can observe step t+1's kOverwrite flushes — outside the repair window
+  // [issued_during, step), so validation would never catch it — and
+  // speculative fetches target exactly the keys those flushes overwrite,
+  // voiding the reader/writer key-disjointness the stripe-lock path assumes.
   pass_spec_depth_ = 0;
   bool spec_eligible = cl.options.speculate && cl.options.overlap &&
-                       cl.NeedsStepBarrier();
+                       cl.NeedsStepBarrier() &&
+                       (param_server_ == nullptr || config_.versioned_store);
   if (spec_eligible) {
     spec_eligible = false;
     for (const auto& [id, placement] : cl.plan.placements) {

@@ -515,7 +515,9 @@ void Executor::Barrier(i32 pass, int step) {
   // The barrier is an ordering point: everything this step produced must be
   // on the wire before peers are released into the next step.
   sender_.Flush();
-  BarrierMsg arrival{pass, /*release=*/false};
+  BarrierMsg arrival;
+  arrival.pass = pass;
+  arrival.release = false;
   if (trace::Enabled() && trace::RingFillFraction() > 0.75) {
     // Long ordered passes wrap the span ring before PassDone can ship it;
     // piggyback a partial drain on this arrival. The batch id lets the
@@ -538,27 +540,31 @@ void Executor::Barrier(i32 pass, int step) {
   m.tag = static_cast<u32>(step);
   m.payload = arrival.Encode();
   fabric_->Send(std::move(m));
+  // The matched release is decoded once, inside the predicate, and kept for
+  // the dirty capture below instead of being decoded a second time.
+  BarrierMsg release;
   auto matches = [&](const Message& msg) {
     if (msg.kind != MsgKind::kBarrier || msg.tag != static_cast<u32>(step)) {
       return false;
     }
-    const BarrierMsg b = BarrierMsg::Decode(msg.payload);
-    return b.release && b.pass == pass;
+    BarrierMsg b = BarrierMsg::Decode(msg.payload);
+    if (!b.release || b.pass != pass) {
+      return false;
+    }
+    release = std::move(b);
+    return true;
   };
   // The release for step s carries the dirty-range summary of the kOverwrite
   // writes flushed during s — the validation input for any speculative fetch
   // that was in flight across this barrier.
-  auto record_release = [&](const Message& msg) {
-    if (spec_depth_ <= 0) {
-      return;
-    }
-    BarrierMsg b = BarrierMsg::Decode(msg.payload);
-    if (b.has_dirty) {
-      step_dirty_[step] = std::move(b.dirty);
+  auto record_release = [&]() {
+    if (spec_depth_ > 0 && release.has_dirty) {
+      step_dirty_[step] = std::move(release.dirty);
     }
   };
   if (!sup_.enabled) {
-    record_release(WaitFor(matches));
+    WaitFor(matches);
+    record_release();
     return;
   }
   // Supervised: either our arrival or the master's release can be lost, so
@@ -568,7 +574,7 @@ void Executor::Barrier(i32 pass, int step) {
   while (true) {
     auto got = WaitForTimeout(matches, backoff);
     if (got.has_value()) {
-      record_release(*got);
+      record_release();
       return;
     }
     Message again;
@@ -578,6 +584,13 @@ void Executor::Barrier(i32 pass, int step) {
     again.tag = static_cast<u32>(step);
     again.payload = arrival.Encode();
     fabric_->SendReliable(std::move(again));
+    if (!arrival.spans.empty()) {
+      // That reliable resend bypasses the injector, so the span batch is now
+      // durably at the master (which dedupes it by span_seq if the original
+      // arrival also lands). Later retries only chase a lost release; keep
+      // them small instead of re-shipping the batch every backoff.
+      arrival.spans.clear();
+    }
     backoff *= sup_.retry_backoff_factor;
   }
 }
