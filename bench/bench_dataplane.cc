@@ -281,40 +281,31 @@ int Main(int argc, char** argv) {
                 cow.back().bytes_per_write);
   }
 
-  FILE* f = std::fopen("BENCH_dataplane.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"best_level\": \"%s\",\n"
-                 "  \"gather_copy_scalar_mb_s\": %.1f,\n"
-                 "  \"gather_copy_simd_mb_s\": %.1f,\n"
-                 "  \"gather_copy_speedup\": %.3f,\n"
-                 "  \"apply_add_scalar_mb_s\": %.1f,\n"
-                 "  \"apply_add_simd_mb_s\": %.1f,\n"
-                 "  \"apply_add_speedup\": %.3f,\n"
-                 "  \"page_clone_scalar_mb_s\": %.1f,\n"
-                 "  \"page_clone_simd_mb_s\": %.1f,\n"
-                 "  \"page_clone_speedup\": %.3f,\n"
-                 "  \"serde_mb_per_sec\": %.1f,\n"
-                 "  \"pool_hit_rate\": %.4f,\n"
-                 "  \"allocs_per_message\": %.4f,\n"
-                 "  \"cow_sweep\": [\n",
-                 simd::LevelName(simd::BestSupportedLevel()), copy_scalar, copy_best,
-                 copy_speedup, add_scalar, add_best, add_speedup, clone_scalar,
-                 clone_best, clone_speedup, serde.mb_per_sec, serde.hit_rate,
-                 serde.allocs_per_message);
-    for (size_t i = 0; i < cow.size(); ++i) {
-      std::fprintf(f,
-                   "    {\"page_cells\": %lld, \"cow_bytes\": %llu, "
-                   "\"pages_cloned\": %llu, \"bytes_per_write\": %.1f}%s\n",
-                   static_cast<long long>(cow[i].page_cells),
-                   static_cast<unsigned long long>(cow[i].cow_bytes),
-                   static_cast<unsigned long long>(cow[i].pages_cloned),
-                   cow[i].bytes_per_write, i + 1 < cow.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+  std::vector<std::string> cow_rows;
+  for (const CowPoint& p : cow) {
+    cow_rows.push_back(JsonF("{\"page_cells\": %lld, \"cow_bytes\": %llu, "
+                             "\"pages_cloned\": %llu, \"bytes_per_write\": %.1f}",
+                             static_cast<long long>(p.page_cells),
+                             static_cast<unsigned long long>(p.cow_bytes),
+                             static_cast<unsigned long long>(p.pages_cloned),
+                             p.bytes_per_write));
   }
+  BenchJson("dataplane")
+      .Figure("best_level", JsonF("\"%s\"", simd::LevelName(simd::BestSupportedLevel())))
+      .Figure("gather_copy_scalar_mb_s", JsonF("%.1f", copy_scalar))
+      .Figure("gather_copy_simd_mb_s", JsonF("%.1f", copy_best))
+      .Figure("gather_copy_speedup", JsonF("%.3f", copy_speedup))
+      .Figure("apply_add_scalar_mb_s", JsonF("%.1f", add_scalar))
+      .Figure("apply_add_simd_mb_s", JsonF("%.1f", add_best))
+      .Figure("apply_add_speedup", JsonF("%.3f", add_speedup))
+      .Figure("page_clone_scalar_mb_s", JsonF("%.1f", clone_scalar))
+      .Figure("page_clone_simd_mb_s", JsonF("%.1f", clone_best))
+      .Figure("page_clone_speedup", JsonF("%.3f", clone_speedup))
+      .Figure("serde_mb_per_sec", JsonF("%.1f", serde.mb_per_sec))
+      .Figure("pool_hit_rate", JsonF("%.4f", serde.hit_rate))
+      .Figure("allocs_per_message", JsonF("%.4f", serde.allocs_per_message))
+      .Figure("cow_sweep", BenchJson::Array(cow_rows))
+      .Write();
 
   bool ok = true;
   // The kernels must beat the honest scalar loop on at least one of the

@@ -269,48 +269,37 @@ int Main() {
               static_cast<unsigned long long>(delta_total),
               sp_delta.metrics.checkpoint_seconds, bytes_ratio);
 
-  FILE* f = std::fopen("BENCH_durability.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f, "{\n  \"recovery_sweep\": {\n");
-    const char* mode_names[2] = {"full", "delta"};
-    const std::vector<SweepRow>* mode_rows[2] = {&full_rows, &delta_rows};
-    for (int m = 0; m < 2; ++m) {
-      std::fprintf(f, "    \"%s\": [\n", mode_names[m]);
-      for (size_t i = 0; i < mode_rows[m]->size(); ++i) {
-        const SweepRow& row = (*mode_rows[m])[i];
-        std::fprintf(f,
-                     "      {\"k\": %d, \"wall_s\": %.4f, \"ckpts_written\": %llu, "
-                     "\"ckpt_s\": %.4f, \"passes_replayed\": %llu, \"recovery_s\": %.4f, "
-                     "\"worker_rejoins\": %llu}%s\n",
-                     row.k, row.r.wall_seconds,
-                     static_cast<unsigned long long>(row.r.metrics.checkpoints_written),
-                     row.r.metrics.checkpoint_seconds,
-                     static_cast<unsigned long long>(row.r.metrics.passes_replayed),
-                     row.r.metrics.recovery_seconds,
-                     static_cast<unsigned long long>(row.r.metrics.worker_rejoins),
-                     i + 1 < mode_rows[m]->size() ? "," : "");
-      }
-      std::fprintf(f, "    ]%s\n", m == 0 ? "," : "");
+  auto sweep_json = [](const std::vector<SweepRow>& rows) {
+    std::vector<std::string> out;
+    for (const SweepRow& row : rows) {
+      out.push_back(
+          JsonF("{\"k\": %d, \"wall_s\": %.4f, \"ckpts_written\": %llu, "
+                "\"ckpt_s\": %.4f, \"passes_replayed\": %llu, \"recovery_s\": %.4f, "
+                "\"worker_rejoins\": %llu}",
+                row.k, row.r.wall_seconds,
+                static_cast<unsigned long long>(row.r.metrics.checkpoints_written),
+                row.r.metrics.checkpoint_seconds,
+                static_cast<unsigned long long>(row.r.metrics.passes_replayed),
+                row.r.metrics.recovery_seconds,
+                static_cast<unsigned long long>(row.r.metrics.worker_rejoins)));
     }
-    std::fprintf(f,
-                 "  },\n"
-                 "  \"sparse_checkpoint_bytes\": {\n"
-                 "    \"passes\": %d,\n"
-                 "    \"full_image_bytes\": %llu,\n"
-                 "    \"full_total_bytes\": %llu,\n"
-                 "    \"delta_total_bytes\": %llu,\n"
-                 "    \"delta_records\": %llu,\n"
-                 "    \"pages_deltad\": %llu,\n"
-                 "    \"full_over_delta_bytes\": %.2f\n"
-                 "  }\n"
-                 "}\n",
-                 kSparsePasses, static_cast<unsigned long long>(sp_full.full_image_bytes),
-                 static_cast<unsigned long long>(full_total),
-                 static_cast<unsigned long long>(delta_total),
-                 static_cast<unsigned long long>(sp_delta.metrics.delta_checkpoints),
-                 static_cast<unsigned long long>(sp_delta.metrics.pages_deltad), bytes_ratio);
-    std::fclose(f);
-  }
+    return BenchJson::Array(out);
+  };
+  BenchJson("durability")
+      .Figure("recovery_sweep", "{\"full\": " + sweep_json(full_rows) +
+                                    ", \"delta\": " + sweep_json(delta_rows) + "}")
+      .Figure("sparse_checkpoint_bytes",
+              JsonF("{\"passes\": %d, \"full_image_bytes\": %llu, "
+                    "\"full_total_bytes\": %llu, \"delta_total_bytes\": %llu, "
+                    "\"delta_records\": %llu, \"pages_deltad\": %llu, "
+                    "\"full_over_delta_bytes\": %.2f}",
+                    kSparsePasses, static_cast<unsigned long long>(sp_full.full_image_bytes),
+                    static_cast<unsigned long long>(full_total),
+                    static_cast<unsigned long long>(delta_total),
+                    static_cast<unsigned long long>(sp_delta.metrics.delta_checkpoints),
+                    static_cast<unsigned long long>(sp_delta.metrics.pages_deltad),
+                    bytes_ratio))
+      .Write();
 
   PrintShape("replayed passes after the crash are bounded by the checkpoint interval K",
              replay_bounded);

@@ -265,21 +265,19 @@ int Main() {
       rot_ovl.reply_wait_seconds, rot_ovl.reply_wait.ApproxPercentile(0.5),
       rot_ovl.reply_wait.ApproxPercentile(0.99));
 
-  FILE* f = std::fopen("BENCH_overlap.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"rotation_server\": {\"sync_sec\": %.6f, \"overlap_sec\": %.6f, "
-                 "\"overlap_zero_copy_sec\": %.6f, \"speedup\": %.3f},\n"
-                 "  \"sgd_mf\": {\"sync_sec\": %.6f, \"overlap_sec\": %.6f, "
-                 "\"overlap_zero_copy_sec\": %.6f, \"speedup\": %.3f},\n"
-                 "  \"bit_for_bit_identical\": %s\n"
-                 "}\n",
-                 rot_sync.sec_per_pass, rot_ovl.sec_per_pass, rot_zc.sec_per_pass,
-                 rot_speedup, mf_sync.sec_per_pass, mf_ovl.sec_per_pass, mf_zc.sec_per_pass,
-                 mf_speedup, identical ? "true" : "false");
-    std::fclose(f);
-  }
+  BenchJson("overlap")
+      .Figure("rotation_server",
+              JsonF("{\"sync_sec\": %.6f, \"overlap_sec\": %.6f, "
+                    "\"overlap_zero_copy_sec\": %.6f, \"speedup\": %.3f}",
+                    rot_sync.sec_per_pass, rot_ovl.sec_per_pass, rot_zc.sec_per_pass,
+                    rot_speedup))
+      .Figure("sgd_mf",
+              JsonF("{\"sync_sec\": %.6f, \"overlap_sec\": %.6f, "
+                    "\"overlap_zero_copy_sec\": %.6f, \"speedup\": %.3f}",
+                    mf_sync.sec_per_pass, mf_ovl.sec_per_pass, mf_zc.sec_per_pass,
+                    mf_speedup))
+      .Figure("bit_for_bit_identical", identical)
+      .Write();
 
   PrintShape("overlap hides >= 1.3x of the rotation+server pass time", rot_speedup >= 1.3);
   PrintShape("eager rotation speeds up SGD-MF passes", mf_speedup > 1.0);

@@ -242,40 +242,31 @@ int Main() {
     }
   }
 
-  FILE* f = std::fopen("BENCH_param_serving.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"sync_sec\": %.6f,\n"
-                 "  \"overlap_depth1_inline_sec\": %.6f,\n"
-                 "  \"sweep\": [\n",
-                 sync.sec_per_pass, baseline.sec_per_pass);
-    for (size_t i = 0; i < points.size(); ++i) {
-      const Point& p = points[i];
-      std::fprintf(f,
-                   "    {\"depth\": %d, \"shards\": %d, \"sec_per_pass\": %.6f, "
-                   "\"speedup_vs_baseline\": %.3f, \"serve_sec\": %.6f, "
-                   "\"ring_depth_used\": %d, \"reply_wait_sec\": %.6f, "
-                   "\"reply_wait_p50\": %.6f, \"reply_wait_p99\": %.6f, "
-                   "\"identical\": %s}%s\n",
-                   p.depth, p.shards, p.res.sec_per_pass,
-                   baseline.sec_per_pass / p.res.sec_per_pass, p.res.serve_seconds,
-                   p.res.ring_depth, p.res.reply_wait_seconds,
-                   p.res.reply_wait.ApproxPercentile(0.5),
-                   p.res.reply_wait.ApproxPercentile(0.99),
-                   p.identical ? "true" : "false", i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f,
-                 "  ],\n"
-                 "  \"fault_injected\": {\"depth\": 2, \"shards\": 4, "
-                 "\"sec_per_pass\": %.6f, \"identical\": %s},\n"
-                 "  \"best_speedup_vs_baseline\": %.3f,\n"
-                 "  \"bit_for_bit_identical\": %s\n"
-                 "}\n",
-                 faulted.sec_per_pass, fault_identical ? "true" : "false", best_speedup,
-                 identical ? "true" : "false");
-    std::fclose(f);
+  std::vector<std::string> sweep_rows;
+  for (const Point& p : points) {
+    sweep_rows.push_back(
+        JsonF("{\"depth\": %d, \"shards\": %d, \"sec_per_pass\": %.6f, "
+              "\"speedup_vs_baseline\": %.3f, \"serve_sec\": %.6f, "
+              "\"ring_depth_used\": %d, \"reply_wait_sec\": %.6f, "
+              "\"reply_wait_p50\": %.6f, \"reply_wait_p99\": %.6f, "
+              "\"identical\": %s}",
+              p.depth, p.shards, p.res.sec_per_pass,
+              baseline.sec_per_pass / p.res.sec_per_pass, p.res.serve_seconds,
+              p.res.ring_depth, p.res.reply_wait_seconds,
+              p.res.reply_wait.ApproxPercentile(0.5),
+              p.res.reply_wait.ApproxPercentile(0.99), p.identical ? "true" : "false"));
   }
+  BenchJson("param_serving")
+      .Figure("sync_sec", sync.sec_per_pass)
+      .Figure("overlap_depth1_inline_sec", baseline.sec_per_pass)
+      .Figure("sweep", BenchJson::Array(sweep_rows))
+      .Figure("fault_injected",
+              JsonF("{\"depth\": 2, \"shards\": 4, \"sec_per_pass\": %.6f, "
+                    "\"identical\": %s}",
+                    faulted.sec_per_pass, fault_identical ? "true" : "false"))
+      .Figure("best_speedup_vs_baseline", JsonF("%.3f", best_speedup))
+      .Figure("bit_for_bit_identical", identical)
+      .Write();
 
   PrintShape("sharded serving + deep ring beats the depth-1 inline baseline by >= 1.15x",
              best_speedup >= 1.15);

@@ -283,33 +283,29 @@ int Main() {
       static_cast<unsigned long long>(rec_spec.speculating_pass.spec_repair_bytes),
       rec_spec.depth_after);
 
-  FILE* f = std::fopen("BENCH_speculation.json", "w");
-  if (f != nullptr) {
-    std::fprintf(
-        f,
-        "{\n"
-        "  \"wavefront\": {\"sync_sec\": %.6f, \"spec_sec\": %.6f, \"speedup\": %.3f,\n"
-        "    \"spec_issued\": %llu, \"spec_conflicts\": %llu,\n"
-        "    \"hidden_seconds\": %.6f, \"wait_seconds\": %.6f},\n"
-        "  \"recurrence\": {\"conflict_rate\": %.3f, \"spec_issued\": %llu,\n"
-        "    \"spec_conflicts\": %llu, \"repair_bytes\": %llu,\n"
-        "    \"controller_disabled\": %s},\n"
-        "  \"bit_for_bit_identical\": %s,\n"
-        "  \"faulted_identical\": %s,\n"
-        "  \"recurrence_identical\": %s\n"
-        "}\n",
-        sync.sec_per_pass, spec.sec_per_pass, speedup,
-        static_cast<unsigned long long>(spec.last.spec_issued),
-        static_cast<unsigned long long>(spec.last.spec_conflicts),
-        spec.last.spec_hidden_seconds, spec.last.spec_wait_seconds,
-        rec_spec.conflict_rate,
-        static_cast<unsigned long long>(rec_spec.speculating_pass.spec_issued),
-        static_cast<unsigned long long>(rec_spec.speculating_pass.spec_conflicts),
-        static_cast<unsigned long long>(rec_spec.speculating_pass.spec_repair_bytes),
-        rec_spec.depth_after == 0 ? "true" : "false", identical ? "true" : "false",
-        faulted_identical ? "true" : "false", rec_identical ? "true" : "false");
-    std::fclose(f);
-  }
+  BenchJson("speculation")
+      .Figure("wavefront",
+              JsonF("{\"sync_sec\": %.6f, \"spec_sec\": %.6f, \"speedup\": %.3f, "
+                    "\"spec_issued\": %llu, \"spec_conflicts\": %llu, "
+                    "\"hidden_seconds\": %.6f, \"wait_seconds\": %.6f}",
+                    sync.sec_per_pass, spec.sec_per_pass, speedup,
+                    static_cast<unsigned long long>(spec.last.spec_issued),
+                    static_cast<unsigned long long>(spec.last.spec_conflicts),
+                    spec.last.spec_hidden_seconds, spec.last.spec_wait_seconds))
+      .Figure("recurrence",
+              JsonF("{\"conflict_rate\": %.3f, \"spec_issued\": %llu, "
+                    "\"spec_conflicts\": %llu, \"repair_bytes\": %llu, "
+                    "\"controller_disabled\": %s}",
+                    rec_spec.conflict_rate,
+                    static_cast<unsigned long long>(rec_spec.speculating_pass.spec_issued),
+                    static_cast<unsigned long long>(rec_spec.speculating_pass.spec_conflicts),
+                    static_cast<unsigned long long>(
+                        rec_spec.speculating_pass.spec_repair_bytes),
+                    rec_spec.depth_after == 0 ? "true" : "false"))
+      .Figure("bit_for_bit_identical", identical)
+      .Figure("faulted_identical", faulted_identical)
+      .Figure("recurrence_identical", rec_identical)
+      .Write();
 
   PrintShape("speculation speeds up the ordered wavefront >= 1.2x", speedup >= 1.2);
   PrintShape("speculative replies land while compute runs (hidden wait > 0)",

@@ -118,19 +118,15 @@ int Main() {
   // Machine-readable mirror of the table (like the newer benches), so the
   // ordered-schedule gap is tracked across PRs instead of only printed.
   const char* keys[3] = {"sgd_mf", "sgd_mf_adarev", "lda"};
-  FILE* f = std::fopen("BENCH_ordered.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f, "{\n");
-    for (int i = 0; i < 3; ++i) {
-      std::fprintf(f,
-                   "  \"%s\": {\"ordered_sec\": %.6f, \"unordered_sec\": %.6f, "
-                   "\"unordered_speedup\": %.3f},\n",
-                   keys[i], rows[i].ordered, rows[i].unordered,
-                   rows[i].ordered / rows[i].unordered);
-    }
-    std::fprintf(f, "  \"all_unordered_faster\": %s\n}\n", all_faster ? "true" : "false");
-    std::fclose(f);
+  BenchJson out("ordered");
+  for (int i = 0; i < 3; ++i) {
+    out.Figure(keys[i],
+               JsonF("{\"ordered_sec\": %.6f, \"unordered_sec\": %.6f, "
+                     "\"unordered_speedup\": %.3f}",
+                     rows[i].ordered, rows[i].unordered,
+                     rows[i].ordered / rows[i].unordered));
   }
+  out.Figure("all_unordered_faster", all_faster).Write();
 
   PrintShape("unordered 2D is faster than ordered for every workload", all_faster);
   return 0;

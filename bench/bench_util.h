@@ -11,8 +11,11 @@
 #ifndef ORION_BENCH_BENCH_UTIL_H_
 #define ORION_BENCH_BENCH_UTIL_H_
 
+#include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/apps/datagen.h"
 #include "src/runtime/metrics.h"
@@ -90,6 +93,84 @@ inline SparseLrConfig KddLike() {
 }
 
 // ---- Output helpers ----
+
+// printf into a std::string — for assembling raw JSON figure values.
+inline std::string JsonF(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), static_cast<size_t>(n) + 1, fmt, args);
+  }
+  va_end(args);
+  return out;
+}
+
+// Uniform machine-readable bench output. Every bench emits one
+// BENCH_<name>.json of the shape
+//
+//   {"bench": "<name>", "schema_version": 1, "figures": {...}}
+//
+// so CI gates and cross-PR tracking address figures as
+// .figures.<key>... regardless of which bench produced them. Figure values
+// are raw JSON fragments (numbers, bools, or JsonF-built objects/arrays);
+// the helper owns only the envelope.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  BenchJson& Figure(const std::string& key, std::string raw_json_value) {
+    figures_.emplace_back(key, std::move(raw_json_value));
+    return *this;
+  }
+  BenchJson& Figure(const std::string& key, double v) {
+    return Figure(key, JsonF("%.6f", v));
+  }
+  BenchJson& Figure(const std::string& key, bool v) {
+    return Figure(key, std::string(v ? "true" : "false"));
+  }
+
+  // Joins raw-JSON elements into a JSON array.
+  static std::string Array(const std::vector<std::string>& elems) {
+    std::string out = "[";
+    for (size_t i = 0; i < elems.size(); ++i) {
+      out += "\n      ";
+      out += elems[i];
+      if (i + 1 < elems.size()) {
+        out += ",";
+      }
+    }
+    out += "\n    ]";
+    return out;
+  }
+
+  // Writes BENCH_<bench>.json into the working directory (where CI collects
+  // artifacts from). Returns false on IO failure.
+  bool Write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": 1,\n  \"figures\": {\n",
+                 bench_.c_str());
+    for (size_t i = 0; i < figures_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %s%s\n", figures_[i].first.c_str(),
+                   figures_[i].second.c_str(), i + 1 < figures_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> figures_;
+};
 
 inline void PrintHeader(const std::string& experiment, const std::string& description) {
   std::printf("==== %s ====\n%s\n", experiment.c_str(), description.c_str());

@@ -302,47 +302,37 @@ int Main() {
               static_cast<unsigned long long>(snap.pages_cloned),
               static_cast<unsigned long long>(snap.cow_bytes));
 
-  FILE* f = std::fopen("BENCH_versioned_store.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"inline_sec\": %.6f,\n"
-                 "  \"sweep\": [\n",
-                 baseline.sec_per_pass);
-    for (size_t i = 0; i < points.size(); ++i) {
-      const Point& p = points[i];
-      std::fprintf(f,
-                   "    {\"shards\": %d, \"key_range\": %s, \"sec_per_pass\": %.6f, "
-                   "\"speedup_vs_inline\": %.3f, \"serve_sec\": %.6f, "
-                   "\"snapshot_pins\": %llu, \"stripe_busy_ns\": %llu, "
-                   "\"identical\": %s}%s\n",
-                   p.shards, p.key_range ? "true" : "false", p.res.sec_per_pass,
-                   baseline.sec_per_pass / p.res.sec_per_pass, p.res.serve_seconds,
-                   static_cast<unsigned long long>(p.res.snapshot_pins),
-                   static_cast<unsigned long long>(p.res.stripe_busy_ns),
-                   p.identical ? "true" : "false", i + 1 < points.size() ? "," : "");
-    }
-    std::fprintf(f,
-                 "  ],\n"
-                 "  \"wavefront_contention\": {\n"
-                 "    \"locked_busy_ns\": %llu, \"locked_wait_ns\": %llu,\n"
-                 "    \"snapshot_busy_ns\": %llu, \"snapshot_wait_ns\": %llu,\n"
-                 "    \"snapshot_pages_cloned\": %llu, \"snapshot_cow_bytes\": %llu,\n"
-                 "    \"identical\": %s\n"
-                 "  },\n"
-                 "  \"best_speedup_vs_inline\": %.3f,\n"
-                 "  \"bit_for_bit_identical\": %s\n"
-                 "}\n",
-                 static_cast<unsigned long long>(locked.stripe_busy_ns),
-                 static_cast<unsigned long long>(locked.stripe_wait_ns),
-                 static_cast<unsigned long long>(snap.stripe_busy_ns),
-                 static_cast<unsigned long long>(snap.stripe_wait_ns),
-                 static_cast<unsigned long long>(snap.pages_cloned),
-                 static_cast<unsigned long long>(snap.cow_bytes),
-                 wave_identical ? "true" : "false", best_speedup,
-                 identical ? "true" : "false");
-    std::fclose(f);
+  std::vector<std::string> sweep_rows;
+  for (const Point& p : points) {
+    sweep_rows.push_back(
+        JsonF("{\"shards\": %d, \"key_range\": %s, \"sec_per_pass\": %.6f, "
+              "\"speedup_vs_inline\": %.3f, \"serve_sec\": %.6f, "
+              "\"snapshot_pins\": %llu, \"stripe_busy_ns\": %llu, "
+              "\"identical\": %s}",
+              p.shards, p.key_range ? "true" : "false", p.res.sec_per_pass,
+              baseline.sec_per_pass / p.res.sec_per_pass, p.res.serve_seconds,
+              static_cast<unsigned long long>(p.res.snapshot_pins),
+              static_cast<unsigned long long>(p.res.stripe_busy_ns),
+              p.identical ? "true" : "false"));
   }
+  BenchJson("versioned_store")
+      .Figure("inline_sec", baseline.sec_per_pass)
+      .Figure("sweep", BenchJson::Array(sweep_rows))
+      .Figure("wavefront_contention",
+              JsonF("{\"locked_busy_ns\": %llu, \"locked_wait_ns\": %llu, "
+                    "\"snapshot_busy_ns\": %llu, \"snapshot_wait_ns\": %llu, "
+                    "\"snapshot_pages_cloned\": %llu, \"snapshot_cow_bytes\": %llu, "
+                    "\"identical\": %s}",
+                    static_cast<unsigned long long>(locked.stripe_busy_ns),
+                    static_cast<unsigned long long>(locked.stripe_wait_ns),
+                    static_cast<unsigned long long>(snap.stripe_busy_ns),
+                    static_cast<unsigned long long>(snap.stripe_wait_ns),
+                    static_cast<unsigned long long>(snap.pages_cloned),
+                    static_cast<unsigned long long>(snap.cow_bytes),
+                    wave_identical ? "true" : "false"))
+      .Figure("best_speedup_vs_inline", JsonF("%.3f", best_speedup))
+      .Figure("bit_for_bit_identical", identical)
+      .Write();
 
   PrintShape("1D snapshot serving beats the inline baseline by >= 1.15x",
              best_speedup >= 1.15);

@@ -17,10 +17,19 @@
 // span timeline (open it at ui.perfetto.dev), and ORION_METRICS=/path/to/
 // metrics.json to dump the unified metrics registry. A traced run also
 // prints the per-pass critical-path table.
+//
+// Live telemetry: ORION_OBS_PORT=9464 (or 0 for an ephemeral port) starts
+// the background monitor plus a Prometheus endpoint — `curl
+// localhost:<port>/metrics` while the loop trains. ORION_OBS_PROM=/path
+// additionally self-scrapes the endpoint once at the end and writes the
+// exposition text there (what CI validates). ORION_BLACKBOX=/path installs
+// the flight-recorder fatal handlers and dumps the black box on exit.
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/common/flight_recorder.h"
 #include "src/common/trace.h"
+#include "src/obs/metrics_endpoint.h"
 #include "src/runtime/driver.h"
 
 using namespace orion;  // examples only; library code spells orion:: out
@@ -32,11 +41,25 @@ int main() {
 
   const char* trace_path = std::getenv("ORION_TRACE");
   const char* metrics_path = std::getenv("ORION_METRICS");
+  const char* obs_port = std::getenv("ORION_OBS_PORT");
+  const char* prom_path = std::getenv("ORION_OBS_PROM");
+  const char* blackbox_path = std::getenv("ORION_BLACKBOX");
   if (trace_path != nullptr) {
     trace::SetEnabled(true);
   }
+  if (blackbox_path != nullptr) {
+    fr::InstallFatalHandlers();  // fatal dumps go to $ORION_BLACKBOX
+  }
 
   Driver driver({.num_workers = 4});
+
+  int port = 0;
+  if (obs_port != nullptr || prom_path != nullptr) {
+    auto p = driver.StartMetricsEndpoint(obs_port ? std::atoi(obs_port) : 0);
+    ORION_CHECK_OK(p.status());
+    port = *p;
+    std::printf("live metrics: curl localhost:%d/metrics\n", port);
+  }
 
   // -- 1. DistArrays: sparse ratings, dense factor matrices. --------------
   auto ratings = driver.CreateDistArray("ratings", {kRows, kCols}, 1, Density::kSparse);
@@ -111,6 +134,20 @@ int main() {
   if (metrics_path != nullptr) {
     ORION_CHECK_OK(driver.ExportMetrics().DumpJson(metrics_path));
     std::printf("metrics written to %s\n", metrics_path);
+  }
+  if (prom_path != nullptr) {
+    // Self-scrape over the real socket: what an operator's Prometheus sees.
+    auto body = obs::HttpGet(port, "/metrics");
+    ORION_CHECK_OK(body.status());
+    std::FILE* f = std::fopen(prom_path, "wb");
+    ORION_CHECK(f != nullptr);
+    std::fwrite(body->data(), 1, body->size(), f);
+    std::fclose(f);
+    std::printf("prometheus exposition written to %s\n", prom_path);
+  }
+  if (blackbox_path != nullptr) {
+    ORION_CHECK_OK(driver.DumpBlackBox(blackbox_path));
+    std::printf("flight-recorder black box written to %s\n", blackbox_path);
   }
   return 0;
 }

@@ -1,0 +1,377 @@
+#include "src/common/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/durable_io.h"
+#include "src/common/trace.h"
+
+namespace orion {
+namespace fr {
+
+namespace {
+
+// ---- Ring storage --------------------------------------------------------
+//
+// Every slot field is a relaxed atomic so concurrent writers (ring wrap) and
+// readers (a dump taken mid-run) are race-free by construction. A writer
+// claims a ticket, marks the slot busy (seq = 0), stores the payload, then
+// publishes seq = ticket with release order; a reader validates seq before
+// and after reading the payload and skips torn slots.
+
+constexpr size_t kRingCapacity = 4096;
+constexpr int kMaxRanks = 64;
+constexpr int kMaxProbes = 64;
+constexpr int kProbeNameBytes = 48;
+
+struct Slot {
+  std::atomic<u64> seq{0};  // 0 = empty/busy, else the 1-based ticket
+  std::atomic<i64> t_ns{0};
+  std::atomic<u32> kind{0};
+  std::atomic<i32> rank{0};
+  std::atomic<i64> a{0};
+  std::atomic<i64> b{0};
+  std::atomic<u64> detail[kDetailBytes / 8]{};  // 8 chars per word
+};
+
+Slot g_ring[kRingCapacity];
+std::atomic<u64> g_head{0};  // next ticket - 1
+
+// Live-rank mirror.
+std::atomic<i32> g_live_ranks[kMaxRanks];
+std::atomic<i32> g_live_rank_count{0};
+
+// Monitor-sample mirror. Names are written once (before the sampler runs)
+// under a mutex; values are per-slot atomics updated every tick.
+std::mutex g_names_mu;
+char g_probe_names[kMaxProbes][kProbeNameBytes];
+std::atomic<i32> g_probe_count{0};
+std::atomic<double> g_probe_values[kMaxProbes];
+
+// Fatal-dump state.
+char g_fatal_path[256] = "orion_blackbox.json";
+std::atomic<bool> g_fatal_dumped{false};
+std::atomic<bool> g_handlers_installed{false};
+struct sigaction g_old_actions[NSIG];
+
+// ---- Async-signal-safe emitter -------------------------------------------
+//
+// One JSON renderer serves both dump paths through an emit callback: the
+// orderly path appends to a std::string, the fatal path write(2)s straight
+// to a file descriptor. All formatting below is hand-rolled (no stdio, no
+// heap) so the fatal path stays async-signal-safe.
+
+struct Emitter {
+  void (*emit)(void* ctx, const char* data, size_t len);
+  void* ctx;
+  void Str(const char* s) { emit(ctx, s, std::strlen(s)); }
+  void Raw(const char* s, size_t n) { emit(ctx, s, n); }
+  void Int(i64 v) {
+    char buf[24];
+    char* p = buf + sizeof buf;
+    const bool neg = v < 0;
+    u64 u = neg ? ~static_cast<u64>(v) + 1 : static_cast<u64>(v);
+    do {
+      *--p = static_cast<char>('0' + u % 10);
+      u /= 10;
+    } while (u != 0);
+    if (neg) *--p = '-';
+    emit(ctx, p, static_cast<size_t>(buf + sizeof buf - p));
+  }
+  // Fixed-point double (6 fractional digits), clamped to the i64 range —
+  // monitor gauges are counts, depths, and byte totals, so this covers them
+  // without touching locale-dependent float formatting.
+  void Fixed(double v) {
+    if (!(v > -9.0e12 && v < 9.0e12)) {  // NaN or out of range
+      Str("0");
+      return;
+    }
+    const bool neg = v < 0;
+    if (neg) v = -v;
+    const i64 scaled = static_cast<i64>(v * 1e6 + 0.5);
+    if (neg && scaled != 0) Str("-");
+    Int(scaled / 1000000);
+    Str(".");
+    char frac[7];
+    i64 f = scaled % 1000000;
+    for (int i = 5; i >= 0; --i) {
+      frac[i] = static_cast<char>('0' + f % 10);
+      f /= 10;
+    }
+    frac[6] = '\0';
+    Raw(frac, 6);
+  }
+  void Quoted(const char* s, size_t max_len) {
+    Str("\"");
+    for (size_t i = 0; i < max_len && s[i] != '\0'; ++i) {
+      const unsigned char c = static_cast<unsigned char>(s[i]);
+      if (c == '"' || c == '\\') {
+        char esc[2] = {'\\', static_cast<char>(c)};
+        Raw(esc, 2);
+      } else if (c < 0x20) {
+        Raw("_", 1);  // control chars cannot appear in detail strings anyway
+      } else {
+        Raw(reinterpret_cast<const char*>(&c), 1);
+      }
+    }
+    Str("\"");
+  }
+};
+
+void EmitToString(void* ctx, const char* data, size_t len) {
+  static_cast<std::string*>(ctx)->append(data, len);
+}
+
+void EmitToFd(void* ctx, const char* data, size_t len) {
+  int fd = *static_cast<int*>(ctx);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) return;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+// Reads one slot; false when empty or torn by a concurrent writer.
+bool ReadSlot(const Slot& s, u64 want_ticket, DecodedEvent* out) {
+  if (s.seq.load(std::memory_order_acquire) != want_ticket) return false;
+  out->t_ns = s.t_ns.load(std::memory_order_relaxed);
+  out->kind = static_cast<EventKind>(s.kind.load(std::memory_order_relaxed));
+  out->rank = s.rank.load(std::memory_order_relaxed);
+  out->a = s.a.load(std::memory_order_relaxed);
+  out->b = s.b.load(std::memory_order_relaxed);
+  char detail[kDetailBytes + 1];
+  for (int w = 0; w < kDetailBytes / 8; ++w) {
+    const u64 word = s.detail[w].load(std::memory_order_relaxed);
+    std::memcpy(detail + w * 8, &word, 8);
+  }
+  detail[kDetailBytes] = '\0';
+  out->detail = detail;
+  return s.seq.load(std::memory_order_acquire) == want_ticket;
+}
+
+// Renders the full post-mortem through `e`. Walks tickets oldest-first.
+void Render(Emitter* e, const char* reason) {
+  const u64 total = g_head.load(std::memory_order_acquire);
+  const u64 first = total > kRingCapacity ? total - kRingCapacity + 1 : 1;
+  e->Str("{\"reason\":");
+  e->Quoted(reason, 128);
+  e->Str(",\"t_ns\":");
+  e->Int(trace::NowNs());
+  e->Str(",\"events_recorded\":");
+  e->Int(static_cast<i64>(total));
+  e->Str(",\"events\":[");
+  bool first_ev = true;
+  for (u64 ticket = first; ticket <= total; ++ticket) {
+    DecodedEvent ev;
+    if (!ReadSlot(g_ring[(ticket - 1) % kRingCapacity], ticket, &ev)) continue;
+    if (!first_ev) e->Str(",");
+    first_ev = false;
+    e->Str("{\"t_ns\":");
+    e->Int(ev.t_ns);
+    e->Str(",\"kind\":");
+    e->Quoted(EventKindName(ev.kind), 32);
+    e->Str(",\"rank\":");
+    e->Int(ev.rank);
+    e->Str(",\"a\":");
+    e->Int(ev.a);
+    e->Str(",\"b\":");
+    e->Int(ev.b);
+    e->Str(",\"detail\":");
+    e->Quoted(ev.detail.c_str(), kDetailBytes);
+    e->Str("}");
+  }
+  e->Str("],\"live_ranks\":[");
+  const int nranks = g_live_rank_count.load(std::memory_order_acquire);
+  for (int i = 0; i < nranks && i < kMaxRanks; ++i) {
+    if (i > 0) e->Str(",");
+    e->Int(g_live_ranks[i].load(std::memory_order_relaxed));
+  }
+  e->Str("],\"monitor\":{\"names\":[");
+  const int nprobes = g_probe_count.load(std::memory_order_acquire);
+  for (int i = 0; i < nprobes && i < kMaxProbes; ++i) {
+    if (i > 0) e->Str(",");
+    e->Quoted(g_probe_names[i], kProbeNameBytes);
+  }
+  e->Str("],\"last\":[");
+  for (int i = 0; i < nprobes && i < kMaxProbes; ++i) {
+    if (i > 0) e->Str(",");
+    e->Fixed(g_probe_values[i].load(std::memory_order_relaxed));
+  }
+  e->Str("]}}\n");
+}
+
+// ---- Fatal handlers ------------------------------------------------------
+
+void FatalSignalHandler(int signo) {
+  char reason[32];
+  std::memcpy(reason, "signal_", 7);
+  int n = 7;
+  if (signo >= 10) reason[n++] = static_cast<char>('0' + signo / 10);
+  reason[n++] = static_cast<char>('0' + signo % 10);
+  reason[n] = '\0';
+  DumpOnFatal(reason);
+  // Restore the previous disposition and re-raise so the process still dies
+  // with the original signal (core dumps, test harness expectations).
+  if (signo > 0 && signo < NSIG) ::sigaction(signo, &g_old_actions[signo], nullptr);
+  ::raise(signo);
+}
+
+void CheckFailRecorder(const char* message) {
+  Record(EventKind::kCheckFail, trace::ThreadRank(), 0, 0, message);
+  DumpOnFatal("check_failure");
+  // std::abort() follows in the CHECK machinery; the SIGABRT handler sees
+  // g_fatal_dumped and does not dump twice.
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kPassStart:    return "pass_start";
+    case EventKind::kPassEnd:      return "pass_end";
+    case EventKind::kFaultDrop:    return "fault_drop";
+    case EventKind::kFaultDup:     return "fault_dup";
+    case EventKind::kFaultDelay:   return "fault_delay";
+    case EventKind::kFaultRelease: return "fault_release";
+    case EventKind::kCrashPoint:   return "crash_point";
+    case EventKind::kRetransmit:   return "retransmit";
+    case EventKind::kWorkerDead:   return "worker_dead";
+    case EventKind::kRetire:       return "retire";
+    case EventKind::kRejoin:       return "rejoin";
+    case EventKind::kController:   return "controller";
+    case EventKind::kCheckpoint:   return "checkpoint";
+    case EventKind::kRestore:      return "restore";
+    case EventKind::kStraggler:    return "straggler";
+    case EventKind::kCheckFail:    return "check_fail";
+    case EventKind::kNote:         return "note";
+  }
+  return "unknown";
+}
+
+void Record(EventKind kind, int rank, i64 a, i64 b, const char* detail) {
+  const u64 ticket = g_head.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& s = g_ring[(ticket - 1) % kRingCapacity];
+  s.seq.store(0, std::memory_order_release);  // mark busy: readers skip
+  s.t_ns.store(trace::NowNs(), std::memory_order_relaxed);
+  s.kind.store(static_cast<u32>(kind), std::memory_order_relaxed);
+  s.rank.store(rank, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  char buf[kDetailBytes] = {};
+  if (detail != nullptr) {
+    size_t n = 0;
+    while (n < kDetailBytes && detail[n] != '\0') {
+      buf[n] = detail[n];
+      ++n;
+    }
+  }
+  for (int w = 0; w < kDetailBytes / 8; ++w) {
+    u64 word;
+    std::memcpy(&word, buf + w * 8, 8);
+    s.detail[w].store(word, std::memory_order_relaxed);
+  }
+  s.seq.store(ticket, std::memory_order_release);
+}
+
+void SetLiveRanks(const int* ranks, int count) {
+  if (count > kMaxRanks) count = kMaxRanks;
+  for (int i = 0; i < count; ++i) {
+    g_live_ranks[i].store(ranks[i], std::memory_order_relaxed);
+  }
+  g_live_rank_count.store(count, std::memory_order_release);
+}
+
+void SetSampleNames(const std::vector<std::string>& names) {
+  std::lock_guard<std::mutex> lock(g_names_mu);
+  const int count = static_cast<int>(names.size() > kMaxProbes ? kMaxProbes : names.size());
+  for (int i = 0; i < count; ++i) {
+    std::strncpy(g_probe_names[i], names[static_cast<size_t>(i)].c_str(),
+                 kProbeNameBytes - 1);
+    g_probe_names[i][kProbeNameBytes - 1] = '\0';
+  }
+  g_probe_count.store(count, std::memory_order_release);
+}
+
+void SetSampleValues(const double* values, int count) {
+  if (count > kMaxProbes) count = kMaxProbes;
+  for (int i = 0; i < count; ++i) {
+    g_probe_values[i].store(values[i], std::memory_order_relaxed);
+  }
+}
+
+std::vector<DecodedEvent> SnapshotEvents() {
+  std::vector<DecodedEvent> out;
+  const u64 total = g_head.load(std::memory_order_acquire);
+  const u64 first = total > kRingCapacity ? total - kRingCapacity + 1 : 1;
+  out.reserve(static_cast<size_t>(total - first + 1));
+  for (u64 ticket = first; ticket <= total; ++ticket) {
+    DecodedEvent ev;
+    if (ReadSlot(g_ring[(ticket - 1) % kRingCapacity], ticket, &ev)) {
+      out.push_back(std::move(ev));
+    }
+  }
+  return out;
+}
+
+std::string DumpJson(const std::string& reason) {
+  std::string out;
+  out.reserve(64 * 1024);
+  Emitter e{&EmitToString, &out};
+  Render(&e, reason.c_str());
+  return out;
+}
+
+Status DumpToFile(const std::string& path, const std::string& reason) {
+  const std::string json = DumpJson(reason);
+  return DurableWriteFile(path, reinterpret_cast<const u8*>(json.data()), json.size());
+}
+
+void SetFatalDumpPath(const char* path) {
+  std::strncpy(g_fatal_path, path, sizeof g_fatal_path - 1);
+  g_fatal_path[sizeof g_fatal_path - 1] = '\0';
+}
+
+void DumpOnFatal(const char* reason) {
+  if (g_fatal_dumped.exchange(true)) return;  // dump exactly once
+  const int fd = ::open(g_fatal_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  Emitter e{&EmitToFd, const_cast<int*>(&fd)};
+  Render(&e, reason);
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void InstallFatalHandlers() {
+  if (g_handlers_installed.exchange(true)) return;
+  const char* env_path = std::getenv("ORION_BLACKBOX");
+  if (env_path != nullptr && env_path[0] != '\0') SetFatalDumpPath(env_path);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = &FatalSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  for (int signo : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    ::sigaction(signo, &sa, &g_old_actions[signo]);
+  }
+  internal::SetCheckFailHook(&CheckFailRecorder);
+}
+
+u64 TotalRecorded() { return g_head.load(std::memory_order_relaxed); }
+
+void ResetForTest() {
+  g_head.store(0, std::memory_order_release);
+  for (auto& s : g_ring) s.seq.store(0, std::memory_order_release);
+  g_live_rank_count.store(0, std::memory_order_release);
+  g_probe_count.store(0, std::memory_order_release);
+  g_fatal_dumped.store(false, std::memory_order_release);
+}
+
+}  // namespace fr
+}  // namespace orion

@@ -1,0 +1,115 @@
+// Crash-safe flight recorder: an always-on, fixed-size, lock-free ring of
+// structured cluster events (pass boundaries, fault-injector decisions,
+// retransmits, retire/rejoin transitions, controller decisions, checkpoint
+// and restore markers). Recording costs one atomic fetch_add plus a handful
+// of relaxed stores, so call sites never gate it on a flag.
+//
+// Two dump paths share one JSON renderer:
+//   - DumpToFile(): the orderly path (Driver::DumpBlackBox) — builds the
+//     post-mortem on the heap and writes it with the durable_io discipline.
+//   - DumpOnFatal(): the disorderly path — installed for fatal signals and
+//     ORION_CHECK failures. Renders with hand-rolled integer formatting into
+//     write(2) calls on a pre-opened path: no heap, no stdio, no locks, so
+//     it is safe to run from a signal handler over a corrupted process.
+//
+// The dump is self-contained: events + the last monitor sample (mirrored in
+// by obs::Monitor) + the live-rank table (mirrored in by the Driver), so a
+// post-mortem needs nothing but the one JSON file.
+#ifndef ORION_SRC_COMMON_FLIGHT_RECORDER_H_
+#define ORION_SRC_COMMON_FLIGHT_RECORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace orion {
+namespace fr {
+
+enum class EventKind : u8 {
+  kPassStart = 0,   // rank=-1, a=pass, b=loop_id
+  kPassEnd,         // rank=-1, a=pass, b=completed(1)/aborted(0)
+  kFaultDrop,       // rank=from, a=to, b=link_seq
+  kFaultDup,        // rank=from, a=to, b=link_seq
+  kFaultDelay,      // rank=from, a=to, b=link_seq
+  kFaultRelease,    // rank=to,   a=held count released
+  kCrashPoint,      // rank, a=pass, b=step — injector fired a CrashPoint
+  kRetransmit,      // rank=to, a=pass — supervision StartPass resend
+  kWorkerDead,      // rank, a=pass — supervisor declared the rank dead
+  kRetire,          // rank, a=pass — two-phase retire to N-1
+  kRejoin,          // rank, a=pass — rank streamed back in
+  kController,      // rank=-1, a=value, detail names the decision
+  kCheckpoint,      // rank=-1, a=pass, b=bytes (0 when unknown)
+  kRestore,         // rank=-1, a=pass restored to
+  kStraggler,       // rank, a=streak, detail carries the lag
+  kCheckFail,       // rank of the failing thread, detail=message prefix
+  kNote,            // free-form (tests, apps)
+};
+const char* EventKindName(EventKind k);
+
+// Longest detail string stored per event (truncated silently).
+inline constexpr int kDetailBytes = 24;
+
+struct DecodedEvent {
+  i64 t_ns = 0;  // trace::NowNs epoch — same clock as spans and log lines
+  EventKind kind = EventKind::kNote;
+  int rank = kMasterRank;
+  i64 a = 0;
+  i64 b = 0;
+  std::string detail;
+};
+
+// Records one event. Thread-safe, lock-free, async-signal-tolerant (writers
+// never block; a dump concurrent with a write skips the torn slot).
+void Record(EventKind kind, int rank, i64 a = 0, i64 b = 0,
+            const char* detail = nullptr);
+
+// ---- Self-contained-dump mirrors ----------------------------------------
+
+// Live-rank table (Driver updates on construction and every membership
+// change). Copied into fixed atomic storage; count clamps at capacity.
+void SetLiveRanks(const int* ranks, int count);
+
+// Monitor-sample mirror: names once at Monitor::Start, values every tick.
+// Best-effort under concurrent fatal dump (values are individually atomic).
+void SetSampleNames(const std::vector<std::string>& names);
+void SetSampleValues(const double* values, int count);
+
+// ---- Dumps ---------------------------------------------------------------
+
+// Events currently in the ring, oldest first (torn slots skipped).
+std::vector<DecodedEvent> SnapshotEvents();
+
+// Full post-mortem JSON: {"reason","t_ns","events_recorded","events":[...],
+// "live_ranks":[...],"monitor":{"names":[...],"last":[...]}}.
+std::string DumpJson(const std::string& reason);
+
+// DumpJson written with DurableWriteFile (write + fsync + rename).
+Status DumpToFile(const std::string& path, const std::string& reason);
+
+// ---- Fatal path ----------------------------------------------------------
+
+// Path the fatal handler writes to (copied into static storage; default
+// "orion_blackbox.json", overridden by ORION_BLACKBOX at install time).
+void SetFatalDumpPath(const char* path);
+
+// Installs handlers for SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT plus the
+// ORION_CHECK failure hook; each dumps the ring to the fatal path exactly
+// once, then re-raises the default disposition. Idempotent.
+void InstallFatalHandlers();
+
+// The async-signal-safe dump itself (public for tests).
+void DumpOnFatal(const char* reason);
+
+// Total events ever recorded (recorded - min(recorded, capacity) were
+// overwritten).
+u64 TotalRecorded();
+
+// Clears the ring and mirrors (test isolation).
+void ResetForTest();
+
+}  // namespace fr
+}  // namespace orion
+
+#endif  // ORION_SRC_COMMON_FLIGHT_RECORDER_H_

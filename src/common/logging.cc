@@ -80,7 +80,10 @@ LogLine::LogLine(LogLevel level, const char* file, int line)
     const double t = static_cast<double>(trace::NowNs()) * 1e-9;
     const i32 rank = trace::ThreadRank();
     char tag[24];
-    if (rank == kMasterRank) {
+    const char* label = trace::ThreadLabel();
+    if (rank == kMasterRank && label != nullptr) {
+      std::snprintf(tag, sizeof tag, "M|%s/t%d", label, trace::ThreadId());
+    } else if (rank == kMasterRank) {
       std::snprintf(tag, sizeof tag, "M/t%d", trace::ThreadId());
     } else {
       std::snprintf(tag, sizeof tag, "w%d/t%d", rank, trace::ThreadId());

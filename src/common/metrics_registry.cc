@@ -7,12 +7,36 @@ namespace orion {
 
 namespace {
 
+// JSON string escaping, defensive about names that were never meant to hold
+// quotes or control characters (a corrupted name must not corrupt the dump).
 void AppendEscaped(const std::string& s, std::string* out) {
   for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out->push_back('\\');
+    const unsigned char uc = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (uc < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", uc);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
     }
-    out->push_back(c);
   }
 }
 
@@ -24,46 +48,111 @@ std::string Num(double v) {
 
 }  // namespace
 
+MetricsRegistry::MetricsRegistry(const MetricsRegistry& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
+  series_ = other.series_;
+}
+
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
+  if (this == &other) return *this;
+  std::map<std::string, u64> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, WaitHistogram> histograms;
+  std::map<std::string, std::vector<double>> series;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
+    series = other.series_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_ = std::move(counters);
+  gauges_ = std::move(gauges);
+  histograms_ = std::move(histograms);
+  series_ = std::move(series);
+  return *this;
+}
+
 void MetricsRegistry::SetCounter(const std::string& name, u64 value) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] = value;
 }
 
 void MetricsRegistry::AddCounter(const std::string& name, u64 delta) {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
 }
 
 WaitHistogram& MetricsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return histograms_[name];
 }
 
 void MetricsRegistry::AppendSeries(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   series_[name].push_back(value);
 }
 
 const std::vector<double>* MetricsRegistry::Series(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = series_.find(name);
   return it == series_.end() ? nullptr : &it->second;
 }
 
+std::vector<double> MetricsRegistry::SeriesCopy(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  return it == series_.end() ? std::vector<double>() : it->second;
+}
+
 u64 MetricsRegistry::Counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::Gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 bool MetricsRegistry::HasHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return histograms_.count(name) != 0;
 }
 
+std::map<std::string, u64> MetricsRegistry::CountersSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> MetricsRegistry::GaugesSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::map<std::string, WaitHistogram> MetricsRegistry::HistogramsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_;
+}
+
+std::map<std::string, std::vector<double>> MetricsRegistry::SeriesSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_;
+}
+
 std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);  // one consistent cut vs. mutators
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : counters_) {

@@ -1,6 +1,25 @@
 #include "src/common/status.h"
 
+#include <atomic>
+
 namespace orion {
+
+namespace internal {
+
+namespace {
+std::atomic<CheckFailHook> g_check_fail_hook{nullptr};
+}  // namespace
+
+void SetCheckFailHook(CheckFailHook hook) {
+  g_check_fail_hook.store(hook, std::memory_order_release);
+}
+
+void InvokeCheckFailHook(const char* message) {
+  CheckFailHook hook = g_check_fail_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(message);
+}
+
+}  // namespace internal
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

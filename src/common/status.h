@@ -117,6 +117,14 @@ class StatusOr {
 };
 
 namespace internal {
+// Observer invoked with the composed message just before a failed
+// ORION_CHECK aborts — the flight recorder installs one so the black box
+// captures the check text. Must not throw or return control flow; the abort
+// proceeds regardless.
+using CheckFailHook = void (*)(const char* message);
+void SetCheckFailHook(CheckFailHook hook);
+void InvokeCheckFailHook(const char* message);
+
 // Stream-composes a CHECK failure message then aborts in the destructor.
 class CheckFailStream {
  public:
@@ -125,6 +133,7 @@ class CheckFailStream {
   }
   [[noreturn]] ~CheckFailStream() {
     std::cerr << stream_.str() << std::endl;
+    InvokeCheckFailHook(stream_.str().c_str());
     std::abort();
   }
   template <typename T>

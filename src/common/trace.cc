@@ -66,6 +66,7 @@ struct ThreadState {
   i32 rank = kMasterRank;
   i64 pass = -1;
   i64 step = -1;
+  const char* label = nullptr;
 };
 
 ThreadState& Tls() {
@@ -167,6 +168,9 @@ void SetEnabled(bool on) {
 
 void SetThreadRank(i32 rank) { Tls().rank = rank; }
 i32 ThreadRank() { return Tls().rank; }
+
+void SetThreadLabel(const char* label) { Tls().label = label; }
+const char* ThreadLabel() { return Tls().label; }
 void SetThreadPass(i64 pass) { Tls().pass = pass; }
 void SetThreadStep(i64 step) { Tls().step = step; }
 
@@ -460,7 +464,7 @@ std::vector<PassBreakdown> AnalyzeCriticalPath(const std::vector<Span>& spans) {
     if (static_cast<Category>(s.category) != Category::kDriver || s.name != "checkpoint") {
       continue;
     }
-    const u64 mid = s.start_ns + (s.end_ns - s.start_ns) / 2;
+    const i64 mid = s.start_ns + (s.end_ns - s.start_ns) / 2;
     size_t idx = windows.size();
     for (size_t i = 0; i < windows.size(); ++i) {
       if (windows[i]->start_ns <= mid) {

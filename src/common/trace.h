@@ -70,6 +70,13 @@ void SetEnabled(bool on);
 void SetThreadRank(i32 rank);
 i32 ThreadRank();
 
+// Optional short label for master-side helper threads (monitor, metrics
+// endpoint): ORION_LOG lines tag them "M|<label>/t<id>" instead of the bare
+// "M/t<id>", so interleaved logs stay attributable. The pointer must outlive
+// the thread (string literals only); nullptr clears it.
+void SetThreadLabel(const char* label);
+const char* ThreadLabel();
+
 // Current pass/step ids stamped onto spans recorded by this thread
 // (-1 = unknown; the analyzer then attributes by timestamp containment).
 void SetThreadPass(i64 pass);

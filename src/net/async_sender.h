@@ -56,6 +56,17 @@ class AsyncSender {
 
   int num_lanes() const { return static_cast<int>(lanes_.size()); }
 
+  // Messages queued or mid-send across all lanes (monitor probe; takes each
+  // lane mutex briefly).
+  size_t QueueDepth() const {
+    size_t depth = 0;
+    for (const auto& lane : lanes_) {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      depth += lane->queue.size() + (lane->sending ? 1 : 0);
+    }
+    return depth;
+  }
+
  private:
   struct Lane {
     std::mutex mu;

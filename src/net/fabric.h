@@ -90,6 +90,10 @@ class Fabric {
   // Resets counters (used between benchmark phases).
   void ResetStats();
 
+  // Current inbox depth for `rank` (monitor probe; takes the inbox lock
+  // briefly, reads nothing else).
+  size_t InboxDepth(WorkerId rank) { return InboxFor(rank).Size(); }
+
   double ElapsedSeconds() const { return clock_.ElapsedSeconds(); }
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/common/flight_recorder.h"
+
 namespace orion {
 
 namespace {
@@ -56,6 +58,7 @@ std::vector<Message> FaultInjector::Process(Message msg) {
     for (size_t i = 0; i < held.size();) {
       if (--held[i].remaining <= 0) {
         ++stats_.released;
+        fr::Record(fr::EventKind::kFaultRelease, dest, static_cast<i64>(held[i].link_seq));
         events_.push_back(
             {FaultEvent::Kind::kRelease, held[i].msg.from, dest, held[i].link_seq});
         released.push_back(std::move(held[i].msg));
@@ -75,14 +78,17 @@ std::vector<Message> FaultInjector::Process(Message msg) {
     if (u < plan_.drop_prob) {
       ++stats_.dropped;
       events_.push_back({FaultEvent::Kind::kDrop, msg.from, dest, seq});
+      fr::Record(fr::EventKind::kFaultDrop, msg.from, dest, static_cast<i64>(seq));
     } else if (u < plan_.drop_prob + plan_.dup_prob) {
       ++stats_.duplicated;
       events_.push_back({FaultEvent::Kind::kDuplicate, msg.from, dest, seq});
+      fr::Record(fr::EventKind::kFaultDup, msg.from, dest, static_cast<i64>(seq));
       out.push_back(msg);
       out.push_back(std::move(msg));
     } else if (u < plan_.drop_prob + plan_.dup_prob + plan_.delay_prob) {
       ++stats_.delayed;
       events_.push_back({FaultEvent::Kind::kDelay, msg.from, dest, seq});
+      fr::Record(fr::EventKind::kFaultDelay, msg.from, dest, static_cast<i64>(seq));
       holdbacks_[dest].push_back(
           Held{std::move(msg), std::max(1, plan_.delay_release_after), seq});
     } else {
@@ -110,6 +116,7 @@ bool FaultInjector::ShouldCrash(int rank, i32 pass, i32 step) {
       crash_fired_[i] = true;
       ++stats_.crashes_triggered;
       events_.push_back({FaultEvent::Kind::kCrash, rank, rank, 0, pass, step});
+      fr::Record(fr::EventKind::kCrashPoint, rank, pass, step);
       return true;
     }
   }

@@ -49,10 +49,22 @@ struct FaultPlan {
   bool fault_barrier_msgs = true;
   std::vector<CrashPoint> crashes;
 
+  // Artificial compute straggle: worker `straggle_rank` sleeps
+  // `straggle_seconds` of wall clock at every step boundary of passes >=
+  // `straggle_from_pass`. Pure timing skew — it perturbs no message
+  // sequence and therefore no injected-fault decision — used to exercise
+  // the straggler detector.
+  int straggle_rank = -1;
+  double straggle_seconds = 0.0;
+  i32 straggle_from_pass = 0;
+
   bool HasMessageFaults() const {
     return drop_prob > 0.0 || dup_prob > 0.0 || delay_prob > 0.0;
   }
-  bool Active() const { return HasMessageFaults() || !crashes.empty(); }
+  bool HasStraggle() const { return straggle_rank >= 0 && straggle_seconds > 0.0; }
+  bool Active() const {
+    return HasMessageFaults() || !crashes.empty() || HasStraggle();
+  }
 };
 
 struct InjectorStats {
@@ -92,6 +104,15 @@ class FaultInjector {
 
   // True exactly once for each matching CrashPoint. Thread-safe.
   bool ShouldCrash(int rank, i32 pass, i32 step);
+
+  // Seconds worker `rank` should stall at a step boundary of `pass` under
+  // the plan's straggle clause (0 when none). Pure function of the plan.
+  double StraggleSeconds(int rank, i32 pass) const {
+    return (plan_.HasStraggle() && rank == plan_.straggle_rank &&
+            pass >= plan_.straggle_from_pass)
+               ? plan_.straggle_seconds
+               : 0.0;
+  }
 
   // Discards all held-back messages (recovery start: anything the injector is
   // still sitting on predates the reset and must not be replayed into the

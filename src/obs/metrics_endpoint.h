@@ -1,0 +1,69 @@
+// Prometheus text-exposition endpoint: GET /metrics (text format 0.0.4) and
+// GET /healthz on a localhost TCP port.
+//
+// Renders entirely from the Monitor's published registry snapshot (an
+// immutable MetricsRegistry the driver swaps in at pass boundaries) plus
+// the monitor's latest live sample — the accept loop never touches driver,
+// fabric, or executor state, so a scrape can never contend with (or
+// perturb) a running pass. The listener binds 127.0.0.1 only: this is an
+// operator scrape port, not a service port — and deliberately the repo's
+// first real network listener, the stepping stone toward the multi-process
+// transport on the roadmap.
+#ifndef ORION_SRC_OBS_METRICS_ENDPOINT_H_
+#define ORION_SRC_OBS_METRICS_ENDPOINT_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/obs/monitor.h"
+
+namespace orion {
+namespace obs {
+
+// Renders `registry` plus the monitor's live view (latest sample as
+// "orion_live_*" gauges; nullptr monitor: registry only) as Prometheus text
+// exposition format 0.0.4: dotted names sanitized to an "orion_" prefix,
+// one # HELP/# TYPE pair per family (duplicates after sanitization are
+// dropped), wait histograms as cumulative _bucket{le=...}/_sum/_count.
+std::string RenderPrometheus(const MetricsRegistry& registry, const Monitor* monitor);
+
+class MetricsEndpoint {
+ public:
+  explicit MetricsEndpoint(Monitor* monitor);
+  ~MetricsEndpoint();
+
+  MetricsEndpoint(const MetricsEndpoint&) = delete;
+  MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  // Returns the bound port.
+  StatusOr<int> Start(int port);
+  void Stop();
+
+  int port() const { return port_; }
+
+  // What GET /metrics would return right now (self-scrape for tests and the
+  // quickstart without going through the socket).
+  std::string RenderMetricsText() const;
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  Monitor* monitor_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+// Minimal loopback HTTP/1.1 GET (tests and the quickstart self-scrape).
+// Returns the response body; non-200 statuses come back as errors.
+StatusOr<std::string> HttpGet(int port, const std::string& path);
+
+}  // namespace obs
+}  // namespace orion
+
+#endif  // ORION_SRC_OBS_METRICS_ENDPOINT_H_

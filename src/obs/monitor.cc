@@ -1,0 +1,138 @@
+#include "src/obs/monitor.h"
+
+#include <chrono>
+
+#include "src/common/flight_recorder.h"
+#include "src/common/logging.h"
+#include "src/common/trace.h"
+
+namespace orion {
+namespace obs {
+
+Monitor::Monitor() : Monitor(Options()) {}
+
+Monitor::Monitor(Options options) : options_(options) {
+  if (options_.period_seconds <= 0.0) options_.period_seconds = 0.1;
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+}
+
+Monitor::~Monitor() { Stop(); }
+
+void Monitor::RegisterProbe(const std::string& name, std::function<double()> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ORION_CHECK(!running_) << "RegisterProbe after Start: " << name;
+  names_.push_back(name);
+  probes_.push_back(std::move(probe));
+}
+
+Status Monitor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("monitor already running");
+  }
+  stop_ = false;
+  running_ = true;
+  // Mirror the probe names into the flight recorder once, so a fatal dump
+  // can label its last-sample vector without heap access.
+  fr::SetSampleNames(names_);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void Monitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool Monitor::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void Monitor::Loop() {
+  trace::SetThreadLabel("mon");
+  ORION_LOG(kDebug) << "monitor sampler up, period=" << options_.period_seconds << "s";
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    TakeSampleLocked();
+    stop_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.period_seconds),
+        [this] { return stop_; });
+  }
+  TakeSampleLocked();  // final sample: short runs still observe one
+}
+
+void Monitor::SampleNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TakeSampleLocked();
+}
+
+void Monitor::TakeSampleLocked() {
+  Sample s;
+  s.t_ns = trace::NowNs();
+  s.values.reserve(probes_.size());
+  for (const auto& probe : probes_) {
+    s.values.push_back(probe());
+  }
+  if (!s.values.empty()) {
+    fr::SetSampleValues(s.values.data(), static_cast<int>(s.values.size()));
+  }
+  ring_.push_back(std::move(s));
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  ++samples_taken_;
+}
+
+std::vector<std::string> Monitor::ProbeNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_;
+}
+
+Monitor::Sample Monitor::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? Sample{} : ring_.back();
+}
+
+std::vector<Monitor::Sample> Monitor::SamplesSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Sample>(ring_.begin(), ring_.end());
+}
+
+u64 Monitor::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_taken_;
+}
+
+void Monitor::PublishRegistry(std::shared_ptr<const MetricsRegistry> registry) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  published_ = std::move(registry);
+}
+
+std::shared_ptr<const MetricsRegistry> Monitor::PublishedRegistry() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return published_;
+}
+
+void Monitor::MergeInto(MetricsRegistry* registry) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry->SetCounter("live.monitor.samples", samples_taken_);
+  if (ring_.empty()) return;
+  const Sample& last = ring_.back();
+  for (size_t i = 0; i < names_.size() && i < last.values.size(); ++i) {
+    registry->SetGauge("live." + names_[i], last.values[i]);
+  }
+  for (const Sample& s : ring_) {
+    for (size_t i = 0; i < names_.size() && i < s.values.size(); ++i) {
+      registry->AppendSeries("live." + names_[i], s.values[i]);
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace orion

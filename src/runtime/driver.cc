@@ -6,6 +6,7 @@
 #include <set>
 
 #include "src/common/buffer_pool.h"
+#include "src/common/flight_recorder.h"
 #include "src/common/histogram.h"
 #include "src/common/logging.h"
 #include "src/common/simd.h"
@@ -43,15 +44,27 @@ Driver::Driver(const DriverConfig& config)
   for (int w = 0; w < config.num_workers; ++w) {
     live_ranks_[static_cast<size_t>(w)] = w;
   }
+  rank_live_.reserve(static_cast<size_t>(config.num_workers));
+  ring_fill_gauges_.reserve(static_cast<size_t>(config.num_workers));
+  for (int w = 0; w < config.num_workers; ++w) {
+    rank_live_.push_back(std::make_unique<RankLive>());
+    ring_fill_gauges_.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+  fr::SetLiveRanks(live_ranks_.data(), static_cast<int>(live_ranks_.size()));
   executors_.reserve(static_cast<size_t>(config.num_workers));
   threads_.reserve(static_cast<size_t>(config.num_workers));
   for (int w = 0; w < config.num_workers; ++w) {
     executors_.push_back(std::make_unique<Executor>(w, fabric_.get(), &dir_));
+    executors_.back()->set_ring_fill_gauge(ring_fill_gauges_[static_cast<size_t>(w)].get());
     threads_.emplace_back([ex = executors_.back().get()] { ex->Run(); });
   }
 }
 
 Driver::~Driver() {
+  // The endpoint and monitor hold probe closures over fabric_, param_server_
+  // and executors_; stop them before any of that goes away.
+  StopMetricsEndpoint();
+  StopMonitor();
   for (int w = 0; w < config_.num_workers; ++w) {
     Message m;
     m.from = kMasterRank;
@@ -863,6 +876,18 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
   // resends; arrivals after the release get an individual re-release.
   std::map<u32, std::set<int>> barrier_arrived;
   std::map<u32, bool> barrier_released;
+  // Straggler-detector rounds: first-arrival clock per rank per barrier tag
+  // (fed at release time), and per-rank compute seconds (fed at pass end).
+  std::map<u32, std::vector<std::pair<int, double>>> barrier_arrival_times;
+  std::vector<std::pair<int, double>> pass_compute;
+  auto observe_round = [&](const std::vector<std::pair<int, double>>& round) {
+    straggler_.ObserveRound(round);
+    for (int r : straggler_.TakeNewlyFlagged()) {
+      ORION_LOG(kWarning) << "straggler detected: rank " << r << " lag_ewma="
+                          << straggler_.LagEwma(r) * 1e3 << "ms (pass " << pass << ")";
+      fr::Record(fr::EventKind::kStraggler, r, pass);
+    }
+  };
   u32 hb_seq = 0;
   int num_done = 0;
   const double poll = std::min(0.01, sup.heartbeat_interval_seconds / 4.0);
@@ -927,6 +952,7 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
           }
           ++retries[w];
           ++runtime_metrics_.retransmits;
+          fr::Record(fr::EventKind::kRetransmit, w, pass);
           Message m;
           m.from = kMasterRank;
           m.to = w;
@@ -1060,13 +1086,19 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         started[msg->from] = true;
         auto& arrived = barrier_arrived[msg->tag];
         bool& released = barrier_released[msg->tag];
-        arrived.insert(msg->from);
+        if (arrived.insert(msg->from).second) {
+          barrier_arrival_times[msg->tag].emplace_back(msg->from, last_heard[msg->from]);
+          rank_live_[static_cast<size_t>(msg->from)]->step.store(
+              static_cast<i64>(msg->tag), std::memory_order_relaxed);
+        }
         if (released) {
           // This worker's release was lost (or its arrival was duplicated);
           // re-release individually.
           send_release(msg->tag, msg->from, /*reliable=*/true);
         } else if (static_cast<int>(arrived.size()) == active) {
           released = true;
+          // All arrivals for this step are in: one straggler-detector round.
+          observe_round(barrier_arrival_times[msg->tag]);
           for (int w : live_ranks_) {
             send_release(msg->tag, w, /*reliable=*/false);
           }
@@ -1077,6 +1109,16 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         const ControlOp op = PeekControlOp(msg->payload);
         if (op == ControlOp::kHeartbeat) {
           const Heartbeat hb = Heartbeat::Decode(msg->payload);
+          if (hb.is_reply) {
+            // Pong watermarks feed the monitor's per-rank liveness gauges.
+            RankLive& rl = *rank_live_[static_cast<size_t>(msg->from)];
+            if (hb.last_started_pass > rl.started.load(std::memory_order_relaxed)) {
+              rl.started.store(hb.last_started_pass, std::memory_order_relaxed);
+            }
+            if (hb.last_completed_pass > rl.completed.load(std::memory_order_relaxed)) {
+              rl.completed.store(hb.last_completed_pass, std::memory_order_relaxed);
+            }
+          }
           if (hb.is_reply && hb.last_started_pass >= pass) {
             started[msg->from] = true;
           }
@@ -1085,6 +1127,7 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
             // flight; a retransmitted kStartPass makes it resend the cached
             // report.
             ++runtime_metrics_.retransmits;
+            fr::Record(fr::EventKind::kRetransmit, msg->from, pass);
             Message m;
             m.from = kMasterRank;
             m.to = msg->from;
@@ -1148,6 +1191,16 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
         started[msg->from] = true;
         done[msg->from] = true;
         ++num_done;
+        pass_compute.emplace_back(msg->from, compute);
+        {
+          RankLive& rl = *rank_live_[static_cast<size_t>(msg->from)];
+          if (pass > rl.started.load(std::memory_order_relaxed)) {
+            rl.started.store(pass, std::memory_order_relaxed);
+          }
+          if (pass > rl.completed.load(std::memory_order_relaxed)) {
+            rl.completed.store(pass, std::memory_order_relaxed);
+          }
+        }
         break;
       }
       default:
@@ -1238,6 +1291,11 @@ Driver::PassOutcome Driver::ServicePassMessages(const CompiledLoop& cl, i32 pass
       h.master.AutoTunePageSize();
     }
   }
+
+  // One straggler-detector round over per-rank compute time (the only
+  // per-rank timing signal 1D loops produce; 2D loops also fed per-step
+  // barrier rounds above).
+  observe_round(pass_compute);
   return {true, -1};
 }
 
@@ -1340,6 +1398,8 @@ Status Driver::WriteRecoveryCheckpoint() {
   baseline_ckpt_done_ = true;
   ++runtime_metrics_.checkpoints_written;
   runtime_metrics_.checkpoint_seconds += sw.ElapsedSeconds();
+  fr::Record(fr::EventKind::kCheckpoint, -1, pass_counter_,
+             static_cast<i64>(runtime_metrics_.checkpoints_written));
   return Status::Ok();
 }
 
@@ -1368,6 +1428,7 @@ Status Driver::InstallLogState(DeltaLogReader::State state, bool restore_pass_co
     pass_counter_ = static_cast<int>(state.master.next_pass);
   }
   pass_log_.clear();
+  fr::Record(fr::EventKind::kRestore, -1, pass_counter_);
   return Status::Ok();
 }
 
@@ -1431,11 +1492,15 @@ Status Driver::RejoinWorker(int rank, bool saw_phase0_ack) {
     }
     executors_[static_cast<size_t>(rank)] =
         std::make_unique<Executor>(rank, fabric_.get(), &dir_);
+    executors_[static_cast<size_t>(rank)]->set_ring_fill_gauge(
+        ring_fill_gauges_[static_cast<size_t>(rank)].get());
     threads_[static_cast<size_t>(rank)] =
         std::thread([ex = executors_[static_cast<size_t>(rank)].get()] { ex->Run(); });
   }
   live_ranks_.push_back(rank);
   std::sort(live_ranks_.begin(), live_ranks_.end());
+  fr::Record(fr::EventKind::kRejoin, rank, pass_counter_ - 1);
+  fr::SetLiveRanks(live_ranks_.data(), static_cast<int>(live_ranks_.size()));
   // A fresh executor restarts its span-batch counter at 0; forget the
   // pre-crash high-water mark or the rejoined worker's piggybacked trace
   // batches would be dropped as duplicates until it caught up. (Safe when
@@ -1464,6 +1529,8 @@ Status Driver::Recover(int lost_physical_rank) {
   }
   live_ranks_.erase(std::remove(live_ranks_.begin(), live_ranks_.end(), lost_physical_rank),
                     live_ranks_.end());
+  fr::Record(fr::EventKind::kRetire, lost_physical_rank, pass_counter_ - 1);
+  fr::SetLiveRanks(live_ranks_.data(), static_cast<int>(live_ranks_.size()));
   if (live_ranks_.empty()) {
     return Status::Internal("all workers lost; cannot recover");
   }
@@ -1691,7 +1758,108 @@ std::string Driver::CriticalPathReport() {
     }
     out += "\n";
   }
+  out += straggler_.Verdict();
+  out += "\n";
   return out;
+}
+
+Status Driver::EnableMonitor(double period_seconds) {
+  if (monitor_ != nullptr) {
+    return monitor_->running() ? Status::Ok() : monitor_->Start();
+  }
+  obs::Monitor::Options opt;
+  opt.period_seconds = period_seconds;
+  monitor_ = std::make_unique<obs::Monitor>(opt);
+  RegisterMonitorProbes();
+  PublishObsSnapshot();
+  return monitor_->Start();
+}
+
+void Driver::StopMonitor() {
+  if (monitor_ != nullptr) {
+    monitor_->Stop();
+  }
+}
+
+StatusOr<int> Driver::StartMetricsEndpoint(int port) {
+  ORION_RETURN_IF_ERROR(EnableMonitor());
+  if (endpoint_ != nullptr && endpoint_->port() > 0) {
+    return endpoint_->port();
+  }
+  endpoint_ = std::make_unique<obs::MetricsEndpoint>(monitor_.get());
+  return endpoint_->Start(port);
+}
+
+void Driver::StopMetricsEndpoint() {
+  if (endpoint_ != nullptr) {
+    endpoint_->Stop();
+  }
+}
+
+Status Driver::DumpBlackBox(const std::string& path) {
+  return fr::DumpToFile(path, "explicit");
+}
+
+void Driver::RegisterMonitorProbes() {
+  // Every closure below reads an atomic or takes a short uncontended mutex,
+  // and captures only objects whose addresses outlive the monitor: fabric_,
+  // param_server_, the stable gauge/watermark arrays, and ArrayHost masters
+  // (arrays_ holds them by unique_ptr). Never an Executor — rejoin replaces
+  // those.
+  Fabric* fabric = fabric_.get();
+  monitor_->RegisterProbe("fabric.inbox.master", [fabric] {
+    return static_cast<double>(fabric->InboxDepth(kMasterRank));
+  });
+  for (int w = 0; w < config_.num_workers; ++w) {
+    const std::string suffix = ".w" + std::to_string(w);
+    monitor_->RegisterProbe("fabric.inbox" + suffix, [fabric, w] {
+      return static_cast<double>(fabric->InboxDepth(w));
+    });
+    std::atomic<int>* ring = ring_fill_gauges_[static_cast<size_t>(w)].get();
+    monitor_->RegisterProbe("prefetch.ring_fill" + suffix, [ring] {
+      return static_cast<double>(ring->load(std::memory_order_relaxed));
+    });
+    RankLive* rl = rank_live_[static_cast<size_t>(w)].get();
+    monitor_->RegisterProbe("rank" + suffix + ".started", [rl] {
+      return static_cast<double>(rl->started.load(std::memory_order_relaxed));
+    });
+    monitor_->RegisterProbe("rank" + suffix + ".completed", [rl] {
+      return static_cast<double>(rl->completed.load(std::memory_order_relaxed));
+    });
+    monitor_->RegisterProbe("rank" + suffix + ".step", [rl] {
+      return static_cast<double>(rl->step.load(std::memory_order_relaxed));
+    });
+  }
+  if (param_server_ != nullptr) {
+    ParamServer* ps = param_server_.get();
+    monitor_->RegisterProbe("param.in_flight",
+                            [ps] { return static_cast<double>(ps->in_flight()); });
+    monitor_->RegisterProbe("param.stripe_inflight_max", [ps] {
+      return static_cast<double>(ps->stripe_inflight_max());
+    });
+    monitor_->RegisterProbe("param.reply_queue", [ps] {
+      return static_cast<double>(ps->reply_queue_depth());
+    });
+  }
+  // Pinned-snapshot counts for arrays that exist now; arrays created after
+  // EnableMonitor are not probed (probes are fixed at Start).
+  for (const auto& [id, host] : arrays_) {
+    (void)id;
+    const VersionedCellStore* master = &host->master;
+    monitor_->RegisterProbe("versioned.pins." + host->meta.name, [master] {
+      return static_cast<double>(master->live_pins());
+    });
+  }
+  monitor_->RegisterProbe("bufferpool.pooled_bytes", [] {
+    return static_cast<double>(BufferPool::AggregateStats().pooled_bytes_high_water);
+  });
+}
+
+void Driver::PublishObsSnapshot() {
+  if (monitor_ == nullptr) {
+    return;
+  }
+  monitor_->PublishRegistry(std::make_shared<const MetricsRegistry>(ExportMetrics()));
 }
 
 MetricsRegistry Driver::ExportMetrics() const {
@@ -1785,6 +1953,20 @@ MetricsRegistry Driver::ExportMetrics() const {
     for (double v : points) {
       reg.AppendSeries(name, v);
     }
+  }
+
+  // Straggler verdicts (detection only; 1.0 = currently flagged).
+  reg.SetCounter("anomaly.rounds", straggler_.rounds());
+  reg.SetCounter("anomaly.flags_total", straggler_.total_flags());
+  for (int w = 0; w < config_.num_workers; ++w) {
+    reg.SetGauge("anomaly.straggler." + std::to_string(w),
+                 straggler_.Flagged(w) ? 1.0 : 0.0);
+    reg.SetGauge("anomaly.straggler_lag_ewma." + std::to_string(w),
+                 straggler_.LagEwma(w));
+  }
+
+  if (monitor_ != nullptr) {
+    monitor_->MergeInto(&reg);
   }
   return reg;
 }
@@ -1912,6 +2094,9 @@ Status Driver::Execute(i32 loop_id) {
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     const PassOutcome out = RunPassOnce(loop_id);
     if (out.completed) {
+      // Pass boundary, driver thread, nothing in flight: the safe point to
+      // publish the immutable registry snapshot the endpoint renders.
+      PublishObsSnapshot();
       if (recovery_enabled_ && recover_every_ > 0 &&
           static_cast<int>(pass_log_.size()) >= recover_every_) {
         ORION_RETURN_IF_ERROR(WriteRecoveryCheckpoint());
@@ -1929,6 +2114,7 @@ Status Driver::Execute(i32 loop_id) {
       return Status::Internal("worker " + std::to_string(out.lost_rank) +
                               " lost and recovery is not enabled");
     }
+    fr::Record(fr::EventKind::kWorkerDead, out.lost_rank, pass_counter_ - 1);
     ORION_RETURN_IF_ERROR(Recover(out.lost_rank));
   }
   return Status::Internal("recovery attempts exhausted");
@@ -1995,6 +2181,7 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
   const FabricStats before = fabric_->Stats();
   Stopwatch sw;
   const i32 pass = pass_counter_++;
+  fr::Record(fr::EventKind::kPassStart, -1, pass, cl.loop_id);
   trace::SetThreadPass(pass);
   const i64 trace_pass_start_ns = trace::Enabled() ? trace::NowNs() : 0;
   {
@@ -2012,6 +2199,7 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
   if (!out.completed) {
     return out;
   }
+  fr::Record(fr::EventKind::kPassEnd, -1, pass, cl.loop_id);
 
   const FabricStats after = fabric_->Stats();
   last_metrics_.pass_wall_seconds = sw.ElapsedSeconds();
@@ -2037,12 +2225,16 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
     }
     int& depth = adaptive_depth_[loop_id];
     if (merged.total_count() > 0) {
+      const int depth_before = depth;
       const double p90 = merged.ApproxPercentile(0.90);
       if (p90 > kDeepenP90Seconds &&
           last_metrics_.prefetch_ring_depth_used >= depth) {
         depth = std::min(depth + 1, cl.options.prefetch_depth_max);
       } else if (p90 < kShrinkP90Seconds && depth > 1) {
         --depth;
+      }
+      if (depth != depth_before) {
+        fr::Record(fr::EventKind::kController, -1, depth, depth_before, "prefetch_depth");
       }
     }
   }
@@ -2065,11 +2257,14 @@ Driver::PassOutcome Driver::RunPassOnce(i32 loop_id) {
                        last_metrics_.spec_wait_seconds >
                            last_metrics_.spec_hidden_seconds)) {
       ss.enabled = false;
+      fr::Record(fr::EventKind::kController, -1, 0, ss.depth, "spec_disable");
     } else if (rate > 0.25 && ss.depth > 1) {
       --ss.depth;
+      fr::Record(fr::EventKind::kController, -1, ss.depth, ss.depth + 1, "spec_depth");
     } else if (rate < 0.05 && last_metrics_.spec_wait_seconds > 50e-6 &&
                ss.depth < cap) {
       ++ss.depth;
+      fr::Record(fr::EventKind::kController, -1, ss.depth, ss.depth - 1, "spec_depth");
     }
   }
 

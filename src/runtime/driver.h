@@ -25,10 +25,15 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "src/common/metrics_registry.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/trace.h"
+#include "src/obs/anomaly.h"
+#include "src/obs/metrics_endpoint.h"
+#include "src/obs/monitor.h"
 #include "src/dsm/checkpoint.h"
 #include "src/dsm/delta_log.h"
 #include "src/dsm/versioned_store.h"
@@ -249,6 +254,40 @@ class Driver {
   // reply-wait histograms merged into one "pass.reply_wait".
   MetricsRegistry ExportMetrics() const;
 
+  // ---- Live observability (src/obs; paper-external telemetry plane) ----
+
+  // Starts the background monitor thread: every `period_seconds` it samples
+  // live gauges (fabric queue depths, prefetch-ring fill, ParamServer
+  // in-flight, pinned snapshots, BufferPool occupancy, per-rank pass/step
+  // watermarks) into a bounded ring. Samples surface as "live.*" series in
+  // ExportMetrics and on the metrics endpoint. Probes read only atomics and
+  // short mutexes and feed nothing back into scheduling, so execution is
+  // bit-for-bit identical with the monitor on or off. Idempotent.
+  Status EnableMonitor(double period_seconds = 0.1);
+  void StopMonitor();
+  obs::Monitor* monitor() { return monitor_.get(); }
+
+  // Starts a localhost HTTP endpoint serving Prometheus text exposition on
+  // GET /metrics (plus GET /healthz). port == 0 binds an ephemeral port;
+  // returns the bound port. Implies EnableMonitor. The endpoint renders an
+  // immutable registry snapshot published at pass boundaries — a scrape
+  // never touches driver state mid-pass.
+  StatusOr<int> StartMetricsEndpoint(int port = 0);
+  void StopMetricsEndpoint();
+
+  // Writes the flight recorder's black box (ring of structured runtime
+  // events + last monitor samples + live-rank table) as self-contained JSON.
+  // Also written automatically on fatal signals / ORION_CHECK failures once
+  // fr::InstallFatalHandlers() has run.
+  Status DumpBlackBox(const std::string& path);
+
+  // True when the straggler detector currently flags `physical` rank as a
+  // confirmed straggler (k·MAD rule over barrier/pass lag, m consecutive
+  // rounds). Detection only — scheduling never consults this.
+  bool StragglerFlagged(int physical_rank) const {
+    return straggler_.Flagged(physical_rank);
+  }
+
   // Fault-tolerance counters, with the injector's live stats folded in.
   RuntimeMetrics runtime_metrics() const;
   // The injected-fault event log (empty without a fault plan) — the
@@ -408,6 +447,38 @@ class Driver {
   // and driver-lifetime stripe-contention totals for CriticalPathReport.
   std::map<std::string, std::vector<double>> metrics_series_;
   std::vector<ParamStripeStats> stripe_totals_;
+
+  // ---- Observability plane ----
+
+  // Per-physical-rank live watermarks, written by the service loop as
+  // evidence arrives (PassDone, heartbeat pongs, barrier arrivals) and read
+  // lock-free by monitor probes.
+  struct RankLive {
+    std::atomic<i64> started{-1};    // highest pass known started
+    std::atomic<i64> completed{-1};  // highest pass known completed
+    std::atomic<i64> step{-1};       // highest barrier step arrived at
+  };
+  std::vector<std::unique_ptr<RankLive>> rank_live_;  // by physical rank
+
+  // Stable-address prefetch-ring occupancy gauges, one per physical rank.
+  // Executors (including rejoin replacements) publish into these; monitor
+  // probes read them without ever touching an Executor object that a rejoin
+  // might be replacing.
+  std::vector<std::unique_ptr<std::atomic<int>>> ring_fill_gauges_;
+
+  // Straggler detector: fed on the driver thread only (barrier releases and
+  // pass completion), never consulted by scheduling.
+  obs::StragglerDetector straggler_;
+
+  void RegisterMonitorProbes();
+  // Publishes an immutable ExportMetrics() snapshot to the monitor (and
+  // therefore the endpoint). Called at pass boundaries on the driver thread.
+  void PublishObsSnapshot();
+
+  // Declared last: the monitor thread and endpoint hold probe closures over
+  // fabric_/param_server_/executors_, so they must stop (destroy) first.
+  std::unique_ptr<obs::Monitor> monitor_;
+  std::unique_ptr<obs::MetricsEndpoint> endpoint_;
 };
 
 }  // namespace orion

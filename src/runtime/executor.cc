@@ -1,6 +1,8 @@
 #include "src/runtime/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "src/common/buffer_pool.h"
 #include "src/common/logging.h"
@@ -286,6 +288,17 @@ void Executor::MaybeCrash(i32 pass, i32 step) {
   }
 }
 
+void Executor::MaybeStraggle(i32 pass) {
+  FaultInjector* inj = fabric_->injector();
+  if (inj == nullptr) {
+    return;
+  }
+  const double stall = inj->StraggleSeconds(rank_, pass);
+  if (stall > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+  }
+}
+
 void Executor::ProcessRetire(const Message& msg) {
   const Retire t = Retire::Decode(msg.payload);
   // Quiesce the comm thread before acking either phase: the retire protocol's
@@ -294,6 +307,7 @@ void Executor::ProcessRetire(const Message& msg) {
   sender_.Flush();
   overlap_ = false;
   prefetch_ring_.clear();
+  PublishRingFill();
   if (t.phase == 0) {
     // Adopt the post-failure configuration. Schedule math now runs in the
     // compacted logical space; physical addressing goes through ring_.
@@ -778,6 +792,7 @@ void Executor::IssuePrefetch(const CompiledLoop& cl, int tau, int step, int chun
   slot.outstanding = slot.expected;
   slot.issued_at.Reset();
   prefetch_ring_.push_back(std::move(slot));
+  PublishRingFill();
   ring_depth_used_ = std::max(ring_depth_used_, static_cast<int>(prefetch_ring_.size()));
 }
 
@@ -822,6 +837,7 @@ void Executor::AwaitPrefetch(const CompiledLoop& cl, int step) {
   }
   PrefetchSlot slot = std::move(prefetch_ring_.front());
   prefetch_ring_.pop_front();
+  PublishRingFill();
   for (const auto& [array, placement] : cl.plan.placements) {
     if (placement.scheme != PartitionScheme::kServer) {
       continue;
@@ -901,12 +917,14 @@ void Executor::RepairSpeculative(const CompiledLoop& cl, const PrefetchSlot& slo
   }
   repair.outstanding = repair.expected;
   prefetch_ring_.push_front(std::move(repair));
+  PublishRingFill();
   while (prefetch_ring_.front().outstanding > 0) {
     Message msg = WaitFor([](const Message& m) { return m.kind == MsgKind::kParamReply; });
     Dispatch(msg);
   }
   PrefetchSlot done = std::move(prefetch_ring_.front());
   prefetch_ring_.pop_front();
+  PublishRingFill();
   for (auto& [array, cells] : done.buffers) {
     spec_repair_bytes_ += cells.SerializedBytes();
     ArrayState& st = GetArray(array);
@@ -1122,6 +1140,7 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override, int spec_depth
   wait_seconds_ = 0.0;
   prefetch_hidden_seconds_ = 0.0;
   prefetch_ring_.clear();
+  PublishRingFill();
   ring_depth_used_ = 0;
   reply_wait_ = WaitHistogram{};
   step_dirty_.clear();
@@ -1157,6 +1176,7 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override, int spec_depth
     for (int round = 0; round < rounds; ++round) {
       trace::SetThreadStep(round);
       MaybeCrash(pass, round);
+      MaybeStraggle(pass);
       DrainInbox();
       if (has_server) {
         IssuePrefetch(*cl, -1, round, round, rounds);
@@ -1222,6 +1242,7 @@ void Executor::RunPass(i32 loop_id, i32 pass, int depth_override, int spec_depth
     for (int step = 0; step < steps; ++step) {
       trace::SetThreadStep(step);
       MaybeCrash(pass, step);
+      MaybeStraggle(pass);
       DrainInbox();
       const int tau = cl->Is2D() ? cl->TimePartAt(logical_rank_, step) : -1;
       const bool active = !cl->Is2D() || tau >= 0;

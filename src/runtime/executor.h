@@ -15,6 +15,7 @@
 #ifndef ORION_SRC_RUNTIME_EXECUTOR_H_
 #define ORION_SRC_RUNTIME_EXECUTOR_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -50,6 +51,12 @@ class Executor {
   // Thread body; returns when the master sends kShutdown (or the fabric
   // shuts down), or when an injected crash fires.
   void Run();
+
+  // Wires the prefetch-ring occupancy gauge: every ring push/pop stores
+  // prefetch_ring_.size() into `gauge` (relaxed). The driver owns the atomic
+  // at a stable address, so monitor probes stay valid even when a rejoin
+  // replaces this Executor object. Call before the executor thread starts.
+  void set_ring_fill_gauge(std::atomic<int>* gauge) { ring_fill_gauge_ = gauge; }
 
  private:
   friend class WorkerLoopContext;
@@ -131,6 +138,11 @@ class Executor {
   // this worker at (pass, step).
   void MaybeCrash(i32 pass, i32 step);
 
+  // Sleeps out the fault plan's straggle clause for this rank at a step
+  // boundary (no-op without one) — wall-clock skew only, used to exercise
+  // the master's straggler detector.
+  void MaybeStraggle(i32 pass);
+
   // Routes a data-plane message through the comm thread when the pass runs
   // overlapped, synchronously otherwise.
   void SendData(Message m);
@@ -209,7 +221,15 @@ class Executor {
     int issued_during = -1;
     std::map<DistArrayId, std::vector<i64>> keys;
   };
+  void PublishRingFill() {
+    if (ring_fill_gauge_ != nullptr) {
+      ring_fill_gauge_->store(static_cast<int>(prefetch_ring_.size()),
+                              std::memory_order_relaxed);
+    }
+  }
+
   std::deque<PrefetchSlot> prefetch_ring_;
+  std::atomic<int>* ring_fill_gauge_ = nullptr;  // prefetch_ring_.size() mirror
   int ring_depth_used_ = 0;      // peak ring occupancy this pass
   WaitHistogram reply_wait_;     // per-await blocked-on-reply time
 

@@ -126,6 +126,24 @@ class ParamServer {
   u64 speculative_served() const { return speculative_served_.load(std::memory_order_relaxed); }
   std::vector<ParamStripeStats> StripeStatsSnapshot() const;
 
+  // Monitor probes: requests currently in flight, and the deepest current
+  // per-stripe gather backlog (atomics / a short mutex; never the stripe
+  // locks).
+  int in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_;
+  }
+  int stripe_inflight_max() const {
+    int deepest = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+      const int d = stripes_[s].inflight.load(std::memory_order_relaxed);
+      if (d > deepest) deepest = d;
+    }
+    return deepest;
+  }
+  // Reply-lane backlog (messages queued or mid-send toward workers).
+  size_t reply_queue_depth() const { return sender_.QueueDepth(); }
+
   // Stripe of `key` for a master spanning [lo, hi] (hi < lo: hashed master).
   int StripeOf(i64 key, i64 lo, i64 hi) const;
 

@@ -129,7 +129,7 @@ TEST(FaultInjector, OnlyEligibleMessagesAreFaulted) {
   barrier.from = 0;
   barrier.to = kMasterRank;
   barrier.kind = MsgKind::kBarrier;
-  barrier.payload = BarrierMsg{0, false}.Encode();
+  barrier.payload = BarrierMsg{}.Encode();
   EXPECT_EQ(inj.Process(barrier).size(), 1u);
   // Data plane is never eligible.
   Message data;
