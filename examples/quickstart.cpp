@@ -24,13 +24,27 @@
 // additionally self-scrapes the endpoint once at the end and writes the
 // exposition text there (what CI validates). ORION_BLACKBOX=/path installs
 // the flight-recorder fatal handlers and dumps the black box on exit.
+//
+// Serve while training: ORION_SERVE_QPS=<keys/sec> starts the read-only
+// serving tier over W and H and drives it with ORION_SERVE_THREADS (default
+// 2) client threads of batched lookups while the SGD loop runs. W/H rotate
+// among workers between passes here, so the example gathers them home and
+// republishes after each pass; the clients then read each pass's factors at
+// most one pass stale. Achieved QPS and latency print at exit, and the
+// serve.* metric families show up on the Prometheus endpoint.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "src/common/flight_recorder.h"
 #include "src/common/trace.h"
 #include "src/obs/metrics_endpoint.h"
 #include "src/runtime/driver.h"
+#include "src/serve/serving_tier.h"
 
 using namespace orion;  // examples only; library code spells orion:: out
 
@@ -118,13 +132,88 @@ int main() {
   }
   std::printf("plan: %s\n\n", driver.PlanOf(*loop).ToString().c_str());
 
+  // -- Optional: serve the factors read-only while the loop trains. --------
+  const char* serve_qps_env = std::getenv("ORION_SERVE_QPS");
+  const char* serve_threads_env = std::getenv("ORION_SERVE_THREADS");
+  serve::ServingTier* tier = nullptr;
+  std::vector<std::thread> serve_clients;
+  std::atomic<bool> serve_stop{false};
+  std::atomic<u64> serve_ok{0}, serve_miss{0}, serve_shed{0};
+  if (serve_qps_env != nullptr) {
+    auto t = driver.StartServingTier({w, h});
+    ORION_CHECK_OK(t.status());
+    tier = *t;
+    const double target_qps = std::atof(serve_qps_env);
+    const int nthreads = serve_threads_env ? std::atoi(serve_threads_env) : 2;
+    constexpr int kKeysPerLookup = 32;
+    for (int c = 0; c < nthreads; ++c) {
+      serve_clients.emplace_back([&, c, target_qps, nthreads] {
+        const auto interval = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(kKeysPerLookup * nthreads / target_qps));
+        auto next = std::chrono::steady_clock::now();
+        u64 x = 0x9e3779b97f4a7c15ull + static_cast<u64>(c);
+        std::vector<i64> keys(kKeysPerLookup);
+        while (!serve_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_until(next);
+          next += interval;
+          const bool lookup_w = (x & 1) != 0;
+          for (auto& k : keys) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            k = static_cast<i64>((x >> 33) % (lookup_w ? kRows : kCols));
+          }
+          const auto r = tier->Lookup(lookup_w ? w : h, keys);
+          if (r.status == serve::LookupStatus::kOk) {
+            ++serve_ok;
+          } else if (r.status == serve::LookupStatus::kNotServing) {
+            ++serve_miss;
+          } else {
+            ++serve_shed;
+          }
+        }
+      });
+    }
+    std::printf("serving W and H at a target of %.0f lookups/sec on %d client thread(s)\n\n",
+                target_qps, nthreads);
+  }
+  const auto serve_t0 = std::chrono::steady_clock::now();
+
   for (int pass = 1; pass <= 10; ++pass) {
     driver.ResetAccumulator(loss_acc);
     ORION_CHECK_OK(driver.Execute(*loop));
+    if (tier != nullptr) {
+      // The rotation schedule leaves W/H resident on workers between
+      // passes, so the boundary publish inside Execute() skips them; pull
+      // them home and republish so clients see this pass's factors.
+      (void)driver.Cells(w);
+      (void)driver.Cells(h);
+      driver.RepublishServingVersions();
+    }
     std::printf("pass %2d  training loss (pre-update) = %10.2f\n", pass,
                 driver.AccumulatorValue(loss_acc));
   }
   std::printf("\ndone: the loss should have dropped by well over 10x.\n");
+
+  if (tier != nullptr) {
+    serve_stop.store(true);
+    for (auto& t : serve_clients) {
+      t.join();
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - serve_t0).count();
+    const serve::ServingStats ss = tier->StatsSnapshot();
+    const WaitHistogram lat = tier->LatencySnapshot();
+    std::printf(
+        "served %llu lookups (%.0f keys/sec): ok=%llu warmup-miss=%llu shed=%llu  "
+        "p50=%.0fus p99=%.0fus\n",
+        static_cast<unsigned long long>(ss.requests),
+        secs > 0.0 ? static_cast<double>(ss.keys_looked_up) / secs : 0.0,
+        static_cast<unsigned long long>(serve_ok.load()),
+        static_cast<unsigned long long>(serve_miss.load()),
+        static_cast<unsigned long long>(serve_shed.load()),
+        lat.ApproxPercentile(0.50) * 1e6, lat.ApproxPercentile(0.99) * 1e6);
+    // Leave the tier running (stopped implicitly when the driver dies) so
+    // the metrics export below still carries the serve.* families.
+  }
 
   if (trace_path != nullptr) {
     std::printf("\n%s\n", driver.CriticalPathReport().c_str());

@@ -218,6 +218,9 @@ class VersionedCellStore {
     // Flat-mode mutations were not page-tracked, so a fresh pagination can
     // not know what changed since the last checkpoint mark.
     dirty_.assign(static_cast<size_t>(npages), 1);
+    // Likewise the first publish after pagination honestly reports every
+    // page as new to its version.
+    version_dirty_.assign(static_cast<size_t>(npages), 1);
     delta_tracking_ = false;
     pin_epoch_ = 0;
     table_epoch_ = 0;
@@ -243,6 +246,37 @@ class VersionedCellStore {
     s.page_cells_ = page_cells_;
     return s;
   }
+
+  // ---- Version publish (serving tier) ----
+  // One publish per pass boundary: pins the current version (pin-per-version
+  // — readers of that version ride shared_ptr copies, never re-pin) and
+  // reports which pages were written since the previous publish: exactly the
+  // delta a snapshot-shipping replica needs to catch up from version seq-1
+  // to seq, and a direct measure of how many clones that pin can force.
+  // Tracked by a dedicated bitmap so serving publishes and checkpoint marks
+  // (MarkCheckpointed/DirtyPages) never clobber each other's accounting.
+
+  struct Published {
+    Snapshot snap;
+    std::vector<u32> dirty_pages;  // pages written since the previous publish
+    u64 seq = 0;                   // monotone per-store publish sequence
+  };
+
+  Published PublishVersion() {
+    ORION_CHECK(paged_) << "PublishVersion() requires BeginServing()";
+    Published out;
+    for (size_t pi = 0; pi < version_dirty_.size(); ++pi) {
+      if (version_dirty_[pi]) {
+        out.dirty_pages.push_back(static_cast<u32>(pi));
+        version_dirty_[pi] = 0;
+      }
+    }
+    out.seq = ++publish_seq_;
+    out.snap = Pin();
+    return out;
+  }
+
+  u64 publish_seq() const { return publish_seq_; }
 
   // ---- Per-array page sizing ----
 
@@ -538,6 +572,7 @@ class VersionedCellStore {
       }
     }
     dirty_[pi] = 1;
+    version_dirty_[pi] = 1;
     ++tune_cell_writes_;
     Page& p = *table_->pages[pi];
     return p.v.data() + static_cast<size_t>(slot % page_cells_) * vdim_;
@@ -565,6 +600,7 @@ class VersionedCellStore {
       table_->pages.push_back(std::move(page));
       page_epoch_.push_back(pin_epoch_);  // fresh page: writer-owned
       dirty_.push_back(1);
+      version_dirty_.push_back(1);
     }
     index_->slot_of.emplace(key, slot);
     keys_.push_back(key);
@@ -608,6 +644,7 @@ class VersionedCellStore {
     keys_.clear();
     page_epoch_.clear();
     dirty_.clear();
+    version_dirty_.clear();
     delta_tracking_ = false;
     checkpoint_cells_ = 0;
     num_cells_ = 0;
@@ -643,6 +680,12 @@ class VersionedCellStore {
   std::vector<u8> dirty_;
   bool delta_tracking_ = false;
   i64 checkpoint_cells_ = 0;
+
+  // Publish bookkeeping (see "Version publish" above). Separate bitmap from
+  // `dirty_`: publishes and checkpoints clear on independent cadences.
+  // `publish_seq_` survives collapse so versions stay monotone per store.
+  std::vector<u8> version_dirty_;
+  u64 publish_seq_ = 0;
 
   // Per-array page size. Survives collapse/repagination; snapshots carry
   // their own copy so a retune never perturbs a pinned version's geometry.

@@ -62,9 +62,12 @@ Driver::Driver(const DriverConfig& config)
 
 Driver::~Driver() {
   // The endpoint and monitor hold probe closures over fabric_, param_server_
-  // and executors_; stop them before any of that goes away.
+  // and executors_; stop them before any of that goes away. The serving tier
+  // stops next: its workers may still be finishing client batches, and its
+  // pins must release before the masters die.
   StopMetricsEndpoint();
   StopMonitor();
+  StopServingTier();
   for (int w = 0; w < config_.num_workers; ++w) {
     Message m;
     m.from = kMasterRank;
@@ -124,7 +127,9 @@ CellStore& Driver::MutableCells(DistArrayId id) {
   GatherToDriver(id);
   // Flat() collapses the versioned pages back into a plain CellStore; legal
   // here because no pass is in flight (the ParamServer quiesced at pass end,
-  // so no snapshot pins are live).
+  // so no snapshot pins are live) and the serving tier — the one pin holder
+  // that outlives passes — drains and unpins first.
+  QuiesceServingFor(id);
   return Host(id).master.Flat();
 }
 
@@ -229,6 +234,7 @@ Status Driver::Restore(DistArrayId id, const std::string& path) {
   if (cells->value_dim() != h.meta.value_dim) {
     return Status::InvalidArgument("checkpoint value_dim mismatch for " + h.meta.name);
   }
+  QuiesceServingFor(id);  // wholesale replacement drops pages (needs no pins)
   h.master = std::move(cells).value();
   return Status::Ok();
 }
@@ -718,6 +724,7 @@ void Driver::ServeParamRequestInline(const ParamRequest& req, WorkerId from) {
 
 void Driver::BroadcastReplicaSnapshot(const CompiledLoop& cl, DistArrayId array) {
   ArrayHost& h = Host(array);
+  QuiesceServingFor(array);  // the Flat() below collapses a served master
   // Zero-copy: one shared payload serves every worker (receivers copy out of
   // the shared carrier), replacing per-worker copy + encode + decode.
   std::shared_ptr<ZeroCopyPart> shared;
@@ -1404,6 +1411,7 @@ Status Driver::WriteRecoveryCheckpoint() {
 }
 
 Status Driver::InstallLogState(DeltaLogReader::State state, bool restore_pass_counter) {
+  QuiesceServingAll();  // masters are replaced wholesale below
   for (auto& [id, host] : arrays_) {
     (void)id;
     host->on_workers = false;
@@ -1853,6 +1861,19 @@ void Driver::RegisterMonitorProbes() {
   monitor_->RegisterProbe("bufferpool.pooled_bytes", [] {
     return static_cast<double>(BufferPool::AggregateStats().pooled_bytes_high_water);
   });
+  // Serving-tier admission gauges. The tier may start/stop after the
+  // monitor, so the probes go through an atomic pointer that is null while
+  // no tier serves (stopped tiers retire without freeing, so a stale load
+  // still dereferences a live object).
+  std::atomic<serve::ServingTier*>* tier = &serving_tier_live_;
+  monitor_->RegisterProbe("serve.queue_depth", [tier] {
+    serve::ServingTier* t = tier->load(std::memory_order_acquire);
+    return t != nullptr ? static_cast<double>(t->queue_depth()) : 0.0;
+  });
+  monitor_->RegisterProbe("serve.inflight_bytes", [tier] {
+    serve::ServingTier* t = tier->load(std::memory_order_acquire);
+    return t != nullptr ? static_cast<double>(t->inflight_bytes()) : 0.0;
+  });
 }
 
 void Driver::PublishObsSnapshot() {
@@ -1860,6 +1881,116 @@ void Driver::PublishObsSnapshot() {
     return;
   }
   monitor_->PublishRegistry(std::make_shared<const MetricsRegistry>(ExportMetrics()));
+}
+
+// ---------------------------------------------------------------------------
+// Online snapshot-serving tier
+
+StatusOr<serve::ServingTier*> Driver::StartServingTier(std::vector<DistArrayId> arrays,
+                                                       serve::ServingTierOptions options) {
+  if (!config_.async_param_serving || !config_.versioned_store) {
+    return Status::FailedPrecondition(
+        "serving tier requires async_param_serving and versioned_store "
+        "(snapshot pins)");
+  }
+  if (serving_tier_ != nullptr) {
+    return Status::FailedPrecondition("serving tier already started");
+  }
+  if (arrays.empty()) {
+    return Status::InvalidArgument("no arrays to serve");
+  }
+  std::vector<serve::ServingTier::ArraySpec> specs;
+  specs.reserve(arrays.size());
+  for (DistArrayId id : arrays) {
+    const ArrayHost& h = Host(id);  // CHECKs the id exists
+    specs.push_back({id, h.meta.name, h.meta.value_dim});
+  }
+  serve_arrays_ = std::move(arrays);
+  serving_tier_ = std::make_unique<serve::ServingTier>(std::move(specs), options);
+  serve_last_keys_ = 0;
+  serve_qps_mark_ = std::chrono::steady_clock::now();
+  // First versions go live immediately; the one-pass staleness bound starts
+  // counting from here.
+  PublishServingVersions();
+  serving_tier_live_.store(serving_tier_.get(), std::memory_order_release);
+  return serving_tier_.get();
+}
+
+void Driver::StopServingTier() {
+  if (serving_tier_ == nullptr) {
+    return;
+  }
+  serving_tier_live_.store(nullptr, std::memory_order_release);
+  serving_tier_->Stop();
+  // Keep the stopped tier alive until the Driver dies: monitor probes or
+  // clients may still hold the raw pointer, and a stopped tier answers them
+  // harmlessly (kShutdown / zero gauges).
+  retired_tiers_.push_back(std::move(serving_tier_));
+  serve_arrays_.clear();
+  serve_dirty_pages_.clear();
+}
+
+void Driver::PublishServingVersions() {
+  if (serving_tier_ == nullptr) {
+    return;
+  }
+  ++serve_publish_round_;
+  for (DistArrayId id : serve_arrays_) {
+    ArrayHost& h = Host(id);
+    // Publish only when the master copy is authoritative at this boundary.
+    // Server-hosted and replicated arrays always are (writes flow through
+    // the master); rotated (kSpaceTime) arrays are whenever their partitions
+    // came home at the boundary (wavefront loops return them every pass;
+    // unordered rotation keeps them worker-resident). Space-partitioned
+    // kRange arrays never rotate home, so they are skipped until something
+    // else gathers them. A skipped array keeps serving its previous
+    // published version (or none) — still a consistent snapshot, just
+    // older. Never gather here: pulling partitions off workers at publish
+    // time would change fabric traffic and break the bit-for-bit
+    // serving-on/off identity.
+    if (h.on_workers && h.placement.scheme != PartitionScheme::kServer &&
+        h.placement.scheme != PartitionScheme::kReplicated) {
+      continue;
+    }
+    if (!h.master.paged()) {
+      h.master.BeginServing();
+    }
+    VersionedCellStore::Published pub = h.master.PublishVersion();
+    const double dirty = static_cast<double>(pub.dirty_pages.size());
+    serve_dirty_pages_[h.meta.name] = dirty;
+    metrics_series_["versioned.dirty_pages." + h.meta.name].push_back(dirty);
+    serving_tier_->Publish(id, std::move(pub.snap), serve_publish_round_);
+  }
+  // Interval QPS across the window since the previous publish, from the
+  // tier's cumulative key counter.
+  const auto now = std::chrono::steady_clock::now();
+  const serve::ServingStats ss = serving_tier_->StatsSnapshot();
+  const double dt = std::chrono::duration<double>(now - serve_qps_mark_).count();
+  if (dt > 0.0) {
+    serve_last_qps_ =
+        static_cast<double>(ss.keys_looked_up - serve_last_keys_) / dt;
+  }
+  serve_last_keys_ = ss.keys_looked_up;
+  serve_qps_mark_ = now;
+  metrics_series_["serve.qps"].push_back(serve_last_qps_);
+  const WaitHistogram lat = serving_tier_->LatencySnapshot();
+  metrics_series_["serve.p99_seconds"].push_back(lat.ApproxPercentile(0.99));
+}
+
+void Driver::QuiesceServingFor(DistArrayId id) {
+  if (serving_tier_ == nullptr) {
+    return;
+  }
+  serving_tier_->QuiesceForCollapse(id);
+}
+
+void Driver::QuiesceServingAll() {
+  if (serving_tier_ == nullptr) {
+    return;
+  }
+  for (DistArrayId id : serve_arrays_) {
+    serving_tier_->QuiesceForCollapse(id);
+  }
 }
 
 MetricsRegistry Driver::ExportMetrics() const {
@@ -1947,6 +2078,33 @@ MetricsRegistry Driver::ExportMetrics() const {
   for (const auto& [id, host] : arrays_) {
     reg.SetGauge("versioned.page_cells." + host->meta.name,
                  static_cast<double>(host->master.page_cells()));
+  }
+
+  // Serving tier: cumulative request counters, the last publish interval's
+  // QPS, and p50/p99 over the merged request-latency histogram.
+  if (serving_tier_ != nullptr) {
+    const serve::ServingStats ss = serving_tier_->StatsSnapshot();
+    reg.SetCounter("serve.requests", ss.requests);
+    reg.SetCounter("serve.ok", ss.ok);
+    reg.SetCounter("serve.not_serving", ss.not_serving);
+    reg.SetCounter("serve.shed_queue_full", ss.shed_queue_full);
+    reg.SetCounter("serve.shed_bytes", ss.shed_bytes);
+    reg.SetCounter("serve.keys_looked_up", ss.keys_looked_up);
+    reg.SetCounter("serve.keys_hit", ss.keys_hit);
+    reg.SetCounter("serve.bytes_served", ss.bytes_served);
+    reg.SetCounter("serve.batches", ss.batches);
+    reg.SetCounter("serve.batched_requests", ss.batched_requests);
+    reg.SetCounter("serve.versions_published", ss.versions_published);
+    reg.SetGauge("serve.qps", serve_last_qps_);
+    const WaitHistogram lat = serving_tier_->LatencySnapshot();
+    reg.SetGauge("serve.p50_seconds", lat.ApproxPercentile(0.5));
+    reg.SetGauge("serve.p99_seconds", lat.ApproxPercentile(0.99));
+    reg.Histogram("serve.latency").Merge(lat);
+  }
+  // Pages dirtied between the last two serving publishes, per array — the
+  // per-version delta a snapshot-shipping replica would fetch.
+  for (const auto& [name, pages] : serve_dirty_pages_) {
+    reg.SetGauge("versioned.dirty_pages." + name, pages);
   }
 
   for (const auto& [name, points] : metrics_series_) {
@@ -2051,6 +2209,7 @@ Status Driver::ExecuteSerial(const LoopSpec& spec, const LoopKernel& kernel) {
   for (const auto& a : spec.accesses) {
     if (stores.count(a.array) == 0) {
       GatherToDriver(a.array);
+      QuiesceServingFor(a.array);  // Flat() below collapses a served master
       stores[a.array] = &Host(a.array).master.Flat();
     }
   }
@@ -2095,7 +2254,10 @@ Status Driver::Execute(i32 loop_id) {
     const PassOutcome out = RunPassOnce(loop_id);
     if (out.completed) {
       // Pass boundary, driver thread, nothing in flight: the safe point to
-      // publish the immutable registry snapshot the endpoint renders.
+      // pin fresh serving versions and then publish the immutable registry
+      // snapshot (so the scrape sees this pass's serve stats) the endpoint
+      // renders.
+      PublishServingVersions();
       PublishObsSnapshot();
       if (recovery_enabled_ && recover_every_ > 0 &&
           static_cast<int>(pass_log_.size()) >= recover_every_) {

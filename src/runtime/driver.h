@@ -18,6 +18,7 @@
 #ifndef ORION_SRC_RUNTIME_DRIVER_H_
 #define ORION_SRC_RUNTIME_DRIVER_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <set>
@@ -44,6 +45,7 @@
 #include "src/runtime/param_server.h"
 #include "src/runtime/recipe.h"
 #include "src/runtime/shared_directory.h"
+#include "src/serve/serving_tier.h"
 
 namespace orion {
 
@@ -288,6 +290,30 @@ class Driver {
     return straggler_.Flagged(physical_rank);
   }
 
+  // ---- Online snapshot serving (src/serve) ----
+
+  // Starts a read-only serving tier answering Lookup(array, keys) against
+  // pinned copy-on-write snapshots of the listed arrays' master copies,
+  // concurrently with training. One version per array is published at every
+  // pass boundary (pin-per-version; staleness bounded by one pass) plus once
+  // at start, and only when the master is authoritative at that boundary —
+  // otherwise the previous version keeps serving. Serving never blocks the
+  // training driver and never perturbs training results (bit-for-bit
+  // identical with the tier on or off). Requires async_param_serving and
+  // versioned_store. The returned pointer stays valid until the Driver dies.
+  StatusOr<serve::ServingTier*> StartServingTier(std::vector<DistArrayId> arrays,
+                                                 serve::ServingTierOptions options = {});
+  // Drains + stops the tier and releases its pins. The tier object survives
+  // (stopped) so concurrent monitor probes and late clients stay safe; a new
+  // tier may be started afterwards.
+  void StopServingTier();
+  serve::ServingTier* serving_tier() { return serving_tier_.get(); }
+  // Re-runs the authority-gated publish immediately (driver thread only).
+  // For unordered-rotation workloads whose arrays stay worker-resident
+  // across passes: gather them home first (Cells()), then republish so the
+  // tier serves the gathered state instead of skipping those arrays.
+  void RepublishServingVersions() { PublishServingVersions(); }
+
   // Fault-tolerance counters, with the injector's live stats folded in.
   RuntimeMetrics runtime_metrics() const;
   // The injected-fault event log (empty without a fault plan) — the
@@ -447,6 +473,31 @@ class Driver {
   // and driver-lifetime stripe-contention totals for CriticalPathReport.
   std::map<std::string, std::vector<double>> metrics_series_;
   std::vector<ParamStripeStats> stripe_totals_;
+
+  // ---- Serving tier (StartServingTier) ----
+
+  // Publishes one pinned version per served array; called at pass
+  // boundaries (and once at start) on the driver thread.
+  void PublishServingVersions();
+  // Drain + unpin handshakes before any Flat() collapse or wholesale
+  // replacement of a possibly-served master.
+  void QuiesceServingFor(DistArrayId id);
+  void QuiesceServingAll();
+
+  std::vector<DistArrayId> serve_arrays_;
+  std::unique_ptr<serve::ServingTier> serving_tier_;
+  // Stopped tiers retire here (not freed) so monitor probes and straggling
+  // clients holding the pointer never race a destruction.
+  std::vector<std::unique_ptr<serve::ServingTier>> retired_tiers_;
+  // What monitor probes read: set after construction, cleared before Stop.
+  std::atomic<serve::ServingTier*> serving_tier_live_{nullptr};
+  u64 serve_publish_round_ = 0;
+  // Interval-QPS bookkeeping between publishes, plus the per-array
+  // dirty-page gauges from the last publish (ExportMetrics reads these).
+  u64 serve_last_keys_ = 0;
+  std::chrono::steady_clock::time_point serve_qps_mark_{};
+  double serve_last_qps_ = 0.0;
+  std::map<std::string, double> serve_dirty_pages_;
 
   // ---- Observability plane ----
 

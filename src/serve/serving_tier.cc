@@ -1,0 +1,336 @@
+#include "src/serve/serving_tier.h"
+
+#include <algorithm>
+
+#include "src/common/simd.h"
+
+namespace orion {
+namespace serve {
+
+const char* LookupStatusName(LookupStatus s) {
+  switch (s) {
+    case LookupStatus::kOk:
+      return "ok";
+    case LookupStatus::kNotServing:
+      return "not_serving";
+    case LookupStatus::kShedQueueFull:
+      return "shed_queue_full";
+    case LookupStatus::kShedBytes:
+      return "shed_bytes";
+    case LookupStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+ServingTier::ServingTier(std::vector<ArraySpec> arrays, ServingTierOptions options)
+    : options_(options) {
+  ORION_CHECK(!arrays.empty()) << "serving tier needs at least one array";
+  for (ArraySpec& spec : arrays) {
+    ArrayState state;
+    state.name = std::move(spec.name);
+    state.value_dim = spec.value_dim;
+    arrays_.emplace(spec.id, std::move(state));
+  }
+  const int nshards = std::max(1, options_.num_shards);
+  shards_.reserve(static_cast<size_t>(nshards));
+  for (int s = 0; s < nshards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, sh = shard.get()] { WorkerLoop(sh); });
+  }
+}
+
+ServingTier::~ServingTier() { Stop(); }
+
+void ServingTier::Publish(DistArrayId id, VersionedCellStore::Snapshot snap,
+                          u64 version) {
+  auto it = arrays_.find(id);
+  ORION_CHECK(it != arrays_.end()) << "publishing an array the tier does not serve";
+  auto view = std::make_shared<VersionView>();
+  view->snap = std::move(snap);
+  view->version = version;
+  std::shared_ptr<const VersionView> old;
+  {
+    std::lock_guard<std::mutex> lk(views_mu_);
+    old = std::move(it->second.view);
+    it->second.view = std::move(view);
+    it->second.version = version;
+  }
+  // `old` releases here (outside the lock): if a batch still references it,
+  // the last batch to drain drops the pin instead.
+  old.reset();
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  ++stats_.versions_published;
+}
+
+void ServingTier::QuiesceForCollapse(DistArrayId id) {
+  auto it = arrays_.find(id);
+  if (it == arrays_.end()) {
+    return;
+  }
+  std::shared_ptr<const VersionView> old;
+  std::unique_lock<std::mutex> lk(views_mu_);
+  old = std::move(it->second.view);
+  it->second.view = nullptr;
+  it->second.version = 0;
+  // A batch that copied the view before the swap may still hold a reference
+  // (and with it the version's pin). Wait for every in-flight batch: workers
+  // drop their view references before decrementing the count, so once it
+  // hits zero our `old` is the last reference.
+  drained_cv_.wait(lk, [this] { return inflight_batches_ == 0; });
+  lk.unlock();
+  old.reset();  // pin released (or already was, on a worker)
+}
+
+void ServingTier::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->stopping = true;
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) {
+      shard->worker.join();
+    }
+  }
+  // Workers are gone, so no batch is in flight: drop every served version.
+  std::lock_guard<std::mutex> lk(views_mu_);
+  for (auto& [id, state] : arrays_) {
+    (void)id;
+    state.view = nullptr;
+    state.version = 0;
+  }
+}
+
+LookupResult ServingTier::Lookup(DistArrayId id, const i64* keys, size_t num_keys) {
+  LookupResult result;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.requests;
+  }
+  auto it = arrays_.find(id);
+  if (it == arrays_.end()) {
+    result.status = LookupStatus::kNotServing;
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.not_serving;
+    return result;
+  }
+  ArrayState& array = it->second;
+
+  const u64 est = static_cast<u64>(num_keys) * sizeof(f32) * array.value_dim;
+  // Bytes admission: reserve optimistically, back out on rejection. The
+  // worker refunds after the reply is ready.
+  const u64 inflight = inflight_bytes_.fetch_add(est, std::memory_order_relaxed);
+  if (inflight + est > options_.max_inflight_bytes) {
+    inflight_bytes_.fetch_sub(est, std::memory_order_relaxed);
+    result.status = LookupStatus::kShedBytes;
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.shed_bytes;
+    return result;
+  }
+
+  Pending pending;
+  pending.array = &array;
+  pending.keys = keys;
+  pending.num_keys = num_keys;
+  pending.out = &result;
+  pending.enqueued = std::chrono::steady_clock::now();
+  pending.est_bytes = est;
+
+  Shard& shard =
+      *shards_[next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    if (shard.stopping) {
+      inflight_bytes_.fetch_sub(est, std::memory_order_relaxed);
+      result.status = LookupStatus::kShutdown;
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++stats_.shutdown;
+      return result;
+    }
+    if (static_cast<int>(shard.queue.size()) >= options_.max_queue_per_shard) {
+      inflight_bytes_.fetch_sub(est, std::memory_order_relaxed);
+      result.status = LookupStatus::kShedQueueFull;
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++stats_.shed_queue_full;
+      return result;
+    }
+    shard.queue.push_back(&pending);
+    shard.cv.notify_one();
+  }
+  pending.done.acquire();
+  return result;
+}
+
+void ServingTier::WorkerLoop(Shard* shard) {
+  std::vector<Pending*> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(shard->mu);
+      shard->cv.wait(lk, [shard] { return shard->stopping || !shard->queue.empty(); });
+      if (shard->stopping && shard->queue.empty()) {
+        return;
+      }
+      const size_t take =
+          std::min(shard->queue.size(), static_cast<size_t>(std::max(1, options_.max_batch)));
+      batch.assign(shard->queue.begin(),
+                   shard->queue.begin() + static_cast<long>(take));
+      shard->queue.erase(shard->queue.begin(),
+                         shard->queue.begin() + static_cast<long>(take));
+      if (shard->stopping) {
+        // Drain: complete what was queued with kShutdown, refs intact.
+        lk.unlock();
+        u64 refund = 0;
+        for (Pending* p : batch) {
+          refund += p->est_bytes;
+          p->out->status = LookupStatus::kShutdown;
+        }
+        {
+          std::lock_guard<std::mutex> slk(stats_mu_);
+          stats_.shutdown += batch.size();
+        }
+        for (Pending* p : batch) {
+          p->done.release();
+        }
+        inflight_bytes_.fetch_sub(refund, std::memory_order_relaxed);
+        batch.clear();
+        continue;
+      }
+    }
+    ServeBatch(shard, &batch);
+  }
+}
+
+void ServingTier::ServeBatch(Shard* shard, std::vector<Pending*>* batch) {
+  if (options_.batch_delay_seconds_for_test > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.batch_delay_seconds_for_test));
+  }
+  // One view acquisition per distinct array in the batch: a shared_ptr copy
+  // under a short lock, never a pin.
+  std::unordered_map<ArrayState*, std::shared_ptr<const VersionView>> views;
+  {
+    std::lock_guard<std::mutex> lk(views_mu_);
+    ++inflight_batches_;
+    for (Pending* p : *batch) {
+      views.try_emplace(p->array, p->array->view);
+    }
+  }
+
+  u64 ok = 0, not_serving = 0, keys = 0, hits = 0, bytes = 0;
+  for (Pending* p : *batch) {
+    const std::shared_ptr<const VersionView>& view = views[p->array];
+    LookupResult& r = *p->out;
+    if (view == nullptr || !view->snap.valid()) {
+      r.status = LookupStatus::kNotServing;
+      ++not_serving;
+      continue;
+    }
+    const VersionedCellStore::Snapshot& snap = view->snap;
+    const i32 vdim = p->array->value_dim;
+    r.values.assign(p->num_keys * static_cast<size_t>(vdim), 0.0f);
+    r.hits.assign(p->num_keys, 0);
+    const bool dense = snap.dense();
+    for (size_t i = 0; i < p->num_keys; ++i) {
+      const i64 key = p->keys[i];
+      // Out-of-range client keys are a graceful miss, not a crash: the
+      // snapshot's own dense accessor CHECKs bounds because runtime-internal
+      // readers are never wrong, but serving faces arbitrary client input.
+      if (dense && (key < snap.range_lo() || key > snap.range_hi())) {
+        continue;
+      }
+      const f32* v = snap.Get(key);
+      if (v == nullptr) {
+        continue;
+      }
+      simd::CopyF32(r.values.data() + i * static_cast<size_t>(vdim), v,
+                    static_cast<size_t>(vdim));
+      r.hits[i] = 1;
+      ++hits;
+    }
+    r.status = LookupStatus::kOk;
+    r.version = view->version;
+    ++ok;
+    keys += p->num_keys;
+    bytes += p->num_keys * sizeof(f32) * static_cast<u64>(vdim);
+  }
+
+  const auto now = std::chrono::steady_clock::now();
+  u64 refund = 0;
+  {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    for (Pending* p : *batch) {
+      refund += p->est_bytes;
+      shard->latency.Add(std::chrono::duration<double>(now - p->enqueued).count());
+    }
+  }
+  // Completion. After release a Pending may be destroyed by its caller.
+  for (Pending* p : *batch) {
+    p->done.release();
+  }
+  inflight_bytes_.fetch_sub(refund, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.ok += ok;
+    stats_.not_serving += not_serving;
+    stats_.keys_looked_up += keys;
+    stats_.keys_hit += hits;
+    stats_.bytes_served += bytes;
+    ++stats_.batches;
+    stats_.batched_requests += batch->size();
+  }
+
+  // Drop view references BEFORE decrementing the in-flight count, so a
+  // quiescer that observes zero in-flight batches also observes every
+  // reference (and therefore the pin) already released.
+  views.clear();
+  {
+    std::lock_guard<std::mutex> lk(views_mu_);
+    --inflight_batches_;
+    if (inflight_batches_ == 0) {
+      drained_cv_.notify_all();
+    }
+  }
+  batch->clear();
+}
+
+ServingStats ServingTier::StatsSnapshot() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
+}
+
+WaitHistogram ServingTier::LatencySnapshot() const {
+  WaitHistogram merged;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    merged.Merge(shard->latency);
+  }
+  return merged;
+}
+
+u64 ServingTier::published_version(DistArrayId id) const {
+  auto it = arrays_.find(id);
+  if (it == arrays_.end()) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lk(views_mu_);
+  return it->second.version;
+}
+
+int ServingTier::queue_depth() const {
+  size_t depth = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    depth += shard->queue.size();
+  }
+  return static_cast<int>(depth);
+}
+
+}  // namespace serve
+}  // namespace orion

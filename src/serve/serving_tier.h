@@ -1,0 +1,212 @@
+// Online snapshot-serving tier: a read-only, high-QPS front-end that answers
+// parameter/embedding lookups (Lookup(array, keys) -> values) from pinned
+// VersionedCellStore snapshots concurrently with training.
+//
+// Version lifecycle (pin-per-version, not pin-per-request):
+//  - At every pass boundary the driver publishes each served array's current
+//    version: one VersionedCellStore::PublishVersion() — two refcount bumps —
+//    wrapped in an immutable VersionView the tier swaps in under a mutex.
+//    Lookups never pin; a worker takes one shared_ptr copy of the view per
+//    (array, batch), so snapshot isolation costs a refcount bump per batch,
+//    not per request. Staleness is bounded by one pass.
+//  - Training writers never block on readers: the copy-on-write store clones
+//    the pages they touch while the pinned version stays immutable.
+//  - Before the driver collapses a served array back to flat (MutableCells,
+//    restores, the serial fallback), it calls QuiesceForCollapse(): the view
+//    is dropped, in-flight batches drain, and the version's pin releases.
+//    Lookups for that array answer kNotServing until the next publish.
+//
+// Request path: Lookup() runs admission control first — bounded per-shard
+// queues and a bound on in-flight reply bytes; over either limit it sheds
+// with an explicit status instead of queueing, so overload surfaces as
+// backpressure to clients and never as blocking anywhere near the training
+// driver. Admitted requests are enqueued to a shard worker and the caller
+// waits on a per-request semaphore. Workers drain everything queued (up to
+// max_batch) into one batch: one view acquisition per (array, batch), then
+// per-key gathers through the SIMD copy kernels. Batches grow naturally
+// under load — while a worker serves batch k, batch k+1 accumulates.
+//
+// Why serving cannot perturb training: the tier only reads pinned snapshots
+// (writers COW around them), generates no fabric traffic, and shares no lock
+// with any training-path thread. Training output is bit-for-bit identical
+// with the tier on or off; tests and bench_serving_tier gate exactly that.
+#ifndef ORION_SRC_SERVE_SERVING_TIER_H_
+#define ORION_SRC_SERVE_SERVING_TIER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <semaphore>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+#include "src/dsm/versioned_store.h"
+
+namespace orion {
+namespace serve {
+
+enum class LookupStatus : u8 {
+  kOk = 0,
+  // No version published for the array (tier just started, or the driver
+  // quiesced it for a collapse and has not republished yet).
+  kNotServing,
+  // Admission control: the chosen shard's queue is at capacity.
+  kShedQueueFull,
+  // Admission control: admitted-but-unanswered reply bytes over the limit.
+  kShedBytes,
+  // The tier is stopped.
+  kShutdown,
+};
+const char* LookupStatusName(LookupStatus s);
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::kShutdown;
+  u64 version = 0;          // publish sequence of the version that answered
+  std::vector<f32> values;  // num_keys * value_dim floats (zeros on miss)
+  std::vector<u8> hits;     // per-key presence flag
+};
+
+struct ServingTierOptions {
+  int num_shards = 2;                    // worker threads (one queue each)
+  int max_queue_per_shard = 1024;        // queued lookups before shedding
+  u64 max_inflight_bytes = 64ull << 20;  // admitted reply bytes at once
+  int max_batch = 512;                   // lookups coalesced per traversal
+  // Test seam: stalls each batch so bounded queues observably overflow in
+  // shed tests. Never set on production paths.
+  double batch_delay_seconds_for_test = 0.0;
+};
+
+// Cumulative counters since construction (monotone; exported verbatim).
+struct ServingStats {
+  u64 requests = 0;           // every Lookup() call
+  u64 ok = 0;                 // answered from a published version
+  u64 not_serving = 0;        // no published version at serve time
+  u64 shed_queue_full = 0;    // rejected: shard queue at capacity
+  u64 shed_bytes = 0;         // rejected: in-flight bytes over limit
+  u64 shutdown = 0;           // completed/rejected during Stop()
+  u64 keys_looked_up = 0;     // keys across ok requests
+  u64 keys_hit = 0;           // keys that resolved to a cell
+  u64 bytes_served = 0;       // value bytes copied to clients
+  u64 batches = 0;            // worker batch traversals
+  u64 batched_requests = 0;   // requests summed over batches
+  u64 versions_published = 0; // Publish() calls
+};
+
+class ServingTier {
+ public:
+  struct ArraySpec {
+    DistArrayId id = -1;
+    std::string name;
+    i32 value_dim = 1;
+  };
+
+  ServingTier(std::vector<ArraySpec> arrays, ServingTierOptions options);
+  ~ServingTier();
+
+  ServingTier(const ServingTier&) = delete;
+  ServingTier& operator=(const ServingTier&) = delete;
+
+  // ---- Driver-thread API ----
+
+  // Swaps in `snap` as the array's served version. The previous version's
+  // pin releases as soon as the last in-flight batch referencing it drains.
+  void Publish(DistArrayId id, VersionedCellStore::Snapshot snap, u64 version);
+
+  // Drops the array's served version and waits for every in-flight batch to
+  // finish, so the caller can rely on the tier holding zero pins on the
+  // array (required before VersionedCellStore::Flat() collapse). The array
+  // answers kNotServing until the next Publish().
+  void QuiesceForCollapse(DistArrayId id);
+
+  // Stops the workers. Queued requests complete with kShutdown; all served
+  // versions (and their pins) are released. Idempotent.
+  void Stop();
+
+  // ---- Client API (any thread) ----
+
+  LookupResult Lookup(DistArrayId id, const i64* keys, size_t num_keys);
+  LookupResult Lookup(DistArrayId id, const std::vector<i64>& keys) {
+    return Lookup(id, keys.data(), keys.size());
+  }
+
+  // ---- Introspection (any thread) ----
+
+  ServingStats StatsSnapshot() const;
+  // Merged request-latency histogram (enqueue admit -> reply ready).
+  WaitHistogram LatencySnapshot() const;
+  // Latest published version for the array; 0 when none.
+  u64 published_version(DistArrayId id) const;
+  int queue_depth() const;  // queued lookups across shards (monitor probe)
+  u64 inflight_bytes() const {
+    return inflight_bytes_.load(std::memory_order_relaxed);
+  }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  // Immutable once published; readers hold shared_ptr copies.
+  struct VersionView {
+    VersionedCellStore::Snapshot snap;
+    u64 version = 0;
+  };
+
+  struct ArrayState {
+    std::string name;
+    i32 value_dim = 1;
+    std::shared_ptr<const VersionView> view;  // guarded by views_mu_
+    u64 version = 0;                          // guarded by views_mu_
+  };
+
+  // Lives on the calling Lookup() frame; the worker fills *out, records
+  // latency, and releases `done`. After release the worker must not touch it.
+  struct Pending {
+    ArrayState* array = nullptr;
+    const i64* keys = nullptr;
+    size_t num_keys = 0;
+    LookupResult* out = nullptr;
+    std::chrono::steady_clock::time_point enqueued;
+    u64 est_bytes = 0;
+    std::binary_semaphore done{0};
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Pending*> queue;  // guarded by mu
+    bool stopping = false;       // guarded by mu
+    WaitHistogram latency;       // guarded by mu
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard* shard);
+  void ServeBatch(Shard* shard, std::vector<Pending*>* batch);
+
+  const ServingTierOptions options_;
+  // Key set fixed at construction; ArrayState fields follow their own guards.
+  std::unordered_map<DistArrayId, ArrayState> arrays_;
+
+  // Guards every ArrayState view/version plus the in-flight batch count.
+  // Workers hold it only for pointer copies, never across a gather.
+  mutable std::mutex views_mu_;
+  std::condition_variable drained_cv_;
+  int inflight_batches_ = 0;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<u32> next_shard_{0};
+  std::atomic<u64> inflight_bytes_{0};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex stats_mu_;
+  ServingStats stats_;
+};
+
+}  // namespace serve
+}  // namespace orion
+
+#endif  // ORION_SRC_SERVE_SERVING_TIER_H_
